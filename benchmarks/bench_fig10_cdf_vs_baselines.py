@@ -1,0 +1,88 @@
+"""Figure 10: CDFs of precision and recall per depth band under UW.
+
+PrintQueue (4096 cells x 4 windows) versus HashPipe and FlowRadar
+(4096 entries x 5 stages) for low (1-5k), medium (5-15k), and high
+(>15k) queue occupancy.  The bench prints decile points of each CDF —
+the same series the paper plots.
+
+Paper shape to match: PrintQueue's CDFs sit to the right of (better
+than) both baselines in every band, with the gap widest at medium/high
+occupancy; HashPipe and FlowRadar nearly overlap.
+"""
+
+import pytest
+
+from common import fmt, get_run, get_victims, print_table
+from repro.experiments.evaluation import evaluate_async_queries, evaluate_baseline
+from repro.metrics.accuracy import cdf_points
+
+OCCUPANCY_BANDS = {
+    "1-5k": [(1_000, 2_000), (2_000, 5_000)],
+    "5-15k": [(5_000, 10_000), (10_000, 15_000)],
+    ">15k": [(15_000, 20_000), (20_000, None)],
+}
+
+DECILES = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+def decile_row(scores, metric):
+    values = sorted(getattr(s, metric) for s in scores)
+    if not values:
+        return ["-"] * len(DECILES)
+    points = cdf_points(values)
+    row = []
+    for q in DECILES:
+        idx = min(len(points) - 1, max(0, int(q * len(points)) - 1))
+        row.append(fmt(points[idx][0]))
+    return row
+
+
+def run_fig10():
+    victims = get_victims("uw")
+    run, baselines = get_run("uw", with_baselines=True)
+    hashpipe, flowradar = baselines
+    out = {}
+    for band_name, bands in OCCUPANCY_BANDS.items():
+        indices = sorted(
+            i for band in bands for i in victims.get(tuple(band), [])
+        )
+        if not indices:
+            continue
+        out[band_name] = {
+            "PrintQueue": evaluate_async_queries(
+                run.pq, run.taxonomy, run.records, indices
+            ),
+            "HashPipe": evaluate_baseline(
+                hashpipe, run.taxonomy, run.records, indices
+            ),
+            "FlowRadar": evaluate_baseline(
+                flowradar, run.taxonomy, run.records, indices
+            ),
+        }
+    return out
+
+
+def test_fig10_cdfs(benchmark):
+    results = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    for band_name, systems in results.items():
+        for metric in ("precision", "recall"):
+            rows = [
+                [name] + decile_row(scores, metric)
+                for name, scores in systems.items()
+            ]
+            print_table(
+                f"Figure 10 (UW, {band_name}): {metric} CDF deciles",
+                ["system"] + [f"p{int(q * 100)}" for q in DECILES],
+                rows,
+            )
+    # Shape: PrintQueue's median precision and recall beat both baselines
+    # in every occupancy band.
+    for band_name, systems in results.items():
+        def median(scores, metric):
+            vals = sorted(getattr(s, metric) for s in scores)
+            return vals[len(vals) // 2]
+
+        for metric in ("precision", "recall"):
+            pq = median(systems["PrintQueue"], metric)
+            assert pq >= median(systems["HashPipe"], metric), (band_name, metric)
+            assert pq >= median(systems["FlowRadar"], metric), (band_name, metric)

@@ -1,0 +1,82 @@
+"""Section 7.1 micro-benchmarks of the analysis program itself.
+
+* Query throughput: the paper's Python analysis front end executes
+  ~100 queries/second; this bench measures ours on comparable state.
+* Data-plane update rate: per-packet cost of the Algorithm-1 pipeline.
+* On-demand read rejection: with the PCIe read-cost model enabled,
+  closely spaced data-plane triggers are rejected while the special
+  registers drain — quantifying why "operators should be judicious
+  about initiating data-plane queries".
+"""
+
+import random
+
+import pytest
+
+from common import get_run, get_victims, all_victim_indices
+from repro.core.analysis import AnalysisProgram
+from repro.core.config import PrintQueueConfig
+from repro.core.queries import QueryInterval
+from repro.switch.packet import FlowKey
+
+CONFIG = PrintQueueConfig(m0=6, k=12, alpha=2, T=4, min_packet_bytes=64)
+
+
+def test_query_throughput(benchmark):
+    run, _ = get_run("uw")
+    records = run.records
+    rng = random.Random(7)
+    indices = [rng.randrange(len(records)) for _ in range(50)]
+    intervals = [
+        QueryInterval.for_victim(records[i].enq_timestamp, records[i].deq_timestamp)
+        for i in indices
+    ]
+
+    def do_queries():
+        for interval in intervals:
+            run.pq.async_query(interval)
+
+    benchmark.pedantic(do_queries, rounds=3, iterations=1)
+    per_query_s = benchmark.stats["mean"] / len(intervals)
+    qps = 1 / per_query_s
+    print(f"\nanalysis program query rate: {qps:.0f} queries/s "
+          "(paper's front end: ~100/s)")
+    assert qps > 20
+
+
+def test_data_plane_update_rate(benchmark):
+    analysis = AnalysisProgram(CONFIG, d_ns=110.0)
+    flows = [
+        FlowKey.from_strings("10.0.%d.%d" % (i // 200, i % 200 + 1), "10.1.0.1", 5000 + i, 80)
+        for i in range(64)
+    ]
+    n = 20_000
+
+    def feed():
+        t = 0
+        for i in range(n):
+            analysis.on_dequeue(flows[i % 64], t)
+            t += 110
+
+    benchmark.pedantic(feed, rounds=3, iterations=1)
+    rate = n / benchmark.stats["mean"]
+    print(f"\nsimulated data-plane update rate: {rate / 1e6:.2f} Mpps "
+          "(per-packet Algorithm-1 cost in pure Python)")
+    assert rate > 100_000
+
+
+def test_dp_read_rejection_under_pressure():
+    """With the PCIe model on, most of a dense trigger train is ignored."""
+    analysis = AnalysisProgram(CONFIG, model_dp_read_cost=True)
+    flow = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+    accepted = 0
+    t = 0
+    for i in range(100):
+        analysis.on_dequeue(flow, t)
+        if analysis.dp_read(t) is not None:
+            accepted += 1
+        t += 50_000  # a trigger every 50 us
+    print(f"\naccepted {accepted}/100 triggers at 20k triggers/s "
+          f"({analysis.tw_banks.dp_rejections} rejected by the read lock)")
+    assert accepted < 100
+    assert accepted >= 1

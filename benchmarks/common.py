@@ -1,0 +1,170 @@
+"""Shared infrastructure for the per-figure/table benchmarks.
+
+Simulation runs are cached at module level so benches sharing a workload
+(Fig. 9 / Table 2 / Fig. 10 all use the same UW run) pay for it once per
+pytest session.  Set ``REPRO_SCALE`` (default 1.0) to scale trace
+durations and victim counts up or down.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+sys.path.insert(0, os.path.dirname(__file__))  # allow `import common`
+
+from repro.baselines.flowradar import FlowRadar
+from repro.baselines.hashpipe import HashPipe
+from repro.baselines.interval import FixedIntervalEstimator
+from repro.core.config import PrintQueueConfig
+from repro.experiments.evaluation import (
+    evaluate_async_queries,
+    evaluate_baseline,
+    evaluate_dataplane_queries,
+)
+from repro.experiments.runner import ExperimentRun, simulate_workload
+from repro.experiments.sampling import DEPTH_BANDS, band_label, sample_victims_by_band
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+#: Per-workload PrintQueue configurations (Section 7.1) and trace shapes.
+#: Durations/loads are chosen so the depth ramp sweeps all Figure-9 bands.
+WORKLOADS: Dict[str, Dict] = {
+    "uw": {
+        "config": PrintQueueConfig(m0=6, k=12, alpha=2, T=4, min_packet_bytes=64),
+        "duration_ns": int(26_000_000 * SCALE),
+        "load": 1.15,
+        "seed": 42,
+    },
+    "ws": {
+        "config": PrintQueueConfig(m0=10, k=12, alpha=1, T=4, min_packet_bytes=1500),
+        "duration_ns": int(100_000_000 * SCALE),
+        "load": 1.3,
+        "seed": 42,
+    },
+    "dm": {
+        "config": PrintQueueConfig(m0=10, k=12, alpha=1, T=4, min_packet_bytes=1500),
+        "duration_ns": int(100_000_000 * SCALE),
+        "load": 1.3,
+        "seed": 42,
+    },
+}
+
+VICTIMS_PER_BAND = max(5, int(30 * SCALE))
+
+_run_cache: Dict[Tuple, ExperimentRun] = {}
+_victim_cache: Dict[Tuple, Dict] = {}
+
+
+def workload_config(name: str, **overrides) -> PrintQueueConfig:
+    cfg = WORKLOADS[name]["config"]
+    if not overrides:
+        return cfg
+    from dataclasses import replace
+
+    return replace(cfg, **overrides)
+
+
+def get_run(
+    workload: str,
+    config: Optional[PrintQueueConfig] = None,
+    dp_triggers: Optional[Set[int]] = None,
+    with_baselines: bool = False,
+    seed: Optional[int] = None,
+) -> Tuple[ExperimentRun, List[FixedIntervalEstimator]]:
+    """Simulate (or fetch from cache) one workload configuration."""
+    spec = WORKLOADS[workload]
+    cfg = config or spec["config"]
+    seed = spec["seed"] if seed is None else seed
+    key = (
+        workload,
+        cfg,
+        seed,
+        frozenset(dp_triggers) if dp_triggers else None,
+        with_baselines,
+    )
+    if key in _run_cache:
+        return _run_cache[key]
+    baselines: List[FixedIntervalEstimator] = []
+    if with_baselines:
+        # Table 2: HashPipe and FlowRadar get 5 stages x 4096 entries of
+        # SRAM, reset every PrintQueue set period, prorated on query.
+        baselines = [
+            FixedIntervalEstimator(
+                HashPipe(slots_per_stage=4096, stages=5), cfg.set_period_ns
+            ),
+            FixedIntervalEstimator(
+                FlowRadar(num_cells=3 * 4096, num_hashes=3, filter_bits=2 * 4096 * 8),
+                cfg.set_period_ns,
+            ),
+        ]
+    run = simulate_workload(
+        workload,
+        duration_ns=spec["duration_ns"],
+        load=spec["load"],
+        config=cfg,
+        seed=seed,
+        dp_trigger_indices=dp_triggers,
+        baselines=baselines,
+    )
+    _run_cache[key] = (run, baselines)
+    return run, baselines
+
+
+def get_victims(workload: str, config: Optional[PrintQueueConfig] = None) -> Dict:
+    """Sampled victim indices per depth band for a workload."""
+    run, _ = get_run(workload, config=config)
+    key = (workload, config or WORKLOADS[workload]["config"])
+    if key not in _victim_cache:
+        _victim_cache[key] = sample_victims_by_band(
+            run.records, per_band=VICTIMS_PER_BAND
+        )
+    return _victim_cache[key]
+
+
+def all_victim_indices(victims: Dict) -> Set[int]:
+    out: Set[int] = set()
+    for indices in victims.values():
+        out.update(indices)
+    return out
+
+
+#: JSON results written next to the benches; EXPERIMENTS.md references it.
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.json")
+
+
+def _result_store():
+    from repro.experiments.reporting import ResultStore
+
+    if os.path.exists(RESULTS_PATH):
+        try:
+            return ResultStore.load(RESULTS_PATH)
+        except (ValueError, KeyError):
+            pass
+    return ResultStore()
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Render one paper artifact as an aligned text table + JSON record."""
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    try:
+        store = _result_store()
+        table = store.table(title, list(header))
+        table.rows = [list(r) for r in rows]
+        store.save(RESULTS_PATH)
+    except OSError:
+        pass  # results persistence is best-effort
+
+
+def fmt(x: float) -> str:
+    return f"{x:.3f}"

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Render benchmarks/results.json as markdown.
+
+Every bench writes its tables to ``benchmarks/results.json`` (via
+``common.print_table``); this script turns the accumulated store into
+markdown for pasting into EXPERIMENTS.md or a report.
+
+Usage:  python benchmarks/render_results.py [path-to-results.json]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.reporting import ResultStore, render_markdown
+
+
+def main() -> int:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent / "results.json"
+    if not path.exists():
+        print(f"no results at {path}; run `pytest benchmarks/ --benchmark-only -s` first")
+        return 1
+    store = ResultStore.load(path)
+    print(render_markdown(store))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

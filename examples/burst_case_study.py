@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""The Section 7.2 queue-monitor case study (Figure 16).
+
+One server sends a TCP background flow at ~9 Gbps.  Another sends a burst
+of 10 000 UDP datagrams at 4 Gbps, then starts a low-rate TCP flow.  The
+burst drives the queue far above its steady level, and the queuing it
+causes long outlives the burst itself.  For a victim packet of the new
+TCP flow:
+
+* the DIRECT culprits are dominated by the background flow (the burst
+  left the queue long ago),
+* the INDIRECT culprits contain the burst but drown it among background
+  packets,
+* the ORIGINAL culprits (queue monitor) correctly implicate the burst as
+  comparably culpable to the background despite its far smaller size.
+
+Run:  python examples/burst_case_study.py
+"""
+
+from repro import PrintQueueConfig, QueryInterval
+from repro.experiments.runner import simulate_workload
+from repro.traffic.scenarios import udp_burst_case_study
+
+CONFIG = PrintQueueConfig(m0=10, k=12, alpha=1, T=4, min_packet_bytes=1500)
+
+
+def ascii_timeline(times, depths, buckets=60, height=12):
+    """A terminal rendition of Figure 16(a)."""
+    if not times:
+        return "(no data)"
+    t0, t1 = times[0], times[-1]
+    span = max(1, t1 - t0)
+    maxima = [0] * buckets
+    for t, d in zip(times, depths):
+        b = min(buckets - 1, (t - t0) * buckets // span)
+        maxima[b] = max(maxima[b], d)
+    peak = max(max(maxima), 1)
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        rows.append(
+            f"{threshold:>7.0f} |"
+            + "".join("#" if m >= threshold else " " for m in maxima)
+        )
+    rows.append(" " * 8 + "+" + "-" * buckets)
+    rows.append(
+        " " * 9 + f"{t0 / 1e6:.0f} ms" + " " * (buckets - 12) + f"{t1 / 1e6:.0f} ms"
+    )
+    return "\n".join(rows)
+
+
+def share(estimate, flow):
+    total = estimate.total
+    return 100 * estimate[flow] / total if total else 0.0
+
+
+def main() -> None:
+    print("Composing the case-study trace (9G TCP + 4G UDP burst + 0.5G TCP) ...")
+    study = udp_burst_case_study(duration_ns=60_000_000)
+    run = simulate_workload("unused", 1, config=CONFIG, trace=study.trace)
+
+    times = [r.enq_timestamp for r in run.records]
+    depths = [r.enq_qdepth for r in run.records]
+    print("\nQueue depth over time (Figure 16a):")
+    print(ascii_timeline(times, depths))
+
+    burst_deqs = [
+        r.deq_timestamp for r in run.records if r.flow == study.burst_flow
+    ]
+    burst_span = max(burst_deqs) - min(burst_deqs)
+    congested = [t for t, d in zip(times, depths) if d > 50]
+    queuing_span = max(congested) - study.burst_start_ns
+    print(
+        f"\nBurst lasted {burst_span / 1e6:.1f} ms; the queuing it caused "
+        f"lasted {queuing_span / 1e6:.1f} ms "
+        f"({queuing_span / burst_span:.1f}x longer)."
+    )
+
+    # Victim: a new-TCP packet well after the burst has left the queue.
+    victims = [
+        r
+        for r in run.records
+        if r.flow == study.new_tcp_flow and r.deq_timestamp > min(burst_deqs) + 2 * burst_span
+    ]
+    victim = victims[len(victims) // 2] if victims else run.records[-1]
+    print(
+        f"\nDiagnosing a new-TCP victim at t={victim.deq_timestamp / 1e6:.1f} ms "
+        f"(queued {victim.queuing_delay / 1e6:.2f} ms):"
+    )
+
+    direct = run.pq.async_query(
+        QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    )
+    regime_start, _ = run.taxonomy.congestion_regime(victim)
+    indirect = run.pq.async_query(QueryInterval(regime_start, victim.enq_timestamp))
+    original = run.pq.original_culprits(victim.enq_timestamp)
+
+    print("\n              burst    background    new TCP   (packet share, Fig 16b)")
+    for label, est in (("direct", direct), ("indirect", indirect), ("original", original)):
+        print(
+            f"  {label:>9}  {share(est, study.burst_flow):5.1f}%      "
+            f"{share(est, study.background_flow):5.1f}%      "
+            f"{share(est, study.new_tcp_flow):5.1f}%"
+        )
+    print(
+        "\nOnly the ORIGINAL culprits (queue monitor) implicate the burst "
+        "comparably to the background traffic, despite the burst being a "
+        "fraction of its size — the paper's headline queue-monitor result."
+    )
+    print(
+        f"  original counts: burst={original[study.burst_flow]:.0f}, "
+        f"background={original[study.background_flow]:.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

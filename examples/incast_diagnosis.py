@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Incast diagnosis: why indirect culprits matter.
+
+Thirty-two synchronized senders (a partition/aggregate response wave)
+converge on one 10 Gbps port.  For a victim late in the burst, the
+*direct* culprits only show the handful of flows still draining — but the
+*indirect* culprits expose the whole synchronized wave, revealing that
+the congestion regime is a single application's traffic and that
+de-synchronizing the sends would fix it (Section 2's motivation).
+
+Run:  python examples/incast_diagnosis.py
+"""
+
+from repro import PrintQueueConfig, QueryInterval
+from repro.experiments.runner import simulate_workload
+from repro.traffic.scenarios import incast_scenario
+
+CONFIG = PrintQueueConfig(m0=10, k=12, alpha=1, T=4, min_packet_bytes=1500)
+
+
+def main() -> None:
+    print("Simulating a 32-way incast into a 10 Gbps port ...")
+    trace = incast_scenario(fan_in=32, response_bytes=96_000)
+    run = simulate_workload("unused", 1, config=CONFIG, trace=trace)
+
+    # Victim: a packet from the last flow to finish, late in the wave.
+    victim = max(run.records, key=lambda r: r.deq_timestamp)
+    print(
+        f"Victim {victim.flow} waited {victim.queuing_delay / 1000:.0f} us "
+        f"behind {victim.enq_qdepth} packets."
+    )
+
+    direct = run.pq.async_query(
+        QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    )
+    regime_start, _ = run.taxonomy.congestion_regime(victim)
+    indirect = run.pq.async_query(
+        QueryInterval(regime_start, victim.enq_timestamp)
+    )
+
+    direct_flows = {f for f, c in direct.items() if c >= 1}
+    indirect_flows = {f for f, c in indirect.items() if c >= 1}
+    print(f"\nDirect culprits name {len(direct_flows)} flows "
+          f"({direct.total:.0f} packets).")
+    print(f"Indirect culprits name {len(indirect_flows)} flows "
+          f"({indirect.total:.0f} packets).")
+
+    # The tell-tale incast signature: every culprit shares one destination.
+    all_flows = direct_flows | indirect_flows
+    destinations = {f.dst_ip for f in all_flows}
+    src_subnets = {f.src_ip >> 16 for f in all_flows}
+    print(
+        f"\nAll {len(all_flows)} culprit flows target "
+        f"{len(destinations)} destination(s) from {len(src_subnets)} "
+        "source subnet(s) — a synchronized fan-in."
+    )
+    print(
+        "Diagnosis: one application's synchronized wave; there is spare "
+        "capacity around the burst, so de-synchronizing the senders "
+        "removes the queuing."
+    )
+
+
+if __name__ == "__main__":
+    main()

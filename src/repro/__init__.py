@@ -1,0 +1,63 @@
+"""PrintQueue reproduction: performance diagnosis via queue measurement.
+
+A pure-Python reproduction of *PrintQueue* (SIGCOMM 2022), including the
+simulated programmable-switch substrate, the time-window and queue-monitor
+data structures, the control-plane analysis program, the workload
+generators, and the baseline systems (HashPipe, FlowRadar, linear-storage
+telemetry) the paper compares against.
+
+Quickstart::
+
+    from repro import simulate_workload, PrintQueueConfig, QueryInterval
+
+    run = simulate_workload("ws", duration_ns=20_000_000, load=1.2)
+    victim = max(run.records, key=lambda r: r.queuing_delay)
+    estimate = run.pq.async_query(
+        QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    )
+    for flow, count in estimate.top(5):
+        print(flow, count)
+"""
+
+from repro.core import (
+    AnalysisProgram,
+    ClassedQueueMonitor,
+    CulpritReport,
+    CulpritTaxonomy,
+    Diagnoser,
+    FlowEstimate,
+    PrintQueue,
+    PrintQueueConfig,
+    PrintQueuePort,
+    QueryInterval,
+    QueueMonitor,
+    TimeWindowSet,
+)
+from repro.experiments import simulate_workload
+from repro.switch import FlowKey, Packet, Switch
+from repro.traffic import PoissonWorkload, Trace, WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrintQueueConfig",
+    "PrintQueue",
+    "PrintQueuePort",
+    "AnalysisProgram",
+    "TimeWindowSet",
+    "QueueMonitor",
+    "CulpritTaxonomy",
+    "CulpritReport",
+    "Diagnoser",
+    "ClassedQueueMonitor",
+    "FlowEstimate",
+    "QueryInterval",
+    "FlowKey",
+    "Packet",
+    "Switch",
+    "Trace",
+    "PoissonWorkload",
+    "WorkloadConfig",
+    "simulate_workload",
+    "__version__",
+]

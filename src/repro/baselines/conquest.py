@@ -1,0 +1,132 @@
+"""ConQuest-style snapshot-based queue measurement (related work).
+
+ConQuest (Chen et al., CoNEXT 2019) is the closest prior system the
+paper discusses: it tracks the *current* queue's composition with a ring
+of count-min-sketch snapshots, each covering a fixed time slice of
+recently enqueued traffic.  When a packet dequeues, ConQuest sums the
+flow's counts over the snapshots spanning the current queue to decide
+whether the flow is a main contributor to the standing queue.
+
+The reproduction implements it to substantiate the paper's comparison
+claims: ConQuest answers "is this flow a big contributor *right now*?"
+but cannot run the reverse lookup — given a victim, find the culprits of
+*its* (possibly historical) queuing — without storage linear in the
+total traffic.  It also assumes FIFO order (queue contents = last
+``queuing_delay`` worth of arrivals), unlike PrintQueue's time windows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.sketches import CountMinSketch
+from repro.switch.packet import FlowKey
+
+
+class ConQuest:
+    """A ring of CMS snapshots over fixed time slices of arrivals.
+
+    Parameters
+    ----------
+    num_snapshots:
+        Ring size ``h``; one snapshot is always being (re)written, the
+        rest are readable.
+    slice_ns:
+        Time covered by one snapshot.
+    sketch_width / sketch_depth:
+        Dimensions of each snapshot's count-min sketch.
+    """
+
+    def __init__(
+        self,
+        num_snapshots: int = 4,
+        slice_ns: int = 65_536,
+        sketch_width: int = 1024,
+        sketch_depth: int = 2,
+    ) -> None:
+        if num_snapshots < 2:
+            raise ValueError(f"need at least two snapshots, got {num_snapshots}")
+        if slice_ns < 1:
+            raise ValueError(f"non-positive slice: {slice_ns}")
+        self.num_snapshots = num_snapshots
+        self.slice_ns = slice_ns
+        self._sketches: List[CountMinSketch] = [
+            CountMinSketch(sketch_width, sketch_depth) for _ in range(num_snapshots)
+        ]
+        self._slice_of: List[int] = [-1] * num_snapshots  # slice id stored
+        self.updates = 0
+
+    def _ring_index(self, slice_id: int) -> int:
+        return slice_id % self.num_snapshots
+
+    def _sketch_for_write(self, slice_id: int) -> CountMinSketch:
+        index = self._ring_index(slice_id)
+        if self._slice_of[index] != slice_id:
+            # Entering a new slice: recycle the oldest snapshot.
+            self._sketches[index].reset()
+            self._slice_of[index] = slice_id
+        return self._sketches[index]
+
+    # -- data plane -------------------------------------------------------------
+
+    def on_enqueue(self, flow: FlowKey, enq_timestamp: int, size_bytes: int = 1) -> None:
+        """Record an arriving packet into the current write snapshot."""
+        self.updates += 1
+        slice_id = enq_timestamp // self.slice_ns
+        self._sketch_for_write(slice_id).update(flow, size_bytes)
+
+    def queue_contribution(
+        self, flow: FlowKey, deq_timestamp: int, queuing_delay_ns: int
+    ) -> int:
+        """Estimated amount of ``flow`` in the queue a dequeue observes.
+
+        Sums the flow's counts over the snapshots covering the standing
+        queue, i.e. arrivals in ``[deq - delay, deq)``; the write-active
+        slice is skipped, as on hardware.
+        """
+        if queuing_delay_ns <= 0:
+            return 0
+        first_slice = (deq_timestamp - queuing_delay_ns) // self.slice_ns
+        active_slice = deq_timestamp // self.slice_ns
+        total = 0
+        for slice_id in range(first_slice, active_slice + 1):
+            if slice_id == active_slice:
+                continue  # being overwritten; unreadable in the data plane
+            index = self._ring_index(slice_id)
+            if self._slice_of[index] != slice_id:
+                continue  # already recycled: the queue outlived the ring
+            total += self._sketches[index].estimate(flow)
+        return total
+
+    def is_contributor(
+        self,
+        flow: FlowKey,
+        deq_timestamp: int,
+        queuing_delay_ns: int,
+        threshold: int,
+    ) -> bool:
+        """ConQuest's native judgement: is this flow a main contributor?"""
+        return (
+            self.queue_contribution(flow, deq_timestamp, queuing_delay_ns)
+            >= threshold
+        )
+
+    # -- properties the paper's comparison rests on ------------------------------
+
+    @property
+    def coverage_ns(self) -> int:
+        """How far back the ring can see: (h-1) readable slices."""
+        return (self.num_snapshots - 1) * self.slice_ns
+
+    def can_cover_delay(self, queuing_delay_ns: int) -> bool:
+        """Whether a victim's whole queue fits in the readable snapshots.
+
+        Queues standing longer than ``coverage_ns`` have outlived the
+        ring — the paper's point that diagnosing a specific victim's
+        (historical) queuing would need storage linear in total traffic.
+        """
+        return queuing_delay_ns <= self.coverage_ns
+
+    @property
+    def sram_entries(self) -> int:
+        return sum(s.width * s.depth for s in self._sketches)

@@ -1,0 +1,170 @@
+"""FlowRadar: encoded flowsets with counting-table decode.
+
+Structure: a Bloom *flow filter* plus a counting table whose cells hold
+``(FlowXOR, FlowCount, PacketCount)``.  A packet of a new flow (filter
+miss) XORs its flow ID into, and increments FlowCount of, each of its
+``h`` cells; every packet increments PacketCount in all ``h`` cells.
+
+Decode iteratively peels *pure* cells (FlowCount == 1): the cell's
+FlowXOR is a flow ID and its PacketCount is that flow's count; the flow
+is then subtracted from its other cells, possibly exposing new pure
+cells.  Under overload some flows remain undecodable — they are reported
+via :attr:`DecodeResult.undecoded_cells`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.switch.packet import FlowKey
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int, salt: int) -> int:
+    x = (value ^ (salt * 0xC2B2AE3D27D4EB4F)) & _MASK64
+    x ^= x >> 29
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 32
+    return x
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding an encoded flowset."""
+
+    flows: Dict[FlowKey, int] = field(default_factory=dict)
+    undecoded_cells: int = 0
+
+    @property
+    def fully_decoded(self) -> bool:
+        return self.undecoded_cells == 0
+
+
+class FlowRadar:
+    """One FlowRadar instance (one reset period's worth of state).
+
+    Parameters
+    ----------
+    num_cells:
+        Counting-table size.  The Table-2 comparison allocates resources
+        comparable to 5 stages x 4096 entries; we default the counting
+        table to 3*4096 cells and the flow filter to 2*4096 slots' worth
+        of bits, matching that SRAM envelope.
+    num_hashes:
+        Cells (and filter bits) touched per flow.
+    """
+
+    def __init__(
+        self,
+        num_cells: int = 3 * 4096,
+        num_hashes: int = 3,
+        filter_bits: int = 2 * 4096 * 8,
+    ) -> None:
+        if num_cells < 1:
+            raise ValueError(f"need at least one cell, got {num_cells}")
+        if not 1 <= num_hashes <= num_cells:
+            raise ValueError(f"bad hash count: {num_hashes}")
+        if filter_bits < 8:
+            raise ValueError(f"filter too small: {filter_bits}")
+        self.num_cells = num_cells
+        self.num_hashes = num_hashes
+        self.filter_bits = filter_bits
+        self._filter = bytearray(filter_bits // 8 + 1)
+        self._flow_xor = [0] * num_cells
+        self._flow_count = [0] * num_cells
+        self._packet_count = [0] * num_cells
+        # Simulation-side registry so decoded 64-bit IDs map back to keys;
+        # the hardware recovers the 5-tuple directly from the XOR field.
+        self._id_to_key: Dict[int, FlowKey] = {}
+        self.updates = 0
+
+    # -- hashing ----------------------------------------------------------
+
+    def _cells_for(self, flow_id: int) -> List[int]:
+        cells = []
+        for i in range(self.num_hashes):
+            cells.append(_mix(flow_id, 2 * i + 1) % self.num_cells)
+        return cells
+
+    def _filter_bits_for(self, flow_id: int) -> List[int]:
+        return [
+            _mix(flow_id, 1000 + 2 * i) % self.filter_bits
+            for i in range(self.num_hashes)
+        ]
+
+    def _filter_test_and_set(self, flow_id: int) -> bool:
+        """Returns True if the flow was already present."""
+        present = True
+        for bit in self._filter_bits_for(flow_id):
+            byte, offset = divmod(bit, 8)
+            if not (self._filter[byte] >> offset) & 1:
+                present = False
+                self._filter[byte] |= 1 << offset
+        return present
+
+    # -- data plane --------------------------------------------------------
+
+    def update(self, flow: FlowKey, count: int = 1) -> None:
+        """Record ``count`` packets of ``flow``."""
+        self.updates += count
+        flow_id = flow.flow_id()
+        self._id_to_key.setdefault(flow_id, flow)
+        is_old = self._filter_test_and_set(flow_id)
+        for cell in self._cells_for(flow_id):
+            if not is_old:
+                self._flow_xor[cell] ^= flow_id
+                self._flow_count[cell] += 1
+            self._packet_count[cell] += count
+
+    # -- decode --------------------------------------------------------------
+
+    def decode(self) -> DecodeResult:
+        """Peel pure cells until fixpoint (the single-switch decode)."""
+        flow_xor = list(self._flow_xor)
+        flow_count = list(self._flow_count)
+        packet_count = list(self._packet_count)
+
+        result = DecodeResult()
+        frontier: List[int] = [
+            i for i in range(self.num_cells) if flow_count[i] == 1
+        ]
+        seen: Set[int] = set()
+        while frontier:
+            cell = frontier.pop()
+            if flow_count[cell] != 1:
+                continue
+            flow_id = flow_xor[cell]
+            key = self._id_to_key.get(flow_id)
+            if key is None or flow_id in seen:
+                # A corrupted cell (XOR of colliding IDs happens to match
+                # nothing) — leave it; it will count as undecoded.
+                continue
+            seen.add(flow_id)
+            packets = packet_count[cell]
+            result.flows[key] = packets
+            for other in self._cells_for(flow_id):
+                flow_xor[other] ^= flow_id
+                flow_count[other] -= 1
+                packet_count[other] -= packets
+                if flow_count[other] == 1:
+                    frontier.append(other)
+        result.undecoded_cells = sum(1 for c in flow_count if c > 0)
+        return result
+
+    def flow_counts(self) -> Dict[FlowKey, int]:
+        """Decoded per-flow packet counts (lossy under overload)."""
+        return self.decode().flows
+
+    def reset(self) -> None:
+        self._filter = bytearray(self.filter_bits // 8 + 1)
+        self._flow_xor = [0] * self.num_cells
+        self._flow_count = [0] * self.num_cells
+        self._packet_count = [0] * self.num_cells
+        self._id_to_key.clear()
+
+    @property
+    def sram_entries(self) -> int:
+        """Counting-table cells + filter expressed in table-entry units."""
+        return self.num_cells + self.filter_bits // (8 * 8)

@@ -1,0 +1,130 @@
+"""HashPipe: heavy-hitter detection entirely in the data plane.
+
+A pipeline of ``d`` stages, each a hash-indexed table of (key, count)
+slots.  The first stage always inserts the incoming key (evicting the
+incumbent); at later stages the carried (evicted) entry either merges
+with a matching key, fills an empty slot, or swaps with the slot's entry
+if the slot's count is smaller — so the minimum is pushed toward
+eviction.  The Table-2 comparison uses 5 stages of 4096 slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.switch.packet import FlowKey
+
+
+def _stage_hash(flow_id: int, stage: int, mask: int) -> int:
+    """Per-stage slot hash: a cheap but well-mixing integer scramble."""
+    x = flow_id ^ (0x9E3779B97F4A7C15 * (stage + 1) & 0xFFFFFFFFFFFFFFFF)
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 33
+    return x & mask
+
+
+class HashPipe:
+    """The d-stage HashPipe structure.
+
+    Parameters
+    ----------
+    slots_per_stage:
+        Table size per stage (power of two; the paper uses 4096).
+    stages:
+        Pipeline depth (the paper uses 5).
+    """
+
+    def __init__(self, slots_per_stage: int = 4096, stages: int = 5) -> None:
+        if slots_per_stage < 1 or slots_per_stage & (slots_per_stage - 1):
+            raise ValueError("slots_per_stage must be a power of two")
+        if stages < 1:
+            raise ValueError(f"need at least one stage, got {stages}")
+        self.slots_per_stage = slots_per_stage
+        self.stages = stages
+        self._mask = slots_per_stage - 1
+        self._keys: List[List[Optional[FlowKey]]] = [
+            [None] * slots_per_stage for _ in range(stages)
+        ]
+        self._counts: List[List[int]] = [
+            [0] * slots_per_stage for _ in range(stages)
+        ]
+        self.updates = 0
+        self.evictions = 0
+
+    def update(self, flow: FlowKey, count: int = 1) -> None:
+        """Insert one packet of ``flow``."""
+        self.updates += 1
+        carried_key: Optional[FlowKey] = flow
+        carried_count = count
+        carried_id = flow.flow_id()
+
+        # Stage 0: always insert, evicting the incumbent.
+        slot = _stage_hash(carried_id, 0, self._mask)
+        if self._keys[0][slot] == carried_key:
+            self._counts[0][slot] += carried_count
+            return
+        evicted_key = self._keys[0][slot]
+        evicted_count = self._counts[0][slot]
+        self._keys[0][slot] = carried_key
+        self._counts[0][slot] = carried_count
+        if evicted_key is None:
+            return
+        carried_key, carried_count = evicted_key, evicted_count
+
+        # Later stages: merge, fill, or keep-the-larger.
+        for stage in range(1, self.stages):
+            slot = _stage_hash(carried_key.flow_id(), stage, self._mask)
+            slot_key = self._keys[stage][slot]
+            if slot_key == carried_key:
+                self._counts[stage][slot] += carried_count
+                return
+            if slot_key is None:
+                self._keys[stage][slot] = carried_key
+                self._counts[stage][slot] = carried_count
+                return
+            if self._counts[stage][slot] < carried_count:
+                self._keys[stage][slot], carried_key = carried_key, slot_key
+                self._counts[stage][slot], carried_count = (
+                    carried_count,
+                    self._counts[stage][slot],
+                )
+        self.evictions += 1  # the minimum falls off the end of the pipe
+
+    def estimate(self, flow: FlowKey) -> int:
+        """Estimated packet count: the sum over all matching slots."""
+        flow_id = flow.flow_id()
+        total = 0
+        for stage in range(self.stages):
+            slot = _stage_hash(flow_id, stage, self._mask)
+            if self._keys[stage][slot] == flow:
+                total += self._counts[stage][slot]
+        return total
+
+    def flow_counts(self) -> Dict[FlowKey, int]:
+        """All tracked flows with their summed counts."""
+        out: Dict[FlowKey, int] = {}
+        for stage in range(self.stages):
+            for key, count in zip(self._keys[stage], self._counts[stage]):
+                if key is not None and count:
+                    out[key] = out.get(key, 0) + count
+        return out
+
+    def heavy_hitters(self, threshold: int) -> List[Tuple[FlowKey, int]]:
+        """Flows with estimated count >= threshold, largest first."""
+        hits = [
+            (flow, count)
+            for flow, count in self.flow_counts().items()
+            if count >= threshold
+        ]
+        hits.sort(key=lambda kv: -kv[1])
+        return hits
+
+    def reset(self) -> None:
+        for stage in range(self.stages):
+            self._keys[stage] = [None] * self.slots_per_stage
+            self._counts[stage] = [0] * self.slots_per_stage
+
+    @property
+    def sram_entries(self) -> int:
+        return self.stages * self.slots_per_stage

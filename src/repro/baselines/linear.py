@@ -1,0 +1,84 @@
+"""Linear-storage telemetry models (NetSight / BurstRadar style).
+
+These systems export a fixed-size record for (roughly) every packet:
+NetSight collects per-hop packet histories; BurstRadar snapshots ring
+buffers of every packet in a congested period.  Their storage and export
+bandwidth therefore grows linearly with traffic volume, which is the
+comparison axis of Figure 14(a).  The model also supports actually
+*collecting* the records for small traces, so tests can validate the
+arithmetic against a measured trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.switch.packet import FlowKey
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One exported telemetry record."""
+
+    flow: FlowKey
+    deq_timestamp: int
+
+
+class LinearStorageModel:
+    """Per-packet export with a fixed record size.
+
+    Parameters
+    ----------
+    record_bytes:
+        Exported bytes per packet (flow ID + timestamps + metadata).
+    congested_only:
+        BurstRadar mode — only packets that saw queuing above a threshold
+        are exported.
+    depth_threshold:
+        The queue-depth threshold for ``congested_only`` mode.
+    """
+
+    def __init__(
+        self,
+        record_bytes: int = 16,
+        congested_only: bool = False,
+        depth_threshold: int = 0,
+        keep_records: bool = False,
+    ) -> None:
+        if record_bytes <= 0:
+            raise ValueError(f"non-positive record size: {record_bytes}")
+        self.record_bytes = record_bytes
+        self.congested_only = congested_only
+        self.depth_threshold = depth_threshold
+        self.exported_packets = 0
+        self.first_ns: Optional[int] = None
+        self.last_ns: Optional[int] = None
+        self._records: Optional[List[PacketRecord]] = [] if keep_records else None
+
+    def update(self, flow: FlowKey, deq_timestamp: int, enq_qdepth: int = 0) -> None:
+        """Observe one dequeued packet."""
+        if self.congested_only and enq_qdepth < self.depth_threshold:
+            return
+        self.exported_packets += 1
+        if self.first_ns is None:
+            self.first_ns = deq_timestamp
+        self.last_ns = deq_timestamp
+        if self._records is not None:
+            self._records.append(PacketRecord(flow, deq_timestamp))
+
+    @property
+    def exported_bytes(self) -> int:
+        return self.exported_packets * self.record_bytes
+
+    def storage_mbps(self) -> float:
+        """Measured export bandwidth over the observed span."""
+        if self.first_ns is None or self.last_ns is None or self.last_ns <= self.first_ns:
+            return 0.0
+        seconds = (self.last_ns - self.first_ns) / 1e9
+        return self.exported_bytes / seconds / 1e6
+
+    def records(self) -> List[PacketRecord]:
+        if self._records is None:
+            raise ValueError("model was created with keep_records=False")
+        return self._records

@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run
+    Generate a workload, push it through the simulated bottleneck port
+    with PrintQueue attached, and diagnose the worst victims.
+scenario
+    Same, for the named scenarios (microburst / incast / burst-case-study).
+overhead
+    Print the SRAM and control-plane bandwidth of a configuration.
+trace
+    Generate a workload and save it as a .pqtrace file (or inspect one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import PrintQueueConfig
+from repro.core.diagnosis import Diagnoser
+from repro.experiments.figures import timeline
+from repro.experiments.runner import simulate_workload
+from repro.metrics.overhead import (
+    pcie_limit_mbps,
+    printqueue_storage_mbps,
+    queue_monitor_sram_bytes,
+    sram_utilization,
+    time_windows_sram_bytes,
+)
+from repro.traffic import pcaplike
+from repro.traffic.scenarios import (
+    incast_scenario,
+    microburst_scenario,
+    udp_burst_case_study,
+)
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--m0", type=int, default=10, help="cell-period exponent")
+    parser.add_argument("--k", type=int, default=12, help="cells-per-window exponent")
+    parser.add_argument("--alpha", type=int, default=1, help="compression factor")
+    parser.add_argument("--T", type=int, default=4, help="number of time windows")
+    parser.add_argument(
+        "--min-packet", type=int, default=1500, help="min packet bytes for d"
+    )
+
+
+def _config_from(args: argparse.Namespace) -> PrintQueueConfig:
+    return PrintQueueConfig(
+        m0=args.m0,
+        k=args.k,
+        alpha=args.alpha,
+        T=args.T,
+        min_packet_bytes=args.min_packet,
+    )
+
+
+def _build_trace(args: argparse.Namespace):
+    if args.scenario == "microburst":
+        return microburst_scenario(seed=args.seed)
+    if args.scenario == "incast":
+        return incast_scenario(seed=args.seed)
+    if args.scenario == "burst-case-study":
+        return udp_burst_case_study(seed=args.seed).trace
+    raise SystemExit(f"unknown scenario {args.scenario!r}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Handle `repro run`: simulate a workload and diagnose victims."""
+    config = _config_from(args)
+    run = simulate_workload(
+        args.workload,
+        duration_ns=int(args.duration_ms * 1e6),
+        load=args.load,
+        config=config,
+        seed=args.seed,
+    )
+    _report(run, args.victims)
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Handle `repro scenario`: run a named scenario and diagnose."""
+    config = _config_from(args)
+    trace = _build_trace(args)
+    run = simulate_workload("unused", 1, config=config, trace=trace, seed=args.seed)
+    if args.plot:
+        times = [r.enq_timestamp for r in run.records]
+        depths = [r.enq_qdepth for r in run.records]
+        print("queue depth over time:")
+        print(timeline(times, depths))
+    _report(run, args.victims)
+    return 0
+
+
+def _report(run, num_victims: int) -> None:
+    records = run.records
+    print(
+        f"{len(records)} packets forwarded; "
+        f"max depth {max(r.enq_qdepth for r in records)} pkts; "
+        f"{len(run.pq.analysis.tw_snapshots)} snapshots"
+    )
+    diagnoser = Diagnoser(run.pq)
+    victims = sorted(records, key=lambda r: -r.queuing_delay)[:num_victims]
+    for victim in victims:
+        print()
+        print(diagnoser.diagnose_record(victim).summary(top=3))
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    """Handle `repro overhead`: print SRAM and polling budgets."""
+    config = _config_from(args)
+    tw = time_windows_sram_bytes(config, num_ports=args.ports)
+    qm = queue_monitor_sram_bytes(config, num_ports=args.ports)
+    util = sram_utilization(
+        config, num_ports=args.ports, include_queue_monitor=True
+    )
+    mbps = printqueue_storage_mbps(config)
+    print(f"configuration: {config.describe()} ports={args.ports}")
+    print(f"time windows SRAM : {tw / 1024:.0f} KiB")
+    print(f"queue monitor SRAM: {qm / 1024:.0f} KiB")
+    print(f"total utilisation : {100 * util:.2f}% of pipe budget")
+    print(
+        f"polling bandwidth : {mbps:.2f} MB/s "
+        f"(limit {pcie_limit_mbps():.1f} MB/s -> "
+        f"{'feasible' if mbps <= pcie_limit_mbps() else 'INFEASIBLE'})"
+    )
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Handle `repro advise`: sanity-check a configuration."""
+    from repro.core.advisor import advise, worst_severity
+
+    config = _config_from(args)
+    notes = advise(
+        config,
+        packet_interval_ns=args.packet_interval,
+        expected_max_depth=args.max_depth,
+        query_horizon_ns=(
+            int(args.horizon_ms * 1e6) if args.horizon_ms is not None else None
+        ),
+    )
+    print(f"configuration: {config.describe()}")
+    if not notes:
+        print("no findings: configuration looks sound for this workload")
+        return 0
+    for note in notes:
+        print(f"  {note}")
+    worst = worst_severity(notes)
+    return 1 if worst is not None and worst.value == "error" else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Handle `repro trace`: generate or inspect .pqtrace files."""
+    if args.inspect:
+        trace = pcaplike.read_trace(args.path)
+        print(
+            f"{args.path}: {len(trace)} packets, {trace.num_flows} flows, "
+            f"{trace.duration_ns / 1e6:.2f} ms, "
+            f"{trace.offered_load_bps() / 1e9:.2f} Gbps offered"
+        )
+        return 0
+    from repro.traffic.distributions import distribution_by_name
+    from repro.traffic.generator import PoissonWorkload, WorkloadConfig
+
+    workload = PoissonWorkload(
+        distribution_by_name(args.workload),
+        WorkloadConfig(load=args.load, duration_ns=int(args.duration_ms * 1e6)),
+        seed=args.seed,
+    )
+    trace = workload.generate()
+    count = pcaplike.write_trace(trace, args.path)
+    print(f"wrote {count} records to {args.path} "
+          f"({pcaplike.trace_file_bytes(count)} bytes)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PrintQueue reproduction: queue-measurement diagnosis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a workload and diagnose victims")
+    run.add_argument("--workload", choices=["ws", "dm", "uw"], default="ws")
+    run.add_argument("--duration-ms", type=float, default=40.0)
+    run.add_argument("--load", type=float, default=1.2)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--victims", type=int, default=1)
+    _add_config_args(run)
+    run.set_defaults(func=cmd_run)
+
+    scenario = sub.add_parser("scenario", help="run a named scenario")
+    scenario.add_argument(
+        "scenario", choices=["microburst", "incast", "burst-case-study"]
+    )
+    scenario.add_argument("--seed", type=int, default=1)
+    scenario.add_argument("--victims", type=int, default=1)
+    scenario.add_argument("--plot", action="store_true")
+    _add_config_args(scenario)
+    scenario.set_defaults(func=cmd_scenario)
+
+    overhead = sub.add_parser("overhead", help="SRAM / bandwidth of a config")
+    overhead.add_argument("--ports", type=int, default=1)
+    _add_config_args(overhead)
+    overhead.set_defaults(func=cmd_overhead)
+
+    advise_cmd = sub.add_parser(
+        "advise", help="sanity-check a configuration against a workload"
+    )
+    advise_cmd.add_argument(
+        "--packet-interval",
+        type=float,
+        default=None,
+        help="mean inter-departure time under congestion, ns",
+    )
+    advise_cmd.add_argument("--max-depth", type=int, default=None)
+    advise_cmd.add_argument("--horizon-ms", type=float, default=None)
+    _add_config_args(advise_cmd)
+    advise_cmd.set_defaults(func=cmd_advise)
+
+    trace = sub.add_parser("trace", help="generate or inspect .pqtrace files")
+    trace.add_argument("path")
+    trace.add_argument("--inspect", action="store_true")
+    trace.add_argument("--workload", choices=["ws", "dm", "uw"], default="ws")
+    trace.add_argument("--duration-ms", type=float, default=10.0)
+    trace.add_argument("--load", type=float, default=1.0)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

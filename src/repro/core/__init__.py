@@ -1,0 +1,49 @@
+"""PrintQueue core: the paper's primary contribution.
+
+* :class:`~repro.core.config.PrintQueueConfig` — m0/k/alpha/T parameters.
+* :class:`~repro.core.windowset.TimeWindowSet` — Algorithm 1 (time windows).
+* :mod:`~repro.core.coefficient` — Algorithm 2 (count recovery).
+* :mod:`~repro.core.filtering` — Algorithm 3 (stale-cell filter).
+* :class:`~repro.core.queuemonitor.QueueMonitor` — the Section 5 sparse stack.
+* :class:`~repro.core.analysis.AnalysisProgram` — Section 6 control plane.
+* :class:`~repro.core.printqueue.PrintQueuePort` / ``PrintQueue`` — per-port
+  and multi-port orchestration (Figure 3 architecture).
+* :class:`~repro.core.taxonomy.CulpritTaxonomy` — ground-truth direct /
+  indirect / original culprits (Section 2 definitions).
+"""
+
+from repro.core.config import PrintQueueConfig
+from repro.core.coefficient import coefficients, first_window_z
+from repro.core.timewindow import CellRecord, TimeWindow
+from repro.core.windowset import TimeWindowSet
+from repro.core.filtering import FilteredWindow, filter_windows
+from repro.core.queuemonitor import QueueMonitor, QueueMonitorSnapshot
+from repro.core.queries import CulpritReport, FlowEstimate, QueryInterval
+from repro.core.analysis import AnalysisProgram, TimeWindowSnapshot
+from repro.core.printqueue import PrintQueue, PrintQueuePort
+from repro.core.taxonomy import CulpritTaxonomy
+from repro.core.diagnosis import Diagnoser
+from repro.core.multiqueue import ClassedQueueMonitor
+
+__all__ = [
+    "PrintQueueConfig",
+    "coefficients",
+    "first_window_z",
+    "CellRecord",
+    "TimeWindow",
+    "TimeWindowSet",
+    "FilteredWindow",
+    "filter_windows",
+    "QueueMonitor",
+    "QueueMonitorSnapshot",
+    "FlowEstimate",
+    "QueryInterval",
+    "CulpritReport",
+    "AnalysisProgram",
+    "TimeWindowSnapshot",
+    "PrintQueue",
+    "PrintQueuePort",
+    "CulpritTaxonomy",
+    "Diagnoser",
+    "ClassedQueueMonitor",
+]

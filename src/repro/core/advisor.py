@@ -1,0 +1,184 @@
+"""Configuration advisor: sanity-checks a PrintQueue deployment.
+
+The parameter family (m0, k, alpha, T) interacts with the workload in
+non-obvious ways — e.g. an m0 far below the packet inter-departure time
+starves the deeper windows (z = 2^m0/d << 1 means almost nothing
+survives the passing rule), silently collapsing recall for any query
+older than one window-0 period.  The advisor encodes the constraints
+from Sections 4.3 and 7.1 as machine-checkable advice, so deployments
+and experiments fail loudly instead of mysteriously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from repro.core.coefficient import coefficients, first_window_z
+from repro.core.config import PrintQueueConfig
+from repro.metrics.overhead import (
+    config_is_feasible,
+    pcie_limit_mbps,
+    printqueue_storage_mbps,
+    sram_utilization,
+)
+
+
+class Severity(Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Advice:
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def advise(
+    config: PrintQueueConfig,
+    packet_interval_ns: Optional[float] = None,
+    expected_max_depth: Optional[int] = None,
+    query_horizon_ns: Optional[int] = None,
+) -> List[Advice]:
+    """Check a configuration against workload characteristics.
+
+    Parameters
+    ----------
+    packet_interval_ns:
+        Expected mean inter-departure time under congestion (defaults to
+        the minimum-packet transmission delay of the config).
+    expected_max_depth:
+        The deepest queue (in monitor units) the deployment should
+        resolve.
+    query_horizon_ns:
+        How far back asynchronous queries must reach.
+    """
+    advice: List[Advice] = []
+    d_ns = (
+        packet_interval_ns
+        if packet_interval_ns is not None
+        else float(config.min_pkt_tx_delay_ns)
+    )
+
+    # -- window-0 cell period vs packet interval (Theorem 3) ----------------
+    z = first_window_z(config, d_ns)
+    cell0 = config.cell_period_ns(0)
+    if cell0 > 4 * d_ns:
+        advice.append(
+            Advice(
+                Severity.WARNING,
+                "m0-too-coarse",
+                f"window-0 cell period {cell0} ns spans ~{cell0 / d_ns:.0f} "
+                "packets; same-cycle collisions will drop most of them "
+                "(cells hold a single packet).",
+            )
+        )
+    if z < 0.3:
+        advice.append(
+            Advice(
+                Severity.ERROR,
+                "deep-windows-starved",
+                f"z = 2^m0/d = {z:.3f}: the passing rule fires with "
+                f"probability z^2 = {z * z:.4f}, so deeper windows receive "
+                "almost nothing — queries older than one window-0 period "
+                "will return near-empty results.  Raise m0 toward "
+                f"log2(d) = {d_ns and __import__('math').log2(d_ns):.1f}.",
+            )
+        )
+
+    # -- coefficient conditioning ---------------------------------------------
+    coeff = coefficients(config, d_ns)
+    if coeff[-1] < 1e-3:
+        advice.append(
+            Advice(
+                Severity.WARNING,
+                "deep-coefficient-tiny",
+                f"coefficient[{config.T - 1}] = {coeff[-1]:.2e}: counts from "
+                "the deepest window are multiplied by "
+                f"{1 / max(coeff[-1], 1e-12):.0f}x — expect noisy estimates "
+                "there (consider smaller alpha or T).",
+            )
+        )
+
+    # -- polling feasibility (Figure 13) -----------------------------------------
+    if not config_is_feasible(config):
+        advice.append(
+            Advice(
+                Severity.ERROR,
+                "polling-infeasible",
+                f"register polling needs {printqueue_storage_mbps(config):.1f} "
+                f"MB/s but the control plane sustains {pcie_limit_mbps():.1f} "
+                "MB/s; window data will age out unread.  Increase alpha, T, "
+                "or k (all lengthen the set period).",
+            )
+        )
+
+    # -- SRAM budget (Figure 14b / 15) ----------------------------------------------
+    utilization = sram_utilization(config, include_queue_monitor=True)
+    if utilization > 1.0:
+        advice.append(
+            Advice(
+                Severity.ERROR,
+                "sram-over-budget",
+                f"configuration needs {100 * utilization:.0f}% of the pipe "
+                "SRAM budget; reduce k, T, qm_levels, or the port count.",
+            )
+        )
+    elif utilization > 0.5:
+        advice.append(
+            Advice(
+                Severity.INFO,
+                "sram-pressure",
+                f"configuration uses {100 * utilization:.0f}% of the pipe "
+                "SRAM budget.",
+            )
+        )
+
+    # -- queue-monitor resolution -------------------------------------------------
+    if expected_max_depth is not None:
+        levels_needed = expected_max_depth // config.qm_granularity
+        if levels_needed > config.qm_levels:
+            advice.append(
+                Advice(
+                    Severity.WARNING,
+                    "qm-overflow",
+                    f"expected depth {expected_max_depth} needs "
+                    f"{levels_needed} monitor levels but only "
+                    f"{config.qm_levels} are allocated; deep buildups will "
+                    "clamp to the top level.",
+                )
+            )
+
+    # -- query horizon vs retention ------------------------------------------------
+    if query_horizon_ns is not None:
+        # Double-buffered polling retains roughly two set periods of data
+        # plus whatever the snapshot store keeps; the *windows themselves*
+        # cover one set period, which is the hard floor per snapshot.
+        if query_horizon_ns > config.set_period_ns:
+            advice.append(
+                Advice(
+                    Severity.INFO,
+                    "horizon-spans-snapshots",
+                    f"queries reaching {query_horizon_ns} ns back span "
+                    f"{query_horizon_ns / config.set_period_ns:.1f} set "
+                    "periods; accuracy depends on the snapshot store depth "
+                    "(max_snapshots).",
+                )
+            )
+
+    return advice
+
+
+def worst_severity(advice: List[Advice]) -> Optional[Severity]:
+    """The most severe level present, or None for a clean bill."""
+    for severity in (Severity.ERROR, Severity.WARNING, Severity.INFO):
+        if any(a.severity is severity for a in advice):
+            return severity
+    return None

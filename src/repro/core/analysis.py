@@ -1,0 +1,328 @@
+"""The control-plane analysis program (Section 6).
+
+Responsibilities:
+
+1. **Checkpointing** — every set period, flip the time-window banks and
+   read the frozen copy (after Algorithm-3 filtering) into a snapshot
+   store; snapshot the queue monitor alongside.
+2. **Query execution** — time-window queries split an arbitrary interval
+   across the stored snapshots (and across windows within a snapshot, each
+   point in time attributed to exactly one window), divide per-window flow
+   counts by ``coefficient[i]``, and aggregate; queue-monitor queries
+   return the filtered walk of the snapshot closest to the query point.
+3. **On-demand reads** — a data-plane trigger freezes the current bank
+   immediately; the resulting query runs on data at its freshest (the
+   recency-bias advantage measured in Figure 9).
+
+The modelled read cost (register entries / PCIe read rate) gates how long
+an on-demand read locks the special bank, reproducing the "operators
+should be judicious about initiating data-plane queries" behaviour.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.coefficient import coefficients
+from repro.core.config import PrintQueueConfig
+from repro.core.filtering import FilteredWindow, filter_windows
+from repro.core.queries import FlowEstimate, QueryInterval
+from repro.core.queuemonitor import QueueMonitor, QueueMonitorSnapshot
+from repro.core.registers import BankedStructure
+from repro.core.timewindow import TimeWindow
+from repro.core.windowset import TimeWindowSet
+from repro.errors import QueryError
+from repro.units import PCIE_REGISTER_READS_PER_SEC, NS_PER_SEC
+
+
+@dataclass
+class TimeWindowSnapshot:
+    """Filtered contents of one frozen time-window bank.
+
+    ``valid_from_ns`` is the instant the frozen bank last became active:
+    packets dequeued before it were recorded in a *different* bank, so
+    this snapshot cannot speak for them even where a window's nominal
+    (TTS-derived) coverage extends further back.
+    """
+
+    read_time_ns: int
+    windows: List[FilteredWindow]
+    source: str = "periodic"  # or "data-plane"
+    valid_from_ns: int = 0
+
+    def coverage_ns(self, k: int) -> Optional[Tuple[int, int]]:
+        """[oldest, newest) time range any window of this snapshot covers."""
+        start = None
+        end = None
+        for fw in self.windows:
+            cov = fw.coverage_ns(k)
+            if cov is None:
+                continue
+            start = cov[0] if start is None else min(start, cov[0])
+            end = cov[1] if end is None else max(end, cov[1])
+        if start is None or end is None:
+            return None
+        return start, end
+
+
+class AnalysisProgram:
+    """Per-port control-plane logic: polling, snapshot store, queries."""
+
+    def __init__(
+        self,
+        config: PrintQueueConfig,
+        d_ns: Optional[float] = None,
+        max_snapshots: int = 4096,
+        fractional_cells: bool = False,
+        apply_coefficients: bool = True,
+        model_dp_read_cost: bool = True,
+    ) -> None:
+        self.config = config
+        self.coefficients = coefficients(config, d_ns)
+        self.tw_banks: BankedStructure[TimeWindowSet] = BankedStructure(
+            lambda: TimeWindowSet(config)
+        )
+        self.queue_monitor = QueueMonitor(config.qm_levels, config.qm_granularity)
+        self.tw_snapshots: List[TimeWindowSnapshot] = []
+        self.qm_snapshots: List[QueueMonitorSnapshot] = []
+        self.max_snapshots = max_snapshots
+        #: weight cells by fractional overlap with the query interval
+        #: instead of whole-cell inclusion (an ablation; default off, as
+        #: the paper includes whole cells).
+        self.fractional_cells = fractional_cells
+        #: divide deep-window counts by coefficient[i] (ablation hook).
+        self.apply_coefficients = apply_coefficients
+        #: model the PCIe read duration of on-demand reads (rejecting
+        #: triggers that arrive while the special registers are being
+        #: drained).  Accuracy harnesses disable this to score every
+        #: sampled victim; the rejection behaviour has its own micro-bench.
+        self.model_dp_read_cost = model_dp_read_cost
+        self._dp_lock_until_ns = 0
+        self._active_since_ns = 0
+        self.queries_executed = 0
+
+    # -- data-plane side -------------------------------------------------
+
+    def on_dequeue(self, flow, deq_timestamp_ns: int) -> None:
+        """Per-packet egress update of the active time-window bank."""
+        self.tw_banks.active.update(flow, deq_timestamp_ns)
+
+    # -- checkpointing (Section 6.2) --------------------------------------
+
+    def periodic_poll(self, now_ns: int) -> TimeWindowSnapshot:
+        """Flip banks and read the frozen copy; also snapshot the monitor."""
+        frozen = self.tw_banks.periodic_flip()
+        snapshot = TimeWindowSnapshot(
+            read_time_ns=now_ns,
+            windows=filter_windows(frozen.snapshot(), self.config),
+            source="periodic",
+            valid_from_ns=self._active_since_ns,
+        )
+        self._active_since_ns = now_ns
+        self._store(snapshot)
+        self.qm_snapshots.append(self.queue_monitor.snapshot(now_ns))
+        if len(self.qm_snapshots) > self.max_snapshots:
+            self.qm_snapshots.pop(0)
+        return snapshot
+
+    def qm_poll(self, now_ns: int) -> QueueMonitorSnapshot:
+        """Snapshot only the queue monitor (its own, finer cadence).
+
+        The queue-monitor query returns the snapshot closest to the query
+        point, so its useful resolution equals its polling cadence; the
+        stack is far smaller than a full time-window set, so the control
+        plane can afford to read it more often.
+        """
+        snapshot = self.queue_monitor.snapshot(now_ns)
+        self.qm_snapshots.append(snapshot)
+        if len(self.qm_snapshots) > self.max_snapshots:
+            self.qm_snapshots.pop(0)
+        return snapshot
+
+    def dp_read(self, now_ns: int) -> Optional[TimeWindowSnapshot]:
+        """Handle a data-plane-triggered read at ``now_ns``.
+
+        With the read-cost model enabled (hardware-faithful mode) this
+        freezes the active bank, diverts updates to the special bank, and
+        rejects triggers that arrive while a previous read is still
+        draining over PCIe.  With it disabled (the accuracy harness) the
+        read is an atomic, non-destructive copy of the active bank — the
+        content an isolated freeze would have captured at this instant,
+        without the bank churn that would otherwise couple closely spaced
+        evaluation victims to each other.
+        """
+        if not self.model_dp_read_cost:
+            snapshot = TimeWindowSnapshot(
+                read_time_ns=now_ns,
+                windows=filter_windows(self.tw_banks.active.snapshot(), self.config),
+                source="data-plane",
+                valid_from_ns=self._active_since_ns,
+            )
+            self.tw_banks.dp_freezes += 1
+            return snapshot
+        if now_ns < self._dp_lock_until_ns:
+            self.tw_banks.dp_rejections += 1
+            return None
+        frozen = self.tw_banks.dp_freeze()
+        if frozen is None:
+            return None
+        snapshot = TimeWindowSnapshot(
+            read_time_ns=now_ns,
+            windows=filter_windows(frozen.snapshot(), self.config),
+            source="data-plane",
+            valid_from_ns=self._active_since_ns,
+        )
+        self._active_since_ns = now_ns
+        self._store(snapshot)
+        self.qm_snapshots.append(self.queue_monitor.snapshot(now_ns))
+        read_ns = int(
+            self.config.T
+            * self.config.num_cells
+            / PCIE_REGISTER_READS_PER_SEC
+            * NS_PER_SEC
+        )
+        self._dp_lock_until_ns = now_ns + read_ns
+        self.tw_banks.dp_release()
+        return snapshot
+
+    def _store(self, snapshot: TimeWindowSnapshot) -> None:
+        self.tw_snapshots.append(snapshot)
+        if len(self.tw_snapshots) > self.max_snapshots:
+            self.tw_snapshots.pop(0)
+
+    # -- time-window queries (Section 6.3) ---------------------------------
+
+    def query_time_windows(
+        self,
+        interval: QueryInterval,
+        snapshots: Optional[Sequence[TimeWindowSnapshot]] = None,
+    ) -> FlowEstimate:
+        """Estimate per-flow packet counts dequeued during ``interval``.
+
+        The interval is split into disjoint pieces, each attributed to the
+        snapshot (and, within it, the single window) covering that piece.
+        """
+        self.queries_executed += 1
+        if snapshots is None:
+            snapshots = self.tw_snapshots
+        if not snapshots:
+            raise QueryError("no snapshots available; did the poller run?")
+        estimate = FlowEstimate()
+        remaining = [(interval.start_ns, interval.end_ns)]
+        # Newest snapshots first: recency bias means the newest covering
+        # snapshot has the least-compressed view of any time point.
+        for snapshot in sorted(
+            snapshots, key=lambda s: s.read_time_ns, reverse=True
+        ):
+            if not remaining:
+                break
+            remaining = self._accumulate_snapshot(
+                snapshot, remaining, estimate
+            )
+        return estimate
+
+    def query_snapshot(
+        self, snapshot: TimeWindowSnapshot, interval: QueryInterval
+    ) -> FlowEstimate:
+        """Query a single snapshot (used for data-plane-triggered queries)."""
+        self.queries_executed += 1
+        estimate = FlowEstimate()
+        self._accumulate_snapshot(
+            snapshot, [(interval.start_ns, interval.end_ns)], estimate
+        )
+        return estimate
+
+    def _accumulate_snapshot(
+        self,
+        snapshot: TimeWindowSnapshot,
+        pieces: List[Tuple[int, int]],
+        estimate: FlowEstimate,
+    ) -> List[Tuple[int, int]]:
+        """Add this snapshot's contribution; return the uncovered pieces."""
+        k = self.config.k
+        # Window 0 is newest; clamp each deeper window's coverage below the
+        # previous one so every time point belongs to exactly one window.
+        newer_start: Optional[int] = None
+        leftovers = list(pieces)
+        for fw in snapshot.windows:
+            cov = fw.coverage_ns(k)
+            if cov is None:
+                continue
+            cov_start, cov_end = cov
+            # The frozen bank only recorded packets while it was active.
+            cov_start = max(cov_start, snapshot.valid_from_ns)
+            if newer_start is not None:
+                cov_end = min(cov_end, newer_start)
+            newer_start = cov_start
+            if cov_end <= cov_start:
+                continue
+            coefficient = (
+                self.coefficients[fw.window_index]
+                if self.apply_coefficients
+                else 1.0
+            )
+            if coefficient <= 0:
+                continue
+            new_leftovers: List[Tuple[int, int]] = []
+            for piece_start, piece_end in leftovers:
+                lo = max(piece_start, cov_start)
+                hi = min(piece_end, cov_end)
+                if hi <= lo:
+                    new_leftovers.append((piece_start, piece_end))
+                    continue
+                self._accumulate_window(fw, lo, hi, coefficient, estimate)
+                if piece_start < lo:
+                    new_leftovers.append((piece_start, lo))
+                if hi < piece_end:
+                    new_leftovers.append((hi, piece_end))
+            leftovers = new_leftovers
+            if not leftovers:
+                break
+        return leftovers
+
+    def _accumulate_window(
+        self,
+        fw: FilteredWindow,
+        start_ns: int,
+        end_ns: int,
+        coefficient: float,
+        estimate: FlowEstimate,
+    ) -> None:
+        shift = fw.shift
+        span = 1 << shift
+        # Cells are sorted by TTS: bisect to the overlapping range instead
+        # of scanning all 2^k entries per query.  The cell holding
+        # ``start_ns`` is the first whose end exceeds the interval start.
+        lo_tts = start_ns >> shift  # first cell whose end > start
+        hi_tts = (end_ns - 1) >> shift  # last cell whose start < end
+        cells = fw.cells
+        lo = bisect.bisect_left(cells, lo_tts, key=lambda c: c[0]) if cells else 0
+        for tts, flow in cells[lo:]:
+            if tts > hi_tts:
+                break
+            if self.fractional_cells:
+                cell_start = tts << shift
+                overlap = min(cell_start + span, end_ns) - max(cell_start, start_ns)
+                weight = overlap / span
+            else:
+                weight = 1.0
+            estimate.add(flow, weight / coefficient)
+
+    # -- queue-monitor queries ----------------------------------------------
+
+    def query_queue_monitor(self, time_ns: int) -> QueueMonitorSnapshot:
+        """The snapshot closest in time to the query point."""
+        if not self.qm_snapshots:
+            raise QueryError("no queue-monitor snapshots available")
+        return min(self.qm_snapshots, key=lambda s: abs(s.time_ns - time_ns))
+
+    def original_culprits(self, time_ns: int) -> FlowEstimate:
+        """Per-flow original-culprit contributions at ``time_ns``."""
+        self.queries_executed += 1
+        snapshot = self.query_queue_monitor(time_ns)
+        estimate = FlowEstimate()
+        for flow, count in snapshot.flow_counts().items():
+            estimate.add(flow, count)
+        return estimate

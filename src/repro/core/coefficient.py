@@ -1,0 +1,81 @@
+"""Count-recovery coefficients (Theorems 1-3, Algorithm 2).
+
+Deeper windows observe only a fraction of the packets that traversed the
+preceding window; Theorem 2 shows the observed count is *proportional* to
+the true count, with a per-hop ratio
+
+    ratio = z * (1 - p^(2^alpha)) / (1 - p) / 2^alpha,   p = 1 - z^2,
+
+where ``z`` is the probability a cell stores a fresh packet each window
+period.  ``coefficient[i]`` is the cumulative product of the ratios from
+window 0 to window ``i``; estimates from window ``i`` are divided by it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import PrintQueueConfig
+
+
+def first_window_z(config: PrintQueueConfig, d_ns: Optional[float] = None) -> float:
+    """``z`` of Theorem 3 for window 0: ``2^m0 / d``, clamped to 1.
+
+    ``d`` defaults to the transmission delay of a minimum-sized packet at
+    line rate; pass the measured mean packet inter-departure time instead
+    when the workload's packets are larger than minimum-sized (the paper
+    evaluates under congestion, where the port forwards at line rate, so
+    the packet interval equals the mean packet transmission delay).
+
+    The clamp covers configurations where the cell period exceeds the
+    packet interval (e.g. m0=6 with true 64 B minimum packets at 10 Gbps):
+    window 0 then sees at most one packet per cell period anyway, so the
+    storage probability saturates at 1.
+    """
+    if d_ns is None:
+        d_ns = float(config.min_pkt_tx_delay_ns)
+    if d_ns <= 0:
+        raise ValueError(f"non-positive packet interval: {d_ns}")
+    return min(1.0, (1 << config.m0) / d_ns)
+
+
+def pass_ratio(z: float, alpha: int) -> float:
+    """Expected fraction of a window's fresh packets stored by the next.
+
+    ``z = 0`` (a window so sparse that no cell ever refills) passes
+    nothing; this arises naturally when the recursion underflows for very
+    sparse traffic and deep window sets.
+    """
+    if not 0 <= z <= 1:
+        raise ValueError(f"z must be in [0, 1], got {z}")
+    if z == 0.0:
+        return 0.0
+    p = 1.0 - z * z
+    fan_in = 1 << alpha
+    if p >= 1.0:
+        return 0.0
+    # (1 - p^{2^alpha}) / (1 - p), the geometric sum of Theorem 2.
+    geometric = (1.0 - p**fan_in) / (1.0 - p)
+    return z * geometric / fan_in
+
+
+def next_z(z: float, alpha: int) -> float:
+    """z of the subsequent window: ``1 - p^(2^alpha)`` (Theorem 2)."""
+    p = 1.0 - z * z
+    return 1.0 - p ** (1 << alpha)
+
+
+def coefficients(config: PrintQueueConfig, d_ns: Optional[float] = None) -> List[float]:
+    """Algorithm 2: ``coefficient[i]`` for every window.
+
+    ``coefficient[0]`` is 1 — the first window tracks packets precisely;
+    deeper coefficients shrink multiplicatively by the per-hop ratio.
+    """
+    z = first_window_z(config, d_ns)
+    coeff = [1.0]
+    acc = 1.0
+    for _ in range(1, config.T):
+        acc *= pass_ratio(z, config.alpha)
+        coeff.append(acc)
+        z = next_z(z, config.alpha)
+    return coeff

@@ -1,0 +1,150 @@
+"""PrintQueue configuration: the (m0, k, alpha, T) parameter family.
+
+The paper's evaluation uses, e.g., ``m0=6, alpha=2, k=12, T=4`` for the UW
+trace and ``m0=10, alpha=1, k=12, T=4`` for WS/DM (Section 7.1).  This
+module derives all the timing quantities of Section 4.1 from those four
+numbers:
+
+* cell period of window ``i``: ``2^(m0 + alpha*i)`` ns,
+* window period of window ``i``: ``2^(m0 + alpha*i + k)`` ns,
+* set period: ``sum_i window_period(i) = (2^(alpha*T)-1)/(2^alpha - 1) *
+  2^(m0+k)`` ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.units import DEFAULT_LINK_RATE_BPS, MIN_PACKET_BYTES, min_pkt_tx_delay_ns
+
+
+def round_up_ports(num_ports: int) -> int:
+    """``r(#ports)``: round the port count up to the next power of two."""
+    if num_ports <= 0:
+        raise ConfigError(f"non-positive port count: {num_ports}")
+    r = 1
+    while r < num_ports:
+        r *= 2
+    return r
+
+
+@dataclass(frozen=True)
+class PrintQueueConfig:
+    """Static configuration of one PrintQueue deployment.
+
+    Attributes
+    ----------
+    m0:
+        Window-0 cell-period exponent; ``2^m0`` ns should not exceed the
+        transmission delay of a minimum-sized packet (Theorem 3).
+    k:
+        Cells-per-window exponent (each window has ``2^k`` cells).
+    alpha:
+        Compression factor between successive windows.
+    T:
+        Number of time windows.
+    qm_levels:
+        Queue-monitor register length (max queue depth / granularity).
+    qm_granularity:
+        Depth units folded into one queue-monitor level.
+    min_packet_bytes:
+        Size used for ``d`` in Theorem 3 / Algorithm 2.
+    """
+
+    m0: int = 6
+    k: int = 12
+    alpha: int = 2
+    T: int = 4
+    link_rate_bps: int = DEFAULT_LINK_RATE_BPS
+    min_packet_bytes: int = MIN_PACKET_BYTES
+    qm_levels: int = 1 << 16
+    qm_granularity: int = 1
+    #: How often the control plane snapshots the queue monitor.  ``None``
+    #: divides the set period by 8: queue-monitor queries return "the
+    #: snapshot closest to the query time" (Section 6.3), so its useful
+    #: resolution is its polling cadence, and the stack is much cheaper to
+    #: read than a full time-window set.
+    qm_poll_period_ns: Optional[int] = None
+    num_ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.m0 < 0 or self.m0 > 24:
+            raise ConfigError(f"m0 out of range: {self.m0}")
+        if self.k < 1 or self.k > 20:
+            raise ConfigError(f"k out of range: {self.k}")
+        if self.alpha < 1 or self.alpha > 8:
+            raise ConfigError(f"alpha out of range: {self.alpha}")
+        if self.T < 1 or self.T > 16:
+            raise ConfigError(f"T out of range: {self.T}")
+        if self.link_rate_bps <= 0:
+            raise ConfigError("non-positive link rate")
+        if self.qm_levels < 1:
+            raise ConfigError("queue monitor needs at least one level")
+        if self.qm_granularity < 1:
+            raise ConfigError("non-positive queue monitor granularity")
+        if self.qm_poll_period_ns is not None and self.qm_poll_period_ns < 1:
+            raise ConfigError("non-positive queue monitor poll period")
+        if self.num_ports < 1:
+            raise ConfigError("need at least one port")
+
+    # -- derived quantities (Section 4.1) --------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        """Cells per time window, ``2^k``."""
+        return 1 << self.k
+
+    def shift(self, window: int) -> int:
+        """Total right-shift applied to a timestamp entering ``window``."""
+        self._check_window(window)
+        return self.m0 + self.alpha * window
+
+    def cell_period_ns(self, window: int) -> int:
+        """``2^(m0 + alpha*i)`` — the timespan one cell represents."""
+        return 1 << self.shift(window)
+
+    def window_period_ns(self, window: int) -> int:
+        """``2^(m0 + alpha*i + k)`` — the timespan one window represents."""
+        return 1 << (self.shift(window) + self.k)
+
+    @property
+    def set_period_ns(self) -> int:
+        """Total contiguous timespan covered by all ``T`` windows."""
+        return sum(self.window_period_ns(i) for i in range(self.T))
+
+    @property
+    def effective_qm_poll_period_ns(self) -> int:
+        """Resolved queue-monitor polling cadence."""
+        if self.qm_poll_period_ns is not None:
+            return self.qm_poll_period_ns
+        return max(1, self.set_period_ns // 8)
+
+    @property
+    def min_pkt_tx_delay_ns(self) -> int:
+        """``d`` of Theorem 3 at the configured link rate."""
+        return min_pkt_tx_delay_ns(self.link_rate_bps, self.min_packet_bytes)
+
+    @property
+    def rounded_ports(self) -> int:
+        """``r(#ports)`` of Section 6.1."""
+        return round_up_ports(self.num_ports)
+
+    def _check_window(self, window: int) -> None:
+        if not 0 <= window < self.T:
+            raise ConfigError(f"window index {window} out of [0, {self.T})")
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by benches)."""
+        return (
+            f"m0={self.m0} k={self.k} alpha={self.alpha} T={self.T} "
+            f"set_period={self.set_period_ns / 1e6:.3f}ms"
+        )
+
+
+#: The paper's UW-trace configuration (Section 7.1).
+UW_CONFIG = PrintQueueConfig(m0=6, k=12, alpha=2, T=4, min_packet_bytes=64)
+
+#: The paper's WS/DM-trace configuration (Section 7.1).
+WSDM_CONFIG = PrintQueueConfig(m0=10, k=12, alpha=1, T=4, min_packet_bytes=1500)

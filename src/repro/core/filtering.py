@@ -1,0 +1,106 @@
+"""Stale-cell filtering (Algorithm 3).
+
+Registers are never cleared in hardware, so a freshly read window mixes
+live cells with leftovers from older cycles.  The filter locates the
+latest cell of window 0 and then, per window, retains only the cells that
+lie within one window period of that window's own reference point:
+
+* cells at index ``<= Idx`` must carry the reference cycle ID,
+* cells at index ``> Idx`` must carry the reference cycle ID minus one
+  (written during the previous cycle but still within one window period).
+
+The reference TTS of window ``i+1`` is derived from window ``i``'s as
+``(TTS - 2^k) >> alpha`` — the most recently *passed* cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import PrintQueueConfig
+from repro.core.timewindow import EMPTY, TimeWindow
+from repro.switch.packet import FlowKey
+
+
+@dataclass
+class FilteredWindow:
+    """The live contents of one window after Algorithm 3.
+
+    Attributes
+    ----------
+    window_index:
+        Which of the T windows this is.
+    shift:
+        Right-shift from nanoseconds to this window's TTS domain
+        (``m0 + alpha * window_index``).
+    cells:
+        ``(tts, flow)`` for every retained cell.  A cell's absolute time
+        coverage is ``[tts << shift, (tts + 1) << shift)``.
+    reference_tts:
+        The TTS anchoring this window (latest cell for window 0, derived
+        for deeper windows).  None when the whole set was empty.
+    """
+
+    window_index: int
+    shift: int
+    #: retained cells sorted by TTS (so interval queries can bisect)
+    cells: List[Tuple[int, FlowKey]]
+    reference_tts: Optional[int]
+
+    def coverage_ns(self, k: int) -> Optional[Tuple[int, int]]:
+        """Absolute [start, end) time range this window can speak for."""
+        if self.reference_tts is None:
+            return None
+        end = (self.reference_tts + 1) << self.shift
+        start = end - ((1 << k) << self.shift)
+        return max(0, start), end
+
+
+def filter_windows(
+    windows: Sequence[TimeWindow],
+    config: PrintQueueConfig,
+) -> List[FilteredWindow]:
+    """Apply Algorithm 3 to a snapshot of all T windows."""
+    if len(windows) != config.T:
+        raise ValueError(f"expected {config.T} windows, got {len(windows)}")
+    k = config.k
+    mask = (1 << k) - 1
+
+    latest = windows[0].latest_cell()
+    if latest is None:
+        # Entire structure is empty; nothing survives.
+        return [
+            FilteredWindow(i, config.shift(i), [], None) for i in range(config.T)
+        ]
+
+    tts = latest.tts(k)
+    out: List[FilteredWindow] = []
+    for i in range(config.T):
+        window = windows[i]
+        ref_index = tts & mask
+        ref_cycle = tts >> k
+        cells: List[Tuple[int, FlowKey]] = []
+        cycle_ids = window.cycle_ids
+        flows = window.flows
+        # Collect the previous cycle's tail first so `cells` comes out
+        # sorted by TTS (older entries have strictly smaller TTS).
+        prev_cycle = ref_cycle - 1
+        if prev_cycle >= 0:
+            for j in range(ref_index + 1, 1 << k):
+                if cycle_ids[j] == prev_cycle:
+                    flow = flows[j]
+                    assert flow is not None
+                    cells.append(((prev_cycle << k) | j, flow))
+        for j in range(ref_index + 1):
+            if cycle_ids[j] == ref_cycle:
+                flow = flows[j]
+                assert flow is not None
+                cells.append(((ref_cycle << k) | j, flow))
+        out.append(FilteredWindow(i, config.shift(i), cells, tts))
+        # Reference for the next (older, more compressed) window: the most
+        # recently passed cell is one full window period back.
+        tts = (tts - (1 << k)) >> config.alpha
+        if tts < 0:
+            tts = 0
+    return out

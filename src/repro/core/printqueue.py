@@ -1,0 +1,286 @@
+"""Per-port and multi-port PrintQueue orchestration (Figure 3).
+
+:class:`PrintQueuePort` wires one port's data path to the analysis
+program: every enqueue feeds the queue monitor, every dequeue feeds the
+active time-window bank (and the monitor's drain side), periodic polls
+fire every set period, and data-plane trigger policies can initiate
+on-demand reads at the instant a victim dequeues.
+
+:class:`PrintQueue` manages per-port activation (the Section 6.1 flow
+table: packets to ports without PrintQueue enabled are ignored), rounds
+the port count to ``r(#ports)`` for register partitioning, and exposes
+aggregate SRAM accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.analysis import AnalysisProgram, TimeWindowSnapshot
+from repro.core.config import PrintQueueConfig
+from repro.core.multiqueue import ClassedQueueMonitor
+from repro.core.queries import FlowEstimate, QueryInterval
+from repro.core.queuemonitor import QueueMonitorSnapshot
+from repro.errors import ConfigError, QueryError
+from repro.switch.packet import Packet
+from repro.switch.port import EgressPort
+
+#: A data-plane trigger policy: given a just-dequeued packet, decide
+#: whether to initiate an on-demand read (Section 6.2's examples are a
+#: queuing-delay threshold, sampling a priority flow, or a probe flag).
+TriggerPolicy = Callable[[Packet], bool]
+
+
+def delay_threshold_trigger(min_delay_ns: int) -> TriggerPolicy:
+    """Trigger on packets with unusually high queuing delay."""
+
+    def policy(packet: Packet) -> bool:
+        return (packet.deq_timedelta or 0) >= min_delay_ns
+
+    return policy
+
+
+def depth_threshold_trigger(min_depth: int) -> TriggerPolicy:
+    """Trigger on packets that observed a deep queue at enqueue."""
+
+    def policy(packet: Packet) -> bool:
+        return (packet.enq_qdepth or 0) >= min_depth
+
+    return policy
+
+
+@dataclass
+class DataPlaneQueryResult:
+    """One completed on-demand query."""
+
+    trigger_time_ns: int
+    interval: QueryInterval
+    estimate: FlowEstimate
+    snapshot: TimeWindowSnapshot
+
+
+class PrintQueuePort:
+    """PrintQueue instance for a single egress port."""
+
+    def __init__(
+        self,
+        config: PrintQueueConfig,
+        d_ns: Optional[float] = None,
+        trigger: Optional[TriggerPolicy] = None,
+        model_dp_read_cost: bool = True,
+        units_of: Optional[Callable[[Packet], int]] = None,
+        num_classes: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.analysis = AnalysisProgram(
+            config, d_ns=d_ns, model_dp_read_cost=model_dp_read_cost
+        )
+        self.trigger = trigger
+        #: optional per-packet depth-unit accounting (e.g. buffer cells);
+        #: defaults to one unit per packet, matching EgressQueue's default.
+        self.units_of = units_of
+        #: per-class-of-service queue monitoring (Section 5: the monitor
+        #: "can track each priority or rank separately").  When set, the
+        #: packet's ``priority`` selects the class stack and enqueue-time
+        #: depths are interpreted per class queue.
+        self.classed_monitor: Optional[ClassedQueueMonitor] = None
+        self._classed_snapshots: List[Tuple[int, Dict[int, QueueMonitorSnapshot]]] = []
+        if num_classes is not None:
+            self.classed_monitor = ClassedQueueMonitor(
+                config.qm_levels, config.qm_granularity, max_classes=num_classes
+            )
+        self.dp_results: List[DataPlaneQueryResult] = []
+        self._next_poll_ns = config.set_period_ns
+        self._qm_period_ns = config.effective_qm_poll_period_ns
+        self._next_qm_poll_ns = self._qm_period_ns
+        self.packets_seen = 0
+
+    # -- data-path hooks (attach to an EgressPort) --------------------------
+
+    def on_enqueue(self, packet: Packet) -> None:
+        """Traffic-manager enqueue: feed the queue monitor's rise side.
+
+        ``enq_qdepth`` is the depth *before* the packet (Table-1
+        semantics); the level written is the depth it raised the queue to.
+        The per-packet unit count comes from the same accounting the queue
+        itself uses (1 unit per packet unless cell-based).
+        """
+        assert packet.enq_qdepth is not None
+        units = self.units_of(packet) if self.units_of is not None else 1
+        depth_after = packet.enq_qdepth + units
+        self.analysis.queue_monitor.on_enqueue(packet.flow, depth_after)
+        if self.classed_monitor is not None:
+            self.classed_monitor.on_enqueue(packet.priority, packet.flow, depth_after)
+
+    def on_dequeue(self, packet: Packet) -> None:
+        """Egress pipeline: time windows + monitor drain + trigger check."""
+        deq_ts = packet.deq_timestamp
+        self._poll_if_due(deq_ts)
+        self.analysis.on_dequeue(packet.flow, deq_ts)
+        if packet.deq_qdepth is not None:
+            self.analysis.queue_monitor.on_dequeue(packet.flow, packet.deq_qdepth)
+            if self.classed_monitor is not None:
+                self.classed_monitor.on_dequeue(
+                    packet.priority, packet.flow, packet.deq_qdepth
+                )
+        self.packets_seen += 1
+        if self.trigger is not None and self.trigger(packet):
+            self.data_plane_query(packet)
+
+    # -- event-stream interface (used by the offline fast-path driver) ------
+
+    def process_enqueue(self, flow, time_ns: int, depth_after: int) -> None:
+        """Offline-driver enqueue event (queue monitor rise side)."""
+        self._poll_if_due(time_ns)
+        self.analysis.queue_monitor.on_enqueue(flow, depth_after)
+
+    def process_dequeue(self, flow, deq_ts: int, depth_after: int) -> None:
+        """Offline-driver dequeue event (time windows + monitor drain)."""
+        self._poll_if_due(deq_ts)
+        self.analysis.on_dequeue(flow, deq_ts)
+        self.analysis.queue_monitor.on_dequeue(flow, depth_after)
+        self.packets_seen += 1
+
+    # -- polling -------------------------------------------------------------
+
+    def _poll_if_due(self, now_ns: int) -> None:
+        while now_ns >= self._next_qm_poll_ns:
+            # Skip the standalone read when a full poll lands at the same
+            # instant (the full poll snapshots the monitor itself).
+            if self._next_qm_poll_ns != self._next_poll_ns:
+                self.analysis.qm_poll(self._next_qm_poll_ns)
+            if self.classed_monitor is not None:
+                self._classed_snapshots.append(
+                    (
+                        self._next_qm_poll_ns,
+                        self.classed_monitor.snapshot(self._next_qm_poll_ns),
+                    )
+                )
+            self._next_qm_poll_ns += self._qm_period_ns
+        while now_ns >= self._next_poll_ns:
+            self.analysis.periodic_poll(self._next_poll_ns)
+            self._next_poll_ns += self.config.set_period_ns
+
+    def finish(self, now_ns: int) -> None:
+        """Final poll at end of run so no data is left unread."""
+        self._poll_if_due(now_ns)
+        self.analysis.periodic_poll(now_ns)
+
+    # -- queries -------------------------------------------------------------
+
+    def data_plane_query(self, packet: Packet) -> Optional[DataPlaneQueryResult]:
+        """On-demand read + query for a victim packet, at its dequeue."""
+        interval = QueryInterval.for_victim(packet.enq_timestamp, packet.deq_timestamp)
+        return self.data_plane_query_interval(packet.deq_timestamp, interval)
+
+    def data_plane_query_interval(
+        self, now_ns: int, interval: QueryInterval
+    ) -> Optional[DataPlaneQueryResult]:
+        """On-demand read at ``now_ns`` + query over ``interval``.
+
+        Returns None when the trigger is rejected (a previous read still
+        holds the special registers under the hardware cost model).
+        """
+        snapshot = self.analysis.dp_read(now_ns)
+        if snapshot is None:
+            return None
+        # The on-demand read captures the queue monitor alongside the time
+        # windows, so original-culprit queries can resolve this instant.
+        if self.analysis.model_dp_read_cost is False:
+            self.analysis.qm_poll(now_ns)
+        estimate = self.analysis.query_snapshot(snapshot, interval)
+        result = DataPlaneQueryResult(now_ns, interval, estimate, snapshot)
+        self.dp_results.append(result)
+        return result
+
+    def async_query(self, interval: QueryInterval) -> FlowEstimate:
+        """Asynchronous (control-plane) query over the periodic snapshots."""
+        periodic = [
+            s for s in self.analysis.tw_snapshots if s.source == "periodic"
+        ]
+        return self.analysis.query_time_windows(interval, snapshots=periodic)
+
+    def original_culprits(self, time_ns: int) -> FlowEstimate:
+        """Per-flow original-culprit contributions at ``time_ns``."""
+        return self.analysis.original_culprits(time_ns)
+
+    def original_culprits_by_class(
+        self, time_ns: int, classes: Optional[Iterable[int]] = None
+    ) -> FlowEstimate:
+        """Original culprits restricted to specific classes of service.
+
+        For a class-``c`` victim under strict priority the relevant
+        classes are ``range(c + 1)`` — only equal-or-higher-priority
+        traffic can have delayed it.
+        """
+        if self.classed_monitor is None:
+            raise QueryError("port was created without num_classes")
+        if not self._classed_snapshots:
+            raise QueryError("no classed queue-monitor snapshots yet")
+        _, snapshots = min(
+            self._classed_snapshots, key=lambda ts: abs(ts[0] - time_ns)
+        )
+        return self.classed_monitor.original_culprits(snapshots, classes)
+
+
+class PrintQueue:
+    """Multi-port deployment: the Section 6.1 port-configuration layer."""
+
+    def __init__(
+        self,
+        config: PrintQueueConfig,
+        port_ids: Iterable[int],
+        d_ns: Optional[float] = None,
+        trigger: Optional[TriggerPolicy] = None,
+    ) -> None:
+        ids = list(port_ids)
+        if not ids:
+            raise ConfigError("PrintQueue must be enabled on at least one port")
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate port ids: {ids}")
+        self.config = config
+        self.port_ids = ids
+        self.ports: Dict[int, PrintQueuePort] = {
+            pid: PrintQueuePort(config, d_ns=d_ns, trigger=trigger) for pid in ids
+        }
+        self.ignored_packets = 0
+
+    @property
+    def rounded_ports(self) -> int:
+        """``r(#ports)``: partitions allocated in each register array."""
+        r = 1
+        while r < len(self.port_ids):
+            r *= 2
+        return r
+
+    def port(self, port_id: int) -> PrintQueuePort:
+        """The per-port PrintQueue instance for ``port_id``."""
+        return self.ports[port_id]
+
+    def attach(self, switch_ports: Iterable[EgressPort]) -> None:
+        """Install hooks on the matching egress ports of a simulator.
+
+        Ports without PrintQueue enabled are left untouched — the ingress
+        flow table "matches the destination port and ... if no matching is
+        found, the packet is ignored".
+        """
+        for egress in switch_ports:
+            pq = self.ports.get(egress.port_id)
+            if pq is None:
+                continue
+            egress.add_enqueue_hook(pq.on_enqueue)
+            egress.add_egress_hook(pq.on_dequeue)
+
+    def on_packet_dequeued(self, packet: Packet) -> None:
+        """Routing shim for externally driven pipelines."""
+        pq = self.ports.get(packet.egress_spec if packet.egress_spec is not None else -1)
+        if pq is None:
+            self.ignored_packets += 1
+            return
+        pq.on_dequeue(packet)
+
+    def finish(self, now_ns: int) -> None:
+        """Final poll on every port so no register data is left unread."""
+        for pq in self.ports.values():
+            pq.finish(now_ns)

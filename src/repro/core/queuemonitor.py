@@ -1,0 +1,148 @@
+"""The queue monitor: a sparse stack of queue high-water marks (Section 5).
+
+A register array with one entry per queue-depth level (divided by the
+buffer allocation granularity).  Each entry has an upper half recording
+the last depth *increase* that landed on the level and a lower half
+recording the last *decrease*; both carry a monotonically increasing
+sequence number.  A stack-top register tracks the latest depth.
+
+Because entries under the top pointer may be stale (from an earlier,
+taller peak that has since drained), queries walk the array bottom-up and
+only accept increase entries whose sequence number exceeds every sequence
+number seen at lower levels — exactly the filtering step described at the
+end of Section 5.  The surviving entries are the *original culprits*: the
+packets whose arrivals raised the queue to each still-standing level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.switch.packet import FlowKey
+
+#: Sequence number of a never-written half-entry.
+_UNSET = -1
+
+
+@dataclass(frozen=True)
+class MonitorEntry:
+    """One surviving (valid) increase entry, as returned by a query."""
+
+    level: int
+    flow: FlowKey
+    seq: int
+
+
+@dataclass
+class QueueMonitorSnapshot:
+    """A frozen copy of the monitor taken by the control plane."""
+
+    time_ns: int
+    top: int
+    inc_seq: List[int]
+    inc_flow: List[Optional[FlowKey]]
+    dec_seq: List[int]
+
+    def walk(self) -> List[MonitorEntry]:
+        """Filter stale entries: the monotone bottom-up walk of Section 5."""
+        running = _UNSET
+        survivors: List[MonitorEntry] = []
+        for level in range(self.top + 1):
+            inc = self.inc_seq[level]
+            if inc > running and inc != _UNSET and level > 0:
+                flow = self.inc_flow[level]
+                assert flow is not None
+                survivors.append(MonitorEntry(level, flow, inc))
+            level_max = max(inc, self.dec_seq[level])
+            if level_max > running:
+                running = level_max
+        return survivors
+
+    def flow_counts(self) -> Dict[FlowKey, int]:
+        """Original-culprit contribution per flow (entries implicated)."""
+        counts: Dict[FlowKey, int] = {}
+        for entry in self.walk():
+            counts[entry.flow] = counts.get(entry.flow, 0) + 1
+        return counts
+
+
+class QueueMonitor:
+    """The data-plane sparse stack for one (port, class-of-service) queue.
+
+    Parameters
+    ----------
+    levels:
+        Register length = max queue depth / granularity.
+    granularity:
+        Depth units folded into one level (buffer allocation granularity).
+    """
+
+    __slots__ = (
+        "levels",
+        "granularity",
+        "_seq",
+        "top",
+        "inc_seq",
+        "inc_flow",
+        "dec_seq",
+        "dec_flow",
+        "overflows",
+    )
+
+    def __init__(self, levels: int, granularity: int = 1) -> None:
+        if levels < 1:
+            raise ValueError(f"need at least one level, got {levels}")
+        if granularity < 1:
+            raise ValueError(f"non-positive granularity: {granularity}")
+        self.levels = levels
+        self.granularity = granularity
+        self._seq = 0
+        self.top = 0
+        self.inc_seq: List[int] = [_UNSET] * levels
+        self.inc_flow: List[Optional[FlowKey]] = [None] * levels
+        self.dec_seq: List[int] = [_UNSET] * levels
+        self.dec_flow: List[Optional[FlowKey]] = [None] * levels
+        self.overflows = 0
+
+    def _level_of(self, depth_units: int) -> int:
+        level = depth_units // self.granularity
+        if level >= self.levels:
+            self.overflows += 1
+            level = self.levels - 1
+        return max(0, level)
+
+    def on_enqueue(self, flow: FlowKey, depth_after_units: int) -> None:
+        """A packet raised the queue depth to ``depth_after_units``."""
+        self._seq += 1
+        level = self._level_of(depth_after_units)
+        self.inc_seq[level] = self._seq
+        self.inc_flow[level] = flow
+        self.top = level
+
+    def on_dequeue(self, flow: FlowKey, depth_after_units: int) -> None:
+        """A packet left, lowering the queue depth to ``depth_after_units``."""
+        self._seq += 1
+        level = self._level_of(depth_after_units)
+        self.dec_seq[level] = self._seq
+        self.dec_flow[level] = flow
+        self.top = level
+
+    def snapshot(self, time_ns: int) -> QueueMonitorSnapshot:
+        """Atomically copy the register state (a frozen control-plane read)."""
+        return QueueMonitorSnapshot(
+            time_ns=time_ns,
+            top=self.top,
+            inc_seq=list(self.inc_seq),
+            inc_flow=list(self.inc_flow),
+            dec_seq=list(self.dec_seq),
+        )
+
+    def reset(self) -> None:
+        self._seq = 0
+        self.top = 0
+        self.inc_seq = [_UNSET] * self.levels
+        self.inc_flow = [None] * self.levels
+        self.dec_seq = [_UNSET] * self.levels
+        self.dec_flow = [None] * self.levels
+        self.overflows = 0

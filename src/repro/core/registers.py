@@ -1,0 +1,98 @@
+"""Register banks and the Figure-8 flipping discipline.
+
+The register index on the switch decomposes as::
+
+    [1 bit data-plane-query][1 bit periodic][q bits port][k bits cell]
+
+Flipping the second-highest bit alternates the bank that periodic updates
+write to, so the control plane can read a frozen copy while the data plane
+keeps recording.  Flipping the highest bit diverts updates to a *special*
+bank during an on-demand (data-plane-triggered) read; the structure locks
+until that read completes, and concurrent data-plane triggers are ignored.
+
+:class:`BankedStructure` captures this discipline generically for any
+structure exposing no internal time dependence (our
+:class:`~repro.core.windowset.TimeWindowSet` qualifies: stale content is
+removed by the Algorithm-3 filter rather than by clearing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, TypeVar
+
+from repro.errors import RegisterError
+
+S = TypeVar("S")
+
+
+class BankedStructure(Generic[S]):
+    """Three banks of a data-plane structure with Figure-8 semantics.
+
+    Banks 0 and 1 alternate for periodic polling; bank 2 joins the
+    rotation whenever a data-plane query freezes the current bank.  At any
+    instant exactly one bank is *active* (receiving updates), and at most
+    one bank is *locked* for an in-progress on-demand read.
+    """
+
+    def __init__(self, factory: Callable[[], S]) -> None:
+        self.banks: List[S] = [factory(), factory(), factory()]
+        self._active = 0
+        self._locked: Optional[int] = None
+        self.periodic_flips = 0
+        self.dp_freezes = 0
+        self.dp_rejections = 0
+
+    @property
+    def active(self) -> S:
+        """The bank currently receiving data-plane updates."""
+        return self.banks[self._active]
+
+    @property
+    def active_index(self) -> int:
+        return self._active
+
+    @property
+    def locked_index(self) -> Optional[int]:
+        return self._locked
+
+    def _free_banks(self) -> List[int]:
+        return [i for i in range(3) if i != self._active and i != self._locked]
+
+    def periodic_flip(self) -> S:
+        """Freeze the active bank for a periodic read; activate another.
+
+        Returns the frozen bank.  While a data-plane read holds a lock,
+        periodic updates "flip between the two unused sets" (Section 6.2)
+        — which is exactly what choosing from :meth:`_free_banks` does.
+        """
+        frozen_index = self._active
+        candidates = [i for i in self._free_banks()]
+        if not candidates:
+            raise RegisterError("no free bank to flip to")
+        self._active = candidates[0]
+        self.periodic_flips += 1
+        return self.banks[frozen_index]
+
+    def dp_freeze(self) -> Optional[S]:
+        """Freeze the active bank for an on-demand read; lock it.
+
+        Returns None (and counts a rejection) if another on-demand read is
+        already in progress — "concurrent reads will be temporarily
+        ignored" (Section 6.2).
+        """
+        if self._locked is not None:
+            self.dp_rejections += 1
+            return None
+        frozen_index = self._active
+        self._locked = frozen_index
+        candidates = self._free_banks()
+        assert candidates, "three banks always leave one free"
+        self._active = candidates[0]
+        self.dp_freezes += 1
+        return self.banks[frozen_index]
+
+    def dp_release(self) -> None:
+        """The control plane finished reading the special registers."""
+        if self._locked is None:
+            raise RegisterError("no data-plane read in progress")
+        self._locked = None

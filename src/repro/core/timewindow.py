@@ -1,0 +1,121 @@
+"""A single time window: a ring-buffer register array of 2^k cells.
+
+Each cell stores at most one packet record — its cycle ID and flow
+identity (the paper's cells hold the flow ID; we carry the
+:class:`~repro.switch.packet.FlowKey` object, which is the simulation
+equivalent of the 5-tuple bits, and account its width in the SRAM model).
+
+The mapping rule (Section 4.2): the ``k`` least-significant bits of the
+window's trimmed timestamp (TTS) select the cell; the remaining high bits
+are the cycle ID that disambiguates ring-buffer wrap-arounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.switch.packet import FlowKey
+
+#: Sentinel cycle ID for a never-written cell.
+EMPTY = -1
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """An occupied cell, as read out of a window."""
+
+    index: int
+    cycle_id: int
+    flow: FlowKey
+
+    def tts(self, k: int) -> int:
+        """Reconstruct the trimmed timestamp this cell was written with."""
+        return (self.cycle_id << k) | self.index
+
+
+class TimeWindow:
+    """One register array of ``2^k`` single-packet cells."""
+
+    __slots__ = ("k", "mask", "cycle_ids", "flows")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.mask = (1 << k) - 1
+        self.cycle_ids: List[int] = [EMPTY] * (1 << k)
+        self.flows: List[Optional[FlowKey]] = [None] * (1 << k)
+
+    def __len__(self) -> int:
+        return 1 << self.k
+
+    def reset(self) -> None:
+        """Clear all cells (used by tests; hardware relies on filtering)."""
+        n = len(self)
+        self.cycle_ids = [EMPTY] * n
+        self.flows = [None] * n
+
+    def occupancy(self) -> int:
+        """Number of occupied cells."""
+        return sum(1 for c in self.cycle_ids if c != EMPTY)
+
+    def insert(self, tts: int, flow: FlowKey) -> "tuple[int, int, Optional[FlowKey]]":
+        """Write a record; return ``(index, evicted_cycle_id, evicted_flow)``.
+
+        The caller (the window set) applies the passing rule to the evicted
+        record.  ``evicted_cycle_id`` is :data:`EMPTY` for a fresh cell.
+        """
+        index = tts & self.mask
+        cycle_id = tts >> self.k
+        old_cycle = self.cycle_ids[index]
+        old_flow = self.flows[index]
+        self.cycle_ids[index] = cycle_id
+        self.flows[index] = flow
+        return index, old_cycle, old_flow
+
+    def cell(self, index: int) -> Optional[CellRecord]:
+        """Read one cell, or None if it has never been written."""
+        cycle_id = self.cycle_ids[index]
+        if cycle_id == EMPTY:
+            return None
+        flow = self.flows[index]
+        assert flow is not None
+        return CellRecord(index, cycle_id, flow)
+
+    def records(self) -> List[CellRecord]:
+        """All occupied cells in index order."""
+        out = []
+        for index, cycle_id in enumerate(self.cycle_ids):
+            if cycle_id != EMPTY:
+                flow = self.flows[index]
+                assert flow is not None
+                out.append(CellRecord(index, cycle_id, flow))
+        return out
+
+    def latest_cell(self) -> Optional[CellRecord]:
+        """The most recently written cell — max (cycle_id, index).
+
+        This is the ``LatestCell()`` of Algorithm 3: since cycle IDs grow
+        monotonically with time and, within a cycle, higher indices are
+        written later, the lexicographic maximum identifies the newest
+        record.
+        """
+        best_index = -1
+        best_cycle = EMPTY
+        for index, cycle_id in enumerate(self.cycle_ids):
+            if cycle_id > best_cycle or (cycle_id == best_cycle and cycle_id != EMPTY):
+                best_cycle = cycle_id
+                best_index = index
+        if best_index < 0:
+            return None
+        return self.cell(best_index)
+
+    def snapshot(self) -> "TimeWindow":
+        """An independent copy (what a frozen register read returns)."""
+        copy = TimeWindow.__new__(TimeWindow)
+        copy.k = self.k
+        copy.mask = self.mask
+        copy.cycle_ids = list(self.cycle_ids)
+        copy.flows = list(self.flows)
+        return copy

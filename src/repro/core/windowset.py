@@ -1,0 +1,78 @@
+"""The set of T time windows and the per-packet procedure (Algorithm 1).
+
+Every dequeued packet enters window 0 at the cell selected by its trimmed
+dequeue timestamp.  On a collision the newer record always wins; the
+evicted record is *passed* to the next window only if the incoming cycle
+ID exceeds the evicted one by exactly one (the passing rule), otherwise it
+is dropped.  Passing recurses through all T windows, shifting the TTS by
+``alpha`` bits per hop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import PrintQueueConfig
+from repro.core.timewindow import EMPTY, TimeWindow
+from repro.switch.packet import FlowKey
+
+
+class TimeWindowSet:
+    """T time windows plus the Algorithm-1 update procedure."""
+
+    __slots__ = ("config", "windows", "updates", "passes", "drops")
+
+    def __init__(self, config: PrintQueueConfig) -> None:
+        self.config = config
+        self.windows: List[TimeWindow] = [TimeWindow(config.k) for _ in range(config.T)]
+        # Instrumentation counters (used by tests and ablation benches).
+        self.updates = 0
+        self.passes = 0
+        self.drops = 0
+
+    def update(self, flow: FlowKey, deq_timestamp_ns: int) -> int:
+        """Algorithm 1: insert one dequeued packet.
+
+        Returns the number of windows written (1 = stored in window 0 with
+        no onward pass).
+        """
+        cfg = self.config
+        k = cfg.k
+        alpha = cfg.alpha
+        self.updates += 1
+        tts = deq_timestamp_ns >> cfg.m0
+        depth = 0
+        for i in range(cfg.T):
+            window = self.windows[i]
+            index = tts & window.mask
+            new_cycle = tts >> k
+            old_cycle = window.cycle_ids[index]
+            old_flow = window.flows[index]
+            window.cycle_ids[index] = new_cycle
+            window.flows[index] = flow
+            depth += 1
+            if old_cycle != EMPTY and new_cycle - old_cycle == 1:
+                # Pass the evicted record onward: reconstruct its TTS at
+                # this window's granularity and compress by alpha bits.
+                assert old_flow is not None
+                flow = old_flow
+                tts = ((old_cycle << k) | index) >> alpha
+                self.passes += 1
+            else:
+                if old_cycle != EMPTY:
+                    self.drops += 1
+                break
+        return depth
+
+    def snapshot(self) -> List[TimeWindow]:
+        """Frozen copies of all windows (a full register read)."""
+        return [w.snapshot() for w in self.windows]
+
+    def reset(self) -> None:
+        """Clear every window (tests only; hardware relies on filtering)."""
+        for window in self.windows:
+            window.reset()
+
+    def occupancy(self) -> List[int]:
+        """Occupied-cell count per window (diagnostics)."""
+        return [w.occupancy() for w in self.windows]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the PrintQueue reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """A structurally invalid configuration (bad k/alpha/T, port counts...)."""
+
+
+class SimulationError(ReproError):
+    """The switch simulator was driven into an inconsistent state."""
+
+
+class QueryError(ReproError):
+    """A diagnosis query could not be executed (bad interval, no snapshot)."""
+
+
+class RegisterError(ReproError):
+    """Invalid register access (bank locked, out-of-range index...)."""
+
+
+class DecodeError(ReproError):
+    """A baseline structure (e.g. FlowRadar) failed to decode its state."""

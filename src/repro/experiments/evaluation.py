@@ -1,0 +1,80 @@
+"""Scoring of PrintQueue and baseline queries against the oracle.
+
+For each sampled victim, the direct-culprit ground truth is the per-flow
+count of packets dequeued during the victim's queuing interval
+(Section 7.1's methodology: "queries for indirect culprits are
+identical", so direct queries are what all the accuracy figures score).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.interval import FixedIntervalEstimator
+from repro.core.printqueue import DataPlaneQueryResult, PrintQueuePort
+from repro.core.queries import FlowEstimate, QueryInterval
+from repro.core.taxonomy import CulpritTaxonomy
+from repro.metrics.accuracy import AccuracyScore, precision_recall
+from repro.switch.telemetry import DequeueRecord
+
+
+def victim_interval(record: DequeueRecord) -> QueryInterval:
+    """The direct-culprit query interval of a victim record."""
+    return QueryInterval.for_victim(record.enq_timestamp, record.deq_timestamp)
+
+
+def ground_truth_direct(
+    taxonomy: CulpritTaxonomy, record: DequeueRecord
+) -> FlowEstimate:
+    """Oracle per-flow counts of the victim's direct culprits."""
+    return taxonomy.direct(record)
+
+
+def evaluate_async_queries(
+    pq: PrintQueuePort,
+    taxonomy: CulpritTaxonomy,
+    records: Sequence[DequeueRecord],
+    victim_indices: Sequence[int],
+) -> List[AccuracyScore]:
+    """Score asynchronous (periodic-snapshot) queries for the victims."""
+    scores = []
+    for index in victim_indices:
+        record = records[index]
+        estimate = pq.async_query(victim_interval(record))
+        truth = ground_truth_direct(taxonomy, record)
+        scores.append(precision_recall(estimate, truth))
+    return scores
+
+
+def evaluate_dataplane_queries(
+    dp_results: Dict[int, DataPlaneQueryResult],
+    taxonomy: CulpritTaxonomy,
+    records: Sequence[DequeueRecord],
+    victim_indices: Optional[Sequence[int]] = None,
+) -> List[AccuracyScore]:
+    """Score the completed on-demand queries for the chosen victims."""
+    indices = victim_indices if victim_indices is not None else sorted(dp_results)
+    scores = []
+    for index in indices:
+        result = dp_results.get(index)
+        if result is None:
+            continue  # trigger was rejected (read lock); skip, as on HW
+        truth = ground_truth_direct(taxonomy, records[index])
+        scores.append(precision_recall(result.estimate, truth))
+    return scores
+
+
+def evaluate_baseline(
+    estimator: FixedIntervalEstimator,
+    taxonomy: CulpritTaxonomy,
+    records: Sequence[DequeueRecord],
+    victim_indices: Sequence[int],
+) -> List[AccuracyScore]:
+    """Score a fixed-interval baseline's prorated estimates."""
+    scores = []
+    for index in victim_indices:
+        record = records[index]
+        estimate = estimator.query(victim_interval(record))
+        truth = ground_truth_direct(taxonomy, record)
+        scores.append(precision_recall(estimate, truth))
+    return scores

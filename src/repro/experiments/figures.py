@@ -1,0 +1,85 @@
+"""Terminal renderers for the paper's figure shapes.
+
+Pure-text plotting used by the examples and benches: a time-series
+renderer for the Figure-16a queue-depth timeline and a CDF renderer for
+Figure 10.  Kept dependency-free so benches stay runnable anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def timeline(
+    times: Sequence[int],
+    values: Sequence[int],
+    buckets: int = 60,
+    height: int = 12,
+    unit_divisor: float = 1e6,
+    unit_label: str = "ms",
+) -> str:
+    """Render max-per-bucket values of a time series as an ASCII area plot."""
+    if len(times) != len(values):
+        raise ValueError("times and values must have equal length")
+    if not times:
+        return "(no data)"
+    if buckets < 1 or height < 1:
+        raise ValueError("buckets and height must be positive")
+    t0, t1 = times[0], times[-1]
+    span = max(1, t1 - t0)
+    maxima = [0] * buckets
+    for t, v in zip(times, values):
+        bucket = min(buckets - 1, (t - t0) * buckets // span)
+        if v > maxima[bucket]:
+            maxima[bucket] = v
+    peak = max(max(maxima), 1)
+    rows: List[str] = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        rows.append(
+            f"{threshold:>8.0f} |"
+            + "".join("#" if m >= threshold else " " for m in maxima)
+        )
+    rows.append(" " * 9 + "+" + "-" * buckets)
+    left = f"{t0 / unit_divisor:.1f} {unit_label}"
+    right = f"{t1 / unit_divisor:.1f} {unit_label}"
+    rows.append(" " * 10 + left + " " * max(1, buckets - len(left) - len(right)) + right)
+    return "\n".join(rows)
+
+
+def cdf(
+    series: Sequence[Tuple[str, Iterable[float]]],
+    width: int = 50,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """Render one CDF line per (label, values) pair over [lo, hi]."""
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    lines = []
+    for label, values in series:
+        data = sorted(values)
+        if not data:
+            lines.append(f"{label:>12}: (empty)")
+            continue
+        cells = []
+        for i in range(width):
+            x = lo + (hi - lo) * (i + 1) / width
+            frac = sum(1 for v in data if v <= x) / len(data)
+            cells.append(" .:-=+*#%@"[min(9, int(frac * 9.999))])
+        lines.append(f"{label:>12}: |{''.join(cells)}|")
+    lines.append(
+        f"{'':>12}   {lo:<8g}{'':^{max(0, width - 16)}}{hi:>8g}"
+    )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline (eight-level blocks) of a series."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo or 1.0
+    return "".join(blocks[min(7, int((v - lo) / span * 7.999))] for v in values)

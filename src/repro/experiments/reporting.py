@@ -1,0 +1,115 @@
+"""Structured experiment results: collect, persist, and render.
+
+Benches print human-readable tables, but EXPERIMENTS.md and regression
+tracking want machine-readable artifacts too.  :class:`ResultStore`
+accumulates named tables (rows of plain values) and writes them to a
+single JSON file; :func:`render_markdown` turns a store back into the
+paper-vs-measured tables used in the documentation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+
+@dataclass
+class ResultTable:
+    """One named table of results (an experiment artifact)."""
+
+    name: str
+    header: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.header):
+            raise ValueError(
+                f"row width {len(values)} != header width {len(self.header)}"
+            )
+        self.rows.append(list(values))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "header": self.header,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ResultTable":
+        table = ResultTable(
+            name=data["name"], header=list(data["header"]), notes=data.get("notes", "")
+        )
+        table.rows = [list(r) for r in data["rows"]]
+        return table
+
+
+class ResultStore:
+    """A collection of result tables, persisted as one JSON document."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, ResultTable] = {}
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str, header: Sequence[str], notes: str = "") -> ResultTable:
+        """Get-or-create a table; header must match on reuse."""
+        existing = self._tables.get(name)
+        if existing is not None:
+            if existing.header != list(header):
+                raise ValueError(f"table {name!r} exists with a different header")
+            return existing
+        table = ResultTable(name=name, header=list(header), notes=notes)
+        self._tables[name] = table
+        return table
+
+    def get(self, name: str) -> Optional[ResultTable]:
+        return self._tables.get(name)
+
+    def tables(self) -> List[ResultTable]:
+        return [self._tables[k] for k in sorted(self._tables)]
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {"version": 1, "tables": [t.to_dict() for t in self.tables()]}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "ResultStore":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported results version: {payload.get('version')}")
+        store = ResultStore()
+        for data in payload["tables"]:
+            table = ResultTable.from_dict(data)
+            store._tables[table.name] = table
+        return store
+
+    def merge(self, other: "ResultStore") -> None:
+        """Absorb another store's tables (other wins on name clashes)."""
+        for table in other.tables():
+            self._tables[table.name] = table
+
+
+def render_markdown(store: ResultStore) -> str:
+    """Render every table as GitHub-flavoured markdown."""
+    chunks: List[str] = []
+    for table in store.tables():
+        chunks.append(f"### {table.name}\n")
+        if table.notes:
+            chunks.append(table.notes + "\n")
+        chunks.append("| " + " | ".join(str(h) for h in table.header) + " |")
+        chunks.append("|" + "---|" * len(table.header))
+        for row in table.rows:
+            chunks.append("| " + " | ".join(str(c) for c in row) + " |")
+        chunks.append("")
+    return "\n".join(chunks)

@@ -1,0 +1,183 @@
+"""Workload → FIFO → PrintQueue/baselines experiment runner.
+
+The main harness path is offline and fast: a trace's arrivals go through
+the vectorised FIFO fast path; the resulting dequeue records (sorted by
+time) are replayed as a merged enqueue/dequeue event stream into
+PrintQueue's per-port pipeline, with periodic polls at every set-period
+boundary and optional data-plane triggers at chosen victims' dequeues.
+The event-driven :class:`~repro.switch.switchsim.Switch` path stays
+available for non-FIFO schedulers and is validated against this one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.interval import FixedIntervalEstimator
+from repro.core.config import PrintQueueConfig
+from repro.core.printqueue import DataPlaneQueryResult, PrintQueuePort
+from repro.core.queries import QueryInterval
+from repro.core.taxonomy import CulpritTaxonomy
+from repro.switch.fastpath import fifo_timestamps
+from repro.switch.packet import FlowKey
+from repro.switch.telemetry import DequeueRecord
+from repro.traffic.distributions import distribution_by_name
+from repro.traffic.generator import PoissonWorkload, WorkloadConfig
+from repro.traffic.trace import Trace
+from repro.units import DEFAULT_LINK_RATE_BPS
+
+
+@dataclass
+class ExperimentRun:
+    """Everything one experiment needs: records, oracle, and PrintQueue."""
+
+    trace: Trace
+    records: List[DequeueRecord]
+    pq: PrintQueuePort
+    taxonomy: CulpritTaxonomy
+    drops: int = 0
+    dp_results: Dict[int, DataPlaneQueryResult] = field(default_factory=dict)
+
+    @property
+    def mean_packet_interval_ns(self) -> float:
+        """Mean inter-departure time during the run (for coefficient z)."""
+        if len(self.records) < 2:
+            return float("inf")
+        span = self.records[-1].deq_timestamp - self.records[0].deq_timestamp
+        return span / (len(self.records) - 1)
+
+
+def run_trace_through_fifo(
+    trace: Trace,
+    rate_bps: int = DEFAULT_LINK_RATE_BPS,
+    capacity_pkts: Optional[int] = None,
+) -> Tuple[List[DequeueRecord], int]:
+    """Vectorised FIFO pass; returns dequeue records in dequeue order."""
+    result = fifo_timestamps(trace.arrival_ns, trace.size_bytes, rate_bps, capacity_pkts)
+    flows = trace.flows
+    flow_index = trace.flow_index[result.kept]
+    sizes = trace.size_bytes[result.kept]
+    records = [
+        DequeueRecord(
+            flow=flows[int(flow_index[i])],
+            size_bytes=int(sizes[i]),
+            enq_timestamp=int(result.enq_timestamp[i]),
+            deq_timestamp=int(result.deq_timestamp[i]),
+            enq_qdepth=int(result.enq_qdepth[i]),
+        )
+        for i in range(len(result.kept))
+    ]
+    return records, result.drops
+
+
+def drive_printqueue(
+    records: Sequence[DequeueRecord],
+    pq: PrintQueuePort,
+    dp_trigger_indices: Optional[Set[int]] = None,
+    baselines: Optional[Iterable[FixedIntervalEstimator]] = None,
+) -> Dict[int, DataPlaneQueryResult]:
+    """Replay a dequeue log as a merged enqueue/dequeue event stream.
+
+    ``dp_trigger_indices`` marks record positions (in dequeue order) at
+    whose dequeue instant an on-demand read+query fires, emulating a
+    data-plane trigger for exactly those victims.  Baseline estimators,
+    if given, are fed every dequeue too.
+    """
+    triggers = dp_trigger_indices or set()
+    dp_results: Dict[int, DataPlaneQueryResult] = {}
+    baseline_list = list(baselines or [])
+
+    # Merged event iteration: enqueues ordered by enq_timestamp (arrival
+    # order for a FIFO) and dequeues by deq_timestamp; enqueue wins ties.
+    n = len(records)
+    enq_order = sorted(range(n), key=lambda i: records[i].enq_timestamp)
+    deq_order = range(n)  # records are already in dequeue order
+    e = 0
+    d = 0
+    depth = 0
+    while e < n or d < n:
+        take_enq = False
+        if e < n and d < n:
+            take_enq = (
+                records[enq_order[e]].enq_timestamp <= records[d].deq_timestamp
+            )
+        elif e < n:
+            take_enq = True
+        if take_enq:
+            record = records[enq_order[e]]
+            depth += 1
+            pq.process_enqueue(record.flow, record.enq_timestamp, depth)
+            e += 1
+        else:
+            record = records[d]
+            depth -= 1
+            pq.process_dequeue(record.flow, record.deq_timestamp, depth)
+            for baseline in baseline_list:
+                baseline.update(record.flow, record.deq_timestamp)
+            if d in triggers:
+                interval = QueryInterval.for_victim(
+                    record.enq_timestamp, record.deq_timestamp
+                )
+                result = pq.data_plane_query_interval(record.deq_timestamp, interval)
+                if result is not None:
+                    dp_results[d] = result
+            d += 1
+    if records:
+        end_ns = records[-1].deq_timestamp + 1
+        pq.finish(end_ns)
+        for baseline in baseline_list:
+            baseline.finish()
+    return dp_results
+
+
+def simulate_workload(
+    workload: str,
+    duration_ns: int,
+    load: float = 1.1,
+    config: Optional[PrintQueueConfig] = None,
+    seed: int = 1,
+    rate_bps: int = DEFAULT_LINK_RATE_BPS,
+    dp_trigger_indices: Optional[Set[int]] = None,
+    baselines: Optional[Iterable[FixedIntervalEstimator]] = None,
+    trace: Optional[Trace] = None,
+) -> ExperimentRun:
+    """End-to-end run: generate (or take) a trace, queue it, measure it.
+
+    ``workload`` is one of ``ws`` / ``dm`` / ``uw`` (ignored when a
+    ``trace`` is passed).  The PrintQueue coefficient ``z`` is derived
+    from the measured mean packet interval, matching the paper's
+    line-rate-forwarding assumption during congestion.
+    """
+    if trace is None:
+        distribution = distribution_by_name(workload)
+        wl_config = WorkloadConfig(
+            load=load, link_rate_bps=rate_bps, duration_ns=duration_ns
+        )
+        trace = PoissonWorkload(distribution, wl_config, seed=seed).generate()
+    records, drops = run_trace_through_fifo(trace, rate_bps)
+
+    cfg = config or PrintQueueConfig()
+    # Use the measured inter-departure time as d for the coefficients.
+    if len(records) >= 2:
+        span = records[-1].deq_timestamp - records[0].deq_timestamp
+        d_ns = span / (len(records) - 1)
+    else:
+        d_ns = float(cfg.min_pkt_tx_delay_ns)
+    # Instant on-demand reads: every sampled victim gets a DQ result.  The
+    # realistic read-cost model (trigger rejection under PCIe pressure) is
+    # exercised by the query-throughput micro-benchmark instead.
+    pq = PrintQueuePort(cfg, d_ns=d_ns, model_dp_read_cost=False)
+    dp_results = drive_printqueue(records, pq, dp_trigger_indices, baselines)
+    taxonomy = CulpritTaxonomy(records)
+    return ExperimentRun(
+        trace=trace,
+        records=records,
+        pq=pq,
+        taxonomy=taxonomy,
+        drops=drops,
+        dp_results=dp_results,
+    )

@@ -1,0 +1,58 @@
+"""Victim sampling by queue depth band.
+
+Figure 9 classifies queries into six groups by the queuing the victim
+encountered: 1k-2k, 2k-5k, 5k-10k, 10k-15k, 15k-20k, and above 20k.  This
+module reproduces that bucketing and samples victims uniformly at random
+from each band (the paper samples 100 per band).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.switch.telemetry import DequeueRecord
+
+#: Figure-9 queue-depth bands as (lower inclusive, upper exclusive).
+DEPTH_BANDS: Tuple[Tuple[int, Optional[int]], ...] = (
+    (1_000, 2_000),
+    (2_000, 5_000),
+    (5_000, 10_000),
+    (10_000, 15_000),
+    (15_000, 20_000),
+    (20_000, None),
+)
+
+
+def band_label(band: Tuple[int, Optional[int]]) -> str:
+    """Human-readable label of a depth band, e.g. "1-2k" or ">20k"."""
+    lo, hi = band
+    if hi is None:
+        return f">{lo // 1000}k"
+    return f"{lo // 1000}-{hi // 1000}k"
+
+
+def sample_victims_by_band(
+    records: Sequence[DequeueRecord],
+    per_band: int = 100,
+    bands: Sequence[Tuple[int, Optional[int]]] = DEPTH_BANDS,
+    seed: int = 42,
+) -> Dict[Tuple[int, Optional[int]], List[int]]:
+    """Sample up to ``per_band`` victim indices per depth band.
+
+    Returns record *indices* (positions in dequeue order), which is what
+    both the taxonomy oracle and the data-plane trigger replay need.
+    """
+    rng = random.Random(seed)
+    buckets: Dict[Tuple[int, Optional[int]], List[int]] = {b: [] for b in bands}
+    for index, record in enumerate(records):
+        depth = record.enq_qdepth
+        for band in bands:
+            lo, hi = band
+            if depth >= lo and (hi is None or depth < hi):
+                buckets[band].append(index)
+                break
+    return {
+        band: sorted(rng.sample(indices, min(per_band, len(indices))))
+        for band, indices in buckets.items()
+    }

@@ -1,0 +1,126 @@
+"""Generic parameter-sweep harness over PrintQueue configurations.
+
+The evaluation repeatedly measures accuracy across a grid of
+``(alpha, k, T, ...)`` configurations on a fixed workload (Figures 11,
+13, 15).  :class:`ConfigSweep` factors that pattern out: define the
+grid, get one :class:`SweepPoint` per configuration with the accuracy
+summary, overhead numbers, and advisor verdict attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.advisor import Advice, advise
+from repro.core.config import PrintQueueConfig
+from repro.experiments.evaluation import evaluate_async_queries
+from repro.experiments.runner import ExperimentRun, simulate_workload
+from repro.experiments.sampling import sample_victims_by_band
+from repro.metrics.accuracy import summarize_scores
+from repro.metrics.overhead import printqueue_storage_mbps, sram_utilization
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's measured results."""
+
+    label: str
+    config: PrintQueueConfig
+    accuracy: Dict[str, float]
+    storage_mbps: float
+    sram_fraction: float
+    advice: List[Advice] = field(default_factory=list)
+
+    @property
+    def mean_precision(self) -> float:
+        return self.accuracy["mean_precision"]
+
+    @property
+    def mean_recall(self) -> float:
+        return self.accuracy["mean_recall"]
+
+
+class ConfigSweep:
+    """Run one workload once per configuration and score sampled victims.
+
+    Parameters
+    ----------
+    workload:
+        ``ws`` / ``dm`` / ``uw``.
+    base_config:
+        The configuration each grid entry is derived from via
+        ``dataclasses.replace``.
+    duration_ns / load / seed:
+        Trace parameters (identical across the grid so accuracy
+        differences are attributable to the configuration).
+    victims_per_band:
+        Victim sample size per Figure-9 depth band.
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        base_config: PrintQueueConfig,
+        duration_ns: int,
+        load: float = 1.15,
+        seed: int = 42,
+        victims_per_band: int = 20,
+    ) -> None:
+        self.workload = workload
+        self.base_config = base_config
+        self.duration_ns = duration_ns
+        self.load = load
+        self.seed = seed
+        self.victims_per_band = victims_per_band
+        self._runs: Dict[PrintQueueConfig, ExperimentRun] = {}
+
+    def _run_for(self, config: PrintQueueConfig) -> ExperimentRun:
+        if config not in self._runs:
+            self._runs[config] = simulate_workload(
+                self.workload,
+                duration_ns=self.duration_ns,
+                load=self.load,
+                config=config,
+                seed=self.seed,
+            )
+        return self._runs[config]
+
+    def point(self, label: str, **overrides) -> SweepPoint:
+        """Measure one grid entry (config = base + overrides)."""
+        config = replace(self.base_config, **overrides) if overrides else self.base_config
+        run = self._run_for(config)
+        victims = sample_victims_by_band(
+            run.records, per_band=self.victims_per_band
+        )
+        indices = sorted({i for idxs in victims.values() for i in idxs})
+        scores = evaluate_async_queries(run.pq, run.taxonomy, run.records, indices)
+        return SweepPoint(
+            label=label,
+            config=config,
+            accuracy=summarize_scores(scores),
+            storage_mbps=printqueue_storage_mbps(config),
+            sram_fraction=sram_utilization(config),
+            advice=advise(config, packet_interval_ns=run.mean_packet_interval_ns),
+        )
+
+    def grid(self, entries: Sequence[Tuple[str, Dict]]) -> List[SweepPoint]:
+        """Measure a list of ``(label, overrides)`` entries."""
+        return [self.point(label, **overrides) for label, overrides in entries]
+
+
+def pareto_front(points: Iterable[SweepPoint]) -> List[SweepPoint]:
+    """Configurations not dominated on (storage ASC, recall DESC).
+
+    A point dominates another if it needs no more storage *and* achieves
+    at least the recall (strictly better in one).  Returns the front
+    sorted by storage.
+    """
+    pts = sorted(points, key=lambda p: (p.storage_mbps, -p.mean_recall))
+    front: List[SweepPoint] = []
+    best_recall = -1.0
+    for p in pts:
+        if p.mean_recall > best_recall:
+            front.append(p)
+            best_recall = p.mean_recall
+    return front

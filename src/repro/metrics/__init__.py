@@ -1,0 +1,29 @@
+"""Evaluation metrics: accuracy scoring and hardware-overhead models."""
+
+from repro.metrics.accuracy import (
+    AccuracyScore,
+    precision_recall,
+    summarize_scores,
+    topk_precision_recall,
+)
+from repro.metrics.overhead import (
+    linear_storage_mbps,
+    pcie_limit_mbps,
+    printqueue_storage_mbps,
+    queue_monitor_sram_bytes,
+    sram_utilization,
+    time_windows_sram_bytes,
+)
+
+__all__ = [
+    "AccuracyScore",
+    "precision_recall",
+    "topk_precision_recall",
+    "summarize_scores",
+    "time_windows_sram_bytes",
+    "queue_monitor_sram_bytes",
+    "sram_utilization",
+    "printqueue_storage_mbps",
+    "linear_storage_mbps",
+    "pcie_limit_mbps",
+]

@@ -1,0 +1,126 @@
+"""Precision / recall scoring, as defined in Section 7.1.
+
+For every flow in the query period, the *true positives* are
+``min(estimate, ground_truth)`` — the packets PrintQueue correctly
+attributes.  Precision is their sum over the cumulative estimate; recall
+is their sum over the cumulative ground truth.  Both equal 1 exactly when
+the estimate matches the ground truth flow-for-flow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.queries import FlowEstimate
+from repro.switch.packet import FlowKey
+
+
+@dataclass(frozen=True)
+class AccuracyScore:
+    """A single query's (precision, recall) pair."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def _as_mapping(obj) -> Mapping[FlowKey, float]:
+    if isinstance(obj, FlowEstimate):
+        return obj.as_dict()
+    return obj
+
+
+def precision_recall(estimate, truth) -> AccuracyScore:
+    """Packet-count-weighted precision/recall (the paper's metric).
+
+    Conventions for degenerate cases: an empty truth with an empty
+    estimate scores (1, 1); an empty truth with a non-empty estimate
+    scores (0, 1); the reverse scores (1, 0).
+    """
+    est = _as_mapping(estimate)
+    tru = _as_mapping(truth)
+    est_total = sum(est.values())
+    tru_total = sum(tru.values())
+    tp = 0.0
+    for flow, est_count in est.items():
+        true_count = tru.get(flow, 0.0)
+        if true_count:
+            tp += min(est_count, true_count)
+    precision = tp / est_total if est_total > 0 else 1.0
+    recall = tp / tru_total if tru_total > 0 else 1.0
+    return AccuracyScore(precision, recall)
+
+
+def topk_precision_recall(estimate, truth, k: int) -> AccuracyScore:
+    """Accuracy restricted to the heaviest flows (Figure 12's metric).
+
+    Precision is evaluated over the top-k flows *by estimate* (does what
+    PrintQueue reports hold up?); recall over the top-k flows *by ground
+    truth* (does PrintQueue find the flows that matter?).
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    est = _as_mapping(estimate)
+    tru = _as_mapping(truth)
+    top_est = dict(
+        sorted(est.items(), key=lambda kv: -kv[1])[:k]
+    )
+    top_tru = dict(
+        sorted(tru.items(), key=lambda kv: -kv[1])[:k]
+    )
+    est_total = sum(top_est.values())
+    tru_total = sum(top_tru.values())
+    tp_precision = sum(
+        min(count, tru.get(flow, 0.0)) for flow, count in top_est.items()
+    )
+    tp_recall = sum(
+        min(est.get(flow, 0.0), count) for flow, count in top_tru.items()
+    )
+    precision = tp_precision / est_total if est_total > 0 else 1.0
+    recall = tp_recall / tru_total if tru_total > 0 else 1.0
+    return AccuracyScore(precision, recall)
+
+
+def summarize_scores(scores: Sequence[AccuracyScore]) -> Dict[str, float]:
+    """Mean and median precision/recall over a batch of queries."""
+    if not scores:
+        return {
+            "mean_precision": math.nan,
+            "mean_recall": math.nan,
+            "median_precision": math.nan,
+            "median_recall": math.nan,
+            "count": 0,
+        }
+    precisions = sorted(s.precision for s in scores)
+    recalls = sorted(s.recall for s in scores)
+
+    def median(values: List[float]) -> float:
+        n = len(values)
+        mid = n // 2
+        if n % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2
+
+    return {
+        "mean_precision": sum(precisions) / len(precisions),
+        "mean_recall": sum(recalls) / len(recalls),
+        "median_precision": median(precisions),
+        "median_recall": median(recalls),
+        "count": len(scores),
+    }
+
+
+def cdf_points(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for CDF plots (Figure 10)."""
+    data = sorted(values)
+    n = len(data)
+    if n == 0:
+        return []
+    return [(value, (i + 1) / n) for i, value in enumerate(data)]

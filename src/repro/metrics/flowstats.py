@@ -1,0 +1,111 @@
+"""Per-flow statistics over a dequeue log.
+
+Operators acting on PrintQueue's culprit reports usually want flow-level
+context next: how big is the culprit flow, what rate was it pushing, how
+long has it been active, is it an elephant or one of many mice.  This
+module derives those statistics from the ground-truth records (or any
+iterable of per-packet observations) so examples and analyses can rank
+and describe flows consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.switch.packet import FlowKey
+from repro.switch.telemetry import DequeueRecord
+
+
+@dataclass
+class FlowStats:
+    """Aggregated behaviour of one flow at the measured port."""
+
+    flow: FlowKey
+    packets: int
+    bytes: int
+    first_enq_ns: int
+    last_deq_ns: int
+    max_queuing_ns: int
+    sum_queuing_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return max(1, self.last_deq_ns - self.first_enq_ns)
+
+    @property
+    def rate_bps(self) -> float:
+        return self.bytes * 8 / (self.duration_ns / 1e9)
+
+    @property
+    def mean_queuing_ns(self) -> float:
+        return self.sum_queuing_ns / max(1, self.packets)
+
+    @property
+    def mean_packet_bytes(self) -> float:
+        return self.bytes / max(1, self.packets)
+
+
+def collect_flow_stats(records: Iterable[DequeueRecord]) -> Dict[FlowKey, FlowStats]:
+    """Fold a dequeue log into per-flow statistics."""
+    stats: Dict[FlowKey, FlowStats] = {}
+    for r in records:
+        s = stats.get(r.flow)
+        if s is None:
+            stats[r.flow] = FlowStats(
+                flow=r.flow,
+                packets=1,
+                bytes=r.size_bytes,
+                first_enq_ns=r.enq_timestamp,
+                last_deq_ns=r.deq_timestamp,
+                max_queuing_ns=r.queuing_delay,
+                sum_queuing_ns=r.queuing_delay,
+            )
+            continue
+        s.packets += 1
+        s.bytes += r.size_bytes
+        s.first_enq_ns = min(s.first_enq_ns, r.enq_timestamp)
+        s.last_deq_ns = max(s.last_deq_ns, r.deq_timestamp)
+        s.max_queuing_ns = max(s.max_queuing_ns, r.queuing_delay)
+        s.sum_queuing_ns += r.queuing_delay
+    return stats
+
+
+def rank_by_packets(
+    stats: Dict[FlowKey, FlowStats], top: Optional[int] = None
+) -> List[FlowStats]:
+    """Flows by descending packet count."""
+    ranked = sorted(stats.values(), key=lambda s: (-s.packets, str(s.flow)))
+    return ranked if top is None else ranked[:top]
+
+
+def elephant_mice_split(
+    stats: Dict[FlowKey, FlowStats], byte_fraction: float = 0.8
+) -> Tuple[List[FlowStats], List[FlowStats]]:
+    """Smallest flow set carrying ``byte_fraction`` of bytes vs the rest.
+
+    The classic elephant definition: the few flows that together carry
+    most of the traffic.
+    """
+    if not 0 < byte_fraction < 1:
+        raise ValueError(f"fraction must be in (0,1), got {byte_fraction}")
+    ranked = sorted(stats.values(), key=lambda s: -s.bytes)
+    total = sum(s.bytes for s in ranked)
+    elephants: List[FlowStats] = []
+    acc = 0
+    for s in ranked:
+        if total and acc >= byte_fraction * total:
+            break
+        elephants.append(s)
+        acc += s.bytes
+    mice = ranked[len(elephants):]
+    return elephants, mice
+
+
+def flow_completion_times(
+    stats: Dict[FlowKey, FlowStats]
+) -> List[Tuple[FlowKey, int]]:
+    """(flow, FCT) pairs — port-local completion times, ascending."""
+    out = [(s.flow, s.duration_ns) for s in stats.values()]
+    out.sort(key=lambda kv: kv[1])
+    return out

@@ -1,0 +1,120 @@
+"""Hardware-overhead models: SRAM footprints and control-plane bandwidth.
+
+These analytic models back the overhead figures (Fig. 13-15).  The paper
+reports *relative* numbers (utilization percentages, linear:exponential
+ratios, a data-exchange-limit line), so the shapes reproduce as long as
+one consistent set of budget constants is used; the constants live in
+:mod:`repro.units` and are documented there.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import PrintQueueConfig
+from repro.units import (
+    PCIE_BYTES_PER_ENTRY,
+    PCIE_REGISTER_READS_PER_SEC,
+    TOFINO_PIPE_SRAM_BYTES,
+)
+
+#: Bytes per time-window cell: a 64-bit flow identity plus a 32-bit cycle
+#: ID, padded to the register-word granularity.
+TW_CELL_BYTES = 16
+
+#: Bytes per queue-monitor level: upper (increase) and lower (decrease)
+#: halves, each a 64-bit flow identity plus a 32-bit sequence number.
+QM_LEVEL_BYTES = 32
+
+#: Register banks kept per structure (active / standby / special, Fig. 8).
+NUM_BANKS = 3
+
+
+def time_windows_sram_bytes(
+    config: PrintQueueConfig,
+    num_ports: Optional[int] = None,
+    banks: int = NUM_BANKS,
+) -> int:
+    """SRAM for the time-window arrays across all banks and partitions."""
+    ports = config.rounded_ports if num_ports is None else _round_up(num_ports)
+    return config.T * config.num_cells * TW_CELL_BYTES * ports * banks
+
+
+def queue_monitor_sram_bytes(
+    config: PrintQueueConfig, num_ports: Optional[int] = None
+) -> int:
+    """SRAM for the queue-monitor stack (single-banked; read atomically)."""
+    ports = config.rounded_ports if num_ports is None else _round_up(num_ports)
+    return config.qm_levels * QM_LEVEL_BYTES * ports
+
+
+def sram_utilization(
+    config: PrintQueueConfig,
+    num_ports: Optional[int] = None,
+    include_queue_monitor: bool = False,
+    budget_bytes: int = TOFINO_PIPE_SRAM_BYTES,
+) -> float:
+    """Fraction of the pipeline SRAM budget consumed (Fig. 14b / 15)."""
+    total = time_windows_sram_bytes(config, num_ports)
+    if include_queue_monitor:
+        total += queue_monitor_sram_bytes(config, num_ports)
+    return total / budget_bytes
+
+
+def printqueue_storage_mbps(config: PrintQueueConfig) -> float:
+    """Control-plane storage bandwidth: one full register set per set period.
+
+    Entries read per set period = T * 2^k (time windows); expressed in
+    MB/s of PCIe + storage traffic (Fig. 13's y-axis, Fig. 14a's
+    denominator).
+    """
+    entries = config.T * config.num_cells
+    bytes_per_set = entries * PCIE_BYTES_PER_ENTRY
+    sets_per_sec = 1e9 / config.set_period_ns
+    return bytes_per_set * sets_per_sec / 1e6
+
+
+def linear_storage_mbps(
+    packets_per_sec: float, record_bytes: int = PCIE_BYTES_PER_ENTRY
+) -> float:
+    """Per-packet linear storage cost (NetSight / BurstRadar style).
+
+    Those systems export a fixed-size record for every packet (or every
+    packet in a congested period); at the paper's UW rate of ~9.1 Mpps
+    this is hundreds of MB/s.
+    """
+    if packets_per_sec < 0:
+        raise ValueError("negative packet rate")
+    return packets_per_sec * record_bytes / 1e6
+
+
+def linear_to_exponential_ratio(
+    config: PrintQueueConfig, packets_per_sec: float
+) -> float:
+    """Fig. 14a's y-axis: linear storage cost over PrintQueue's."""
+    pq = printqueue_storage_mbps(config)
+    if pq <= 0:
+        raise ValueError("PrintQueue storage rate must be positive")
+    return linear_storage_mbps(packets_per_sec) / pq
+
+
+def pcie_limit_mbps() -> float:
+    """The data-exchange-limit line of Fig. 13.
+
+    The control plane can sustain at most
+    ``PCIE_REGISTER_READS_PER_SEC`` entry reads per second; above the
+    equivalent MB/s, register sets age out before they are fully read.
+    """
+    return PCIE_REGISTER_READS_PER_SEC * PCIE_BYTES_PER_ENTRY / 1e6
+
+
+def config_is_feasible(config: PrintQueueConfig) -> bool:
+    """Whether periodic polling can keep up with the set period."""
+    return printqueue_storage_mbps(config) <= pcie_limit_mbps()
+
+
+def _round_up(num_ports: int) -> int:
+    r = 1
+    while r < num_ports:
+        r *= 2
+    return r

@@ -1,0 +1,69 @@
+"""A small deterministic event queue for the switch simulator.
+
+Events at equal timestamps are delivered in insertion order (a stable
+tie-break via a monotonically increasing sequence number), which keeps the
+simulator fully deterministic for a given input trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Tuple
+
+EventCallback = Callable[[], None]
+
+
+class EventQueue:
+    """A time-ordered queue of zero-argument callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, EventCallback]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time_ns: int, callback: EventCallback) -> None:
+        """Schedule ``callback`` to run at ``time_ns``."""
+        if time_ns < 0:
+            raise ValueError(f"negative event time: {time_ns}")
+        heapq.heappush(self._heap, (time_ns, self._counter, callback))
+        self._counter += 1
+
+    def peek_time(self) -> int:
+        """Timestamp of the next event; raises IndexError if empty."""
+        return self._heap[0][0]
+
+    def pop(self) -> Tuple[int, EventCallback]:
+        """Remove and return ``(time_ns, callback)`` of the next event."""
+        time_ns, _seq, callback = heapq.heappop(self._heap)
+        return time_ns, callback
+
+    def run_until(self, end_ns: int) -> int:
+        """Run all events with time <= ``end_ns``; return the last time run.
+
+        New events scheduled by callbacks are honoured as long as they fall
+        within the horizon.
+        """
+        last = 0
+        while self._heap and self._heap[0][0] <= end_ns:
+            time_ns, callback = self.pop()
+            last = time_ns
+            callback()
+        return last
+
+    def run_all(self, max_events: int = 100_000_000) -> int:
+        """Drain the queue entirely; return the time of the last event.
+
+        ``max_events`` guards against runaway self-rescheduling callbacks.
+        """
+        last = 0
+        executed = 0
+        while self._heap:
+            time_ns, callback = self.pop()
+            last = time_ns
+            callback()
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError("event budget exhausted; runaway simulation?")
+        return last

@@ -1,0 +1,125 @@
+"""Vectorised FIFO fast path.
+
+The benchmark harness needs to push millions of packets through a single
+FIFO bottleneck per configuration.  For that common case the queueing
+recurrence
+
+    start[i] = max(arrival[i], finish[i-1]);  finish[i] = start[i] + tx[i]
+
+is computed in one pass over numpy arrays, producing exactly the same
+timestamps (integer ns) and enqueue-time depths as the event-driven
+:class:`~repro.switch.switchsim.Switch` with a FIFO scheduler — a property
+the test suite checks record-for-record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.units import PS_PER_NS
+
+
+@dataclass
+class FifoResult:
+    """Arrays describing one FIFO pass; all times are integer nanoseconds.
+
+    ``kept`` maps positions in the output arrays back to indices in the
+    input arrival arrays (tail-dropped packets are removed).  Outputs are
+    ordered by arrival which, for a FIFO, equals dequeue order.
+    """
+
+    enq_timestamp: np.ndarray  # int64 ns
+    deq_timestamp: np.ndarray  # int64 ns
+    enq_qdepth: np.ndarray  # int64, depth in packets at enqueue (excl. self)
+    kept: np.ndarray  # int64 indices into the input arrays
+    drops: int
+
+
+def fifo_timestamps(
+    arrival_ns: np.ndarray,
+    size_bytes: np.ndarray,
+    rate_bps: int,
+    capacity_pkts: Optional[int] = None,
+) -> FifoResult:
+    """Run a FIFO bottleneck over sorted arrivals.
+
+    Parameters
+    ----------
+    arrival_ns:
+        Integer arrival times, must be non-decreasing.
+    size_bytes:
+        Packet sizes, same length.
+    rate_bps:
+        Drain rate of the port.
+    capacity_pkts:
+        Optional tail-drop capacity in packets.
+
+    Notes
+    -----
+    Depth accounting is in packets (the default of ``EgressQueue``).  The
+    transmitter is work-conserving with exact picosecond accounting: a
+    packet's transmission *starts* at its dequeue timestamp, and the wire
+    is busy for ``size * 8 / rate`` after that, exactly as
+    ``EgressPort._transmit`` behaves.
+    """
+    arrival_ns = np.asarray(arrival_ns, dtype=np.int64)
+    size_bytes = np.asarray(size_bytes, dtype=np.int64)
+    if arrival_ns.shape != size_bytes.shape:
+        raise ValueError("arrival and size arrays must have the same shape")
+    if arrival_ns.ndim != 1:
+        raise ValueError("expected 1-D arrays")
+    if len(arrival_ns) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return FifoResult(empty, empty.copy(), empty.copy(), empty.copy(), 0)
+    if np.any(np.diff(arrival_ns) < 0):
+        raise ValueError("arrival times must be non-decreasing")
+    if rate_bps <= 0:
+        raise ValueError(f"non-positive rate: {rate_bps}")
+
+    tx_ps = (size_bytes * (8 * PS_PER_NS * 1_000_000_000)) // rate_bps
+
+    n = len(arrival_ns)
+    deq = np.empty(n, dtype=np.int64)
+    qdepth = np.empty(n, dtype=np.int64)
+    kept = np.empty(n, dtype=np.int64)
+
+    arr = arrival_ns.tolist()
+    tx = tx_ps.tolist()
+    wire_free_ps = 0
+    out = 0
+    drops = 0
+    # deq_times of packets still "in the queue" relative to the scanning
+    # arrival pointer: maintained implicitly via a moving head index.
+    deq_list = deq  # alias for speed
+    head = 0  # first output index whose deq_timestamp may still be pending
+    for i in range(n):
+        now = arr[i]
+        # Depth at this arrival = packets already enqueued but not dequeued.
+        # Strict <: the event-driven Switch processes an arrival before a
+        # dequeue carrying the same timestamp, so a packet dequeuing at
+        # exactly `now` still counts towards this arrival's depth.
+        while head < out and deq_list[head] < now:
+            head += 1
+        depth = out - head
+        if capacity_pkts is not None and depth + 1 > capacity_pkts:
+            drops += 1
+            continue
+        start_ps = max(now * PS_PER_NS, wire_free_ps)
+        start_ns = -(-start_ps // PS_PER_NS)  # ceil, matching EgressPort
+        deq_list[out] = start_ns
+        qdepth[out] = depth
+        kept[out] = i
+        wire_free_ps = start_ns * PS_PER_NS + tx[i]
+        out += 1
+
+    kept = kept[:out]
+    return FifoResult(
+        enq_timestamp=arrival_ns[kept],
+        deq_timestamp=deq[:out].copy(),
+        enq_qdepth=qdepth[:out].copy(),
+        kept=kept,
+        drops=drops,
+    )

@@ -1,0 +1,105 @@
+"""An egress port: scheduler + line-rate transmitter.
+
+The port drains its scheduler at the configured line rate using exact
+picosecond accounting.  Each dequeue stamps the packet's queueing metadata
+and hands it to an optional egress-pipeline hook — this hook is where
+PrintQueue's time windows and queue monitor live, mirroring the egress
+pipeline placement of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.switch.events import EventQueue
+from repro.switch.packet import Packet
+from repro.switch.queue import EgressQueue
+from repro.switch.scheduler import FifoScheduler, Scheduler
+from repro.units import PS_PER_NS, tx_delay_ps
+
+EgressHook = Callable[[Packet], None]
+EnqueueHook = Callable[[Packet], None]
+
+
+class EgressPort:
+    """A single output port with line-rate drain and pipeline hooks."""
+
+    def __init__(
+        self,
+        port_id: int,
+        rate_bps: int,
+        scheduler: Optional[Scheduler] = None,
+        queue: Optional[EgressQueue] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"non-positive rate: {rate_bps}")
+        if scheduler is not None and queue is not None:
+            raise ValueError("pass either a scheduler or a queue, not both")
+        self.port_id = port_id
+        self.rate_bps = rate_bps
+        if scheduler is None:
+            # Explicit None checks: an empty EgressQueue is falsy (len 0),
+            # so `queue or EgressQueue()` would silently drop it.
+            scheduler = FifoScheduler(EgressQueue() if queue is None else queue)
+        self.scheduler = scheduler
+        self.egress_hooks: List[EgressHook] = []
+        self.enqueue_hooks: List[EnqueueHook] = []
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        # Exact transmitter state: next instant (ps) the wire is free.
+        self._wire_free_ps = 0
+        self._busy = False
+
+    # -- configuration -------------------------------------------------
+
+    def add_egress_hook(self, hook: EgressHook) -> None:
+        """Run ``hook(packet)`` on every dequeued packet (egress pipeline)."""
+        self.egress_hooks.append(hook)
+
+    def add_enqueue_hook(self, hook: EnqueueHook) -> None:
+        """Run ``hook(packet)`` right after every successful enqueue."""
+        self.enqueue_hooks.append(hook)
+
+    # -- data path -------------------------------------------------------
+
+    def receive(self, packet: Packet, now_ns: int, events: EventQueue) -> bool:
+        """Enqueue a packet arriving from the ingress pipeline.
+
+        Returns False if the packet was tail-dropped.
+        """
+        packet.egress_spec = self.port_id
+        queue = self.scheduler.queue_for(packet)
+        if not queue.enqueue(packet, now_ns):
+            return False
+        for hook in self.enqueue_hooks:
+            hook(packet)
+        if not self._busy:
+            self._busy = True
+            self._schedule_next(now_ns, events)
+        return True
+
+    def _schedule_next(self, now_ns: int, events: EventQueue) -> None:
+        start_ps = max(now_ns * PS_PER_NS, self._wire_free_ps)
+        start_ns = -(-start_ps // PS_PER_NS)  # ceil to the ns clock tick
+        events.schedule(start_ns, lambda: self._transmit(start_ns, events))
+
+    def _transmit(self, now_ns: int, events: EventQueue) -> None:
+        queue = self.scheduler.select()
+        if queue is None:
+            self._busy = False
+            return
+        packet = queue.dequeue(now_ns)
+        if packet.egress_spec != self.port_id:
+            raise SimulationError("packet drained from the wrong port")
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+        self._wire_free_ps = now_ns * PS_PER_NS + tx_delay_ps(
+            packet.size_bytes, self.rate_bps
+        )
+        for hook in self.egress_hooks:
+            hook(packet)
+        if self.scheduler.empty:
+            self._busy = False
+        else:
+            self._schedule_next(now_ns, events)

@@ -1,0 +1,129 @@
+"""Egress queue with depth accounting.
+
+The queue tracks its depth in *units* — by default one unit per packet,
+optionally one unit per ``cell_bytes`` of buffered data (Tofino counts
+80-byte cells).  ``enq_qdepth`` metadata and the queue monitor both consume
+this unit, so the whole pipeline is consistent whichever granularity is
+chosen.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.switch.packet import Packet
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """A (time, depth) sample of the queue occupancy."""
+
+    time_ns: int
+    depth: int
+
+
+class EgressQueue:
+    """A single FIFO queue with unit-based depth accounting and a drop tail.
+
+    Parameters
+    ----------
+    capacity_units:
+        Maximum depth in units before tail drop.  ``None`` = unbounded.
+    cell_bytes:
+        If set, depth is measured in ceil(size/cell_bytes) buffer cells;
+        otherwise depth is measured in packets.
+    """
+
+    def __init__(
+        self,
+        capacity_units: Optional[int] = None,
+        cell_bytes: Optional[int] = None,
+        record_samples: bool = False,
+    ) -> None:
+        if capacity_units is not None and capacity_units <= 0:
+            raise ValueError(f"non-positive capacity: {capacity_units}")
+        if cell_bytes is not None and cell_bytes <= 0:
+            raise ValueError(f"non-positive cell size: {cell_bytes}")
+        self.capacity_units = capacity_units
+        self.cell_bytes = cell_bytes
+        self._packets: Deque[Packet] = deque()
+        self._depth_units = 0
+        self._bytes = 0
+        self.drops = 0
+        self.max_depth_seen = 0
+        self._samples: Optional[List[QueueSample]] = [] if record_samples else None
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def depth_units(self) -> int:
+        """Current depth in accounting units (packets or cells)."""
+        return self._depth_units
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def samples(self) -> List[QueueSample]:
+        if self._samples is None:
+            raise SimulationError("queue was created with record_samples=False")
+        return self._samples
+
+    def units_of(self, packet: Packet) -> int:
+        """Depth units consumed by one packet."""
+        if self.cell_bytes is None:
+            return 1
+        return -(-packet.size_bytes // self.cell_bytes)
+
+    def enqueue(self, packet: Packet, now_ns: int) -> bool:
+        """Try to enqueue; returns False (and counts a drop) on tail drop.
+
+        On success the packet's ``enq_timestamp`` and ``enq_qdepth`` are
+        stamped; ``enq_qdepth`` is the depth *before* this packet joins,
+        matching the Tofino metadata semantics.
+        """
+        units = self.units_of(packet)
+        if (
+            self.capacity_units is not None
+            and self._depth_units + units > self.capacity_units
+        ):
+            self.drops += 1
+            packet.dropped = True
+            return False
+        packet.enq_timestamp = now_ns
+        packet.enq_qdepth = self._depth_units
+        self._packets.append(packet)
+        self._depth_units += units
+        self._bytes += packet.size_bytes
+        if self._depth_units > self.max_depth_seen:
+            self.max_depth_seen = self._depth_units
+        if self._samples is not None:
+            self._samples.append(QueueSample(now_ns, self._depth_units))
+        return True
+
+    def head(self) -> Optional[Packet]:
+        """Peek at the packet that would dequeue next, or None."""
+        return self._packets[0] if self._packets else None
+
+    def dequeue(self, now_ns: int) -> Packet:
+        """Remove the head packet and stamp its ``deq_timedelta``."""
+        if not self._packets:
+            raise SimulationError("dequeue from an empty queue")
+        packet = self._packets.popleft()
+        self._depth_units -= self.units_of(packet)
+        self._bytes -= packet.size_bytes
+        assert packet.enq_timestamp is not None
+        if now_ns < packet.enq_timestamp:
+            raise SimulationError(
+                f"dequeue time {now_ns} precedes enqueue {packet.enq_timestamp}"
+            )
+        packet.deq_timedelta = now_ns - packet.enq_timestamp
+        packet.deq_qdepth = self._depth_units
+        if self._samples is not None:
+            self._samples.append(QueueSample(now_ns, self._depth_units))
+        return packet

@@ -1,0 +1,175 @@
+"""Closed-loop (TCP-like) sources, co-simulated with the switch.
+
+The paper's case study (§7.2) runs a real TCP background flow, whose
+congestion control keeps the bottleneck queue *standing* long after the
+UDP burst ends — that feedback is why their queuing persists 76x the
+burst length, where an open-loop model drains within a few burst
+lengths.
+
+:class:`ClosedLoopSender` implements window-based AIMD congestion
+control over the event-driven simulator: a fixed propagation RTT, one
+MSS-sized packet per send, acknowledgements delivered half an RTT after
+the packet dequeues (via an egress hook), additive increase per ACK,
+multiplicative decrease on drop.  It is a rate-dynamics model, not a
+byte-exact TCP — exactly the fidelity the case study's queue behaviour
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.switch.packet import FlowKey, Packet
+from repro.switch.port import EgressPort
+from repro.switch.switchsim import Switch
+
+
+@dataclass
+class SenderStats:
+    sent: int = 0
+    acked: int = 0
+    lost: int = 0
+    cwnd_max: float = 0.0
+
+
+class ClosedLoopSender:
+    """One AIMD flow injecting into a switch port.
+
+    Parameters
+    ----------
+    switch / port:
+        The simulator and the egress port the flow traverses (the ACK
+        path hooks this port's egress pipeline).
+    flow:
+        The sender's 5-tuple.
+    rtt_ns:
+        Two-way propagation delay, excluding queuing.
+    cwnd_limit:
+        Cap on the congestion window in packets.  The paper's background
+        flow is "limited to ~90% of the link capacity"; capping the
+        window at ``0.9 * rtt * rate / (8 * mss)`` achieves that.
+    """
+
+    def __init__(
+        self,
+        switch: Switch,
+        port: EgressPort,
+        flow: FlowKey,
+        rtt_ns: int = 100_000,
+        mss_bytes: int = 1500,
+        initial_cwnd: float = 10.0,
+        cwnd_limit: Optional[float] = None,
+        ssthresh: float = 64.0,
+        start_ns: int = 0,
+        stop_ns: Optional[int] = None,
+        priority: int = 0,
+    ) -> None:
+        if rtt_ns <= 0:
+            raise ValueError(f"non-positive RTT: {rtt_ns}")
+        if mss_bytes <= 0:
+            raise ValueError(f"non-positive MSS: {mss_bytes}")
+        if initial_cwnd < 1:
+            raise ValueError(f"cwnd must be >= 1, got {initial_cwnd}")
+        if cwnd_limit is not None and cwnd_limit < 1:
+            raise ValueError(f"cwnd limit must be >= 1, got {cwnd_limit}")
+        self.switch = switch
+        self.port = port
+        self.flow = flow
+        self.rtt_ns = rtt_ns
+        self.mss_bytes = mss_bytes
+        self.cwnd = initial_cwnd
+        self.cwnd_limit = cwnd_limit
+        self.ssthresh = ssthresh
+        self.start_ns = start_ns
+        self.stop_ns = stop_ns
+        self.priority = priority
+        self.in_flight = 0
+        self.stats = SenderStats()
+        self._seq = 0
+        self._started = False
+        port.add_egress_hook(self._egress_hook)
+
+    # -- wiring -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the sender; call before Switch.run()."""
+        if self._started:
+            raise RuntimeError("sender already started")
+        self._started = True
+        self.switch.events.schedule(
+            self.start_ns, lambda: self._fill_window(self.start_ns)
+        )
+
+    def _active(self, now_ns: int) -> bool:
+        return now_ns >= self.start_ns and (
+            self.stop_ns is None or now_ns < self.stop_ns
+        )
+
+    # -- the AIMD loop ------------------------------------------------------
+
+    def _effective_cwnd(self) -> float:
+        if self.cwnd_limit is not None:
+            return min(self.cwnd, self.cwnd_limit)
+        return self.cwnd
+
+    def _fill_window(self, now_ns: int) -> None:
+        if not self._active(now_ns):
+            return
+        while self.in_flight < int(self._effective_cwnd()):
+            self._send_one(now_ns)
+
+    def _send_one(self, now_ns: int) -> None:
+        packet = Packet(
+            self.flow,
+            self.mss_bytes,
+            now_ns,
+            priority=self.priority,
+            seq=self._seq,
+        )
+        packet.egress_spec = self.port.port_id
+        self._seq += 1
+        self.in_flight += 1
+        self.stats.sent += 1
+        self.switch.events.schedule(now_ns, lambda p=packet: self._deliver(p))
+
+    def _deliver(self, packet: Packet) -> None:
+        self.switch.stats.rx_packets += 1
+        if not self.port.receive(packet, packet.arrival_ns, self.switch.events):
+            self.switch.stats.drops += 1
+            # Loss detected one RTT after the drop (timeout model).
+            self.switch.events.schedule(
+                packet.arrival_ns + self.rtt_ns,
+                lambda: self._on_loss(packet.arrival_ns + self.rtt_ns),
+            )
+
+    def _egress_hook(self, packet: Packet) -> None:
+        """ACK path: fires half an RTT after our packet dequeues."""
+        if packet.flow is not self.flow and packet.flow != self.flow:
+            return
+        ack_time = packet.deq_timestamp + self.rtt_ns // 2
+        self.switch.events.schedule(ack_time, lambda: self._on_ack(ack_time))
+
+    def _on_ack(self, now_ns: int) -> None:
+        self.in_flight = max(0, self.in_flight - 1)
+        self.stats.acked += 1
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0  # slow start
+        else:
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)  # congestion avoidance
+        if self.cwnd > self.stats.cwnd_max:
+            self.stats.cwnd_max = self.cwnd
+        self._fill_window(now_ns)
+
+    def _on_loss(self, now_ns: int) -> None:
+        self.in_flight = max(0, self.in_flight - 1)
+        self.stats.lost += 1
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = max(2.0, self.cwnd / 2)  # multiplicative decrease
+        self._fill_window(now_ns)
+
+    # -- derived quantities ---------------------------------------------------
+
+    def bdp_packets(self, link_rate_bps: int) -> float:
+        """Bandwidth-delay product of the path in MSS-sized packets."""
+        return link_rate_bps * self.rtt_ns / 1e9 / (8 * self.mss_bytes)

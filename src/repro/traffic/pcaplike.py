@@ -1,0 +1,120 @@
+"""A minimal binary packet-record format ("pqtrace").
+
+The paper's artifact ships pcap handling for its replayed traces; this
+reproduction defines a compact, self-describing binary format so traces
+can move between tools and runs without pulling in a pcap dependency.
+
+Layout (little-endian):
+
+    header:  magic "PQTR" | u16 version | u16 reserved | u64 count
+    record:  u64 arrival_ns | u32 size_bytes | u32 src_ip | u32 dst_ip
+             | u16 src_port | u16 dst_port | u8 proto | u8 priority
+             | u16 padding
+
+Records are fixed-width (28 bytes) so readers can seek and slice.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.errors import DecodeError
+from repro.switch.packet import FlowKey
+from repro.traffic.trace import Trace
+
+MAGIC = b"PQTR"
+VERSION = 1
+_HEADER = struct.Struct("<4sHHQ")
+_RECORD = struct.Struct("<QIIIHHBBH")
+RECORD_BYTES = _RECORD.size
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> int:
+    """Serialize a trace; returns the number of records written."""
+    path = Path(path)
+    priority = trace.priority
+    with open(path, "wb") as out:
+        out.write(_HEADER.pack(MAGIC, VERSION, 0, len(trace)))
+        for i in range(len(trace)):
+            flow = trace.flows[int(trace.flow_index[i])]
+            out.write(
+                _RECORD.pack(
+                    int(trace.arrival_ns[i]),
+                    int(trace.size_bytes[i]),
+                    flow.src_ip,
+                    flow.dst_ip,
+                    flow.src_port,
+                    flow.dst_port,
+                    flow.proto,
+                    int(priority[i]) if priority is not None else 0,
+                    0,
+                )
+            )
+    return len(trace)
+
+
+def read_trace(path: Union[str, Path], name: str = "pqtrace") -> Trace:
+    """Deserialize a trace written by :func:`write_trace`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _HEADER.size:
+        raise DecodeError(f"{path}: truncated header")
+    magic, version, _reserved, count = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise DecodeError(f"{path}: bad magic {magic!r}")
+    if version != VERSION:
+        raise DecodeError(f"{path}: unsupported version {version}")
+    expected = _HEADER.size + count * RECORD_BYTES
+    if len(data) < expected:
+        raise DecodeError(
+            f"{path}: truncated body ({len(data)} bytes, expected {expected})"
+        )
+
+    arrival = np.empty(count, dtype=np.int64)
+    sizes = np.empty(count, dtype=np.int64)
+    flow_index = np.empty(count, dtype=np.int64)
+    priority = np.zeros(count, dtype=np.int64)
+    flows: List[FlowKey] = []
+    flow_ids: Dict[tuple, int] = {}
+    offset = _HEADER.size
+    for i in range(count):
+        (
+            arrival_ns,
+            size_bytes,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+            prio,
+            _pad,
+        ) = _RECORD.unpack_from(data, offset)
+        offset += RECORD_BYTES
+        key = (src_ip, dst_ip, src_port, dst_port, proto)
+        if key not in flow_ids:
+            flow_ids[key] = len(flows)
+            flows.append(FlowKey(src_ip, dst_ip, src_port, dst_port, proto))
+        arrival[i] = arrival_ns
+        sizes[i] = size_bytes
+        flow_index[i] = flow_ids[key]
+        priority[i] = prio
+
+    return Trace(
+        arrival_ns=arrival,
+        size_bytes=sizes,
+        flow_index=flow_index,
+        flows=flows,
+        priority=priority if priority.any() else None,
+        name=name,
+    )
+
+
+def trace_file_bytes(num_records: int) -> int:
+    """On-disk size of a trace with ``num_records`` packets."""
+    if num_records < 0:
+        raise ValueError(f"negative record count: {num_records}")
+    return _HEADER.size + num_records * RECORD_BYTES

@@ -1,0 +1,212 @@
+"""Scenario builders for the paper's named experiments.
+
+* :func:`microburst_scenario` — a short, intense burst on top of light
+  background traffic (the Section 2 motivating regime).
+* :func:`incast_scenario` — N synchronized senders converging on one port
+  (the "indirect culprits" motivation).
+* :func:`udp_burst_case_study` — the Section 7.2 queue-monitor case study:
+  a ~9 Gbps TCP background flow, a 10 000-datagram UDP burst at 4 Gbps,
+  then a late, low-rate TCP flow whose packets become the victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.switch.packet import PROTO_TCP, PROTO_UDP, FlowKey
+from repro.traffic.trace import Trace
+from repro.units import DEFAULT_LINK_RATE_BPS, GBPS, NS_PER_SEC
+
+
+def _cbr_arrivals(
+    start_ns: int,
+    rate_bps: float,
+    packet_bytes: int,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+    jitter_ns: int = 0,
+) -> np.ndarray:
+    """Constant-bit-rate arrival times with optional jitter."""
+    gap_ns = packet_bytes * 8 * NS_PER_SEC / rate_bps
+    arrivals = start_ns + (np.arange(count) * gap_ns).astype(np.int64)
+    if jitter_ns and rng is not None:
+        arrivals = arrivals + rng.integers(0, jitter_ns + 1, count)
+        arrivals.sort()
+    return arrivals
+
+
+def _single_flow_trace(
+    flow: FlowKey,
+    arrivals: np.ndarray,
+    packet_bytes: int,
+    name: str,
+    priority: int = 0,
+) -> Trace:
+    n = len(arrivals)
+    return Trace(
+        arrival_ns=np.asarray(arrivals, dtype=np.int64),
+        size_bytes=np.full(n, packet_bytes, dtype=np.int64),
+        flow_index=np.zeros(n, dtype=np.int64),
+        flows=[flow],
+        priority=None if priority == 0 else np.full(n, priority, dtype=np.int64),
+        name=name,
+    )
+
+
+def microburst_scenario(
+    burst_flows: int = 8,
+    burst_packets_per_flow: int = 250,
+    packet_bytes: int = 1500,
+    burst_start_ns: int = 1_000_000,
+    burst_rate_bps: int = 40 * GBPS,
+    background_rate_bps: int = 5 * GBPS,
+    duration_ns: int = 5_000_000,
+    seed: int = 7,
+) -> Trace:
+    """A microburst lasting 10s-100s of microseconds over light background.
+
+    ``burst_flows`` flows each blast ``burst_packets_per_flow`` MTU packets
+    at an aggregate rate well above the 10 Gbps drain, creating the classic
+    short-lived queue spike of Section 2 / reference [35].
+    """
+    rng = np.random.default_rng(seed)
+    traces: List[Trace] = []
+    bg_flow = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+    bg_count = int(background_rate_bps * duration_ns / NS_PER_SEC / (packet_bytes * 8))
+    traces.append(
+        _single_flow_trace(
+            bg_flow,
+            _cbr_arrivals(0, background_rate_bps, packet_bytes, bg_count, rng, 800),
+            packet_bytes,
+            "background",
+        )
+    )
+    per_flow_rate = burst_rate_bps / burst_flows
+    for i in range(burst_flows):
+        flow = FlowKey.from_strings("10.0.1.%d" % (i + 1), "10.1.0.1", 6000 + i, 80)
+        arrivals = _cbr_arrivals(
+            burst_start_ns,
+            per_flow_rate,
+            packet_bytes,
+            burst_packets_per_flow,
+            rng,
+            400,
+        )
+        traces.append(
+            _single_flow_trace(flow, arrivals, packet_bytes, f"burst-{i}")
+        )
+    return Trace.merge(traces, name="microburst")
+
+
+def incast_scenario(
+    fan_in: int = 32,
+    response_bytes: int = 64_000,
+    packet_bytes: int = 1500,
+    start_ns: int = 100_000,
+    sender_rate_bps: int = 1 * GBPS,
+    sync_spread_ns: int = 20_000,
+    seed: int = 11,
+) -> Trace:
+    """TCP-incast-like synchronized responses from ``fan_in`` servers.
+
+    All senders begin within ``sync_spread_ns`` of each other, modelling
+    the barrier-synchronized partition/aggregate pattern; the union of the
+    responses forms one congestion regime consisting almost entirely of a
+    single application's traffic (the "indirect culprit" showcase).
+    """
+    rng = np.random.default_rng(seed)
+    traces: List[Trace] = []
+    packets_per_sender = max(1, response_bytes // packet_bytes)
+    for i in range(fan_in):
+        flow = FlowKey.from_strings(
+            "10.2.%d.%d" % (i // 256, i % 256 + 1), "10.1.0.1", 7000 + i, 443
+        )
+        jittered_start = start_ns + int(rng.integers(0, sync_spread_ns + 1))
+        arrivals = _cbr_arrivals(
+            jittered_start, sender_rate_bps, packet_bytes, packets_per_sender, rng, 300
+        )
+        traces.append(_single_flow_trace(flow, arrivals, packet_bytes, f"incast-{i}"))
+    return Trace.merge(traces, name="incast")
+
+
+@dataclass
+class BurstCaseStudy:
+    """The composed Section 7.2 case-study trace and its named flows."""
+
+    trace: Trace
+    background_flow: FlowKey
+    burst_flow: FlowKey
+    new_tcp_flow: FlowKey
+    burst_start_ns: int
+    new_tcp_start_ns: int
+
+
+def udp_burst_case_study(
+    link_rate_bps: int = DEFAULT_LINK_RATE_BPS,
+    background_fraction: float = 0.9,
+    burst_datagrams: int = 10_000,
+    burst_rate_bps: int = 4 * GBPS,
+    new_tcp_rate_bps: float = 0.5 * GBPS,
+    packet_bytes: int = 1500,
+    burst_start_ns: int = 2_000_000,
+    new_tcp_delay_ns: int = 3_000_000,
+    duration_ns: int = 60_000_000,
+    seed: int = 23,
+) -> BurstCaseStudy:
+    """Build the queue-monitor case study of Section 7.2.
+
+    One server sends a TCP background flow limited to ~90 % of the link
+    (9 Gbps).  Another sends a burst of 10 000 datagrams at 4 Gbps — which
+    drives the queue far above its steady level — then, after a short
+    delay, starts a low-rate (0.5 Gbps) TCP flow whose packets are the
+    victims to diagnose.
+    """
+    rng = np.random.default_rng(seed)
+    background_rate = background_fraction * link_rate_bps
+
+    background_flow = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5001, 80, PROTO_TCP)
+    burst_flow = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5002, 9999, PROTO_UDP)
+    new_tcp_flow = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5003, 443, PROTO_TCP)
+
+    bg_count = int(background_rate * duration_ns / NS_PER_SEC / (packet_bytes * 8))
+    background = _single_flow_trace(
+        background_flow,
+        _cbr_arrivals(0, background_rate, packet_bytes, bg_count, rng, 600),
+        packet_bytes,
+        "tcp-background",
+    )
+    burst = _single_flow_trace(
+        burst_flow,
+        _cbr_arrivals(
+            burst_start_ns, burst_rate_bps, packet_bytes, burst_datagrams, rng, 200
+        ),
+        packet_bytes,
+        "udp-burst",
+    )
+    new_tcp_start = burst_start_ns + new_tcp_delay_ns
+    new_tcp_count = int(
+        new_tcp_rate_bps
+        * (duration_ns - new_tcp_start)
+        / NS_PER_SEC
+        / (packet_bytes * 8)
+    )
+    new_tcp = _single_flow_trace(
+        new_tcp_flow,
+        _cbr_arrivals(
+            new_tcp_start, new_tcp_rate_bps, packet_bytes, new_tcp_count, rng, 600
+        ),
+        packet_bytes,
+        "new-tcp",
+    )
+    trace = Trace.merge([background, burst, new_tcp], name="udp-burst-case-study")
+    return BurstCaseStudy(
+        trace=trace,
+        background_flow=background_flow,
+        burst_flow=burst_flow,
+        new_tcp_flow=new_tcp_flow,
+        burst_start_ns=burst_start_ns,
+        new_tcp_start_ns=new_tcp_start,
+    )

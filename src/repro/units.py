@@ -1,0 +1,99 @@
+"""Units, constants, and conversions used throughout the reproduction.
+
+All simulation timestamps are integer nanoseconds, matching the
+nanosecond-granularity clock of the Tofino switch that PrintQueue's
+bit-shift arithmetic (trimmed timestamps, cycle IDs) assumes.
+
+Rates are expressed in bits per second.  Transmission delays are computed
+with exact integer arithmetic at picosecond resolution internally and
+rounded to nanoseconds only when a timestamp is emitted, so long
+simulations stay deterministic and drift-free.
+"""
+
+from __future__ import annotations
+
+# --- Time -----------------------------------------------------------------
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+PS_PER_NS = 1_000
+
+# --- Rates ----------------------------------------------------------------
+
+KBPS = 1_000
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+#: Default link rate used throughout the paper's evaluation (Section 7.1).
+DEFAULT_LINK_RATE_BPS = 10 * GBPS
+
+# --- Packet sizes ---------------------------------------------------------
+
+#: Minimum Ethernet frame size, used for ``min_pkt_tx_delay`` (Section 4.2).
+MIN_PACKET_BYTES = 64
+#: Conventional MTU-sized payload packet.
+MTU_BYTES = 1500
+
+# --- Hardware budget constants (documented model assumptions) --------------
+#
+# These constants only anchor the *percentages and ratios* reported by the
+# overhead figures (Fig. 13-15); the paper reports relative numbers, so any
+# consistent budget reproduces the shapes.
+
+#: SRAM budget available to a Tofino pipeline for stateful structures, in
+#: bytes.  Tofino-1 exposes roughly 120 Mbit of match/stateful SRAM per
+#: pipe; we round to 15 MiB.
+TOFINO_PIPE_SRAM_BYTES = 15 * 1024 * 1024
+
+#: Sustainable control-plane register read throughput over PCIe in entries
+#: per second.  The paper plots a "data exchange limit" line (Fig. 13); this
+#: constant calibrates it (their analysis-program front end reads register
+#: entries via the Tofino driver at a few million entries/s).
+PCIE_REGISTER_READS_PER_SEC = 4_000_000
+
+#: Bytes transferred per polled register entry (entry payload + descriptor
+#: overhead on the PCIe transaction), used to express overhead in MB/s.
+PCIE_BYTES_PER_ENTRY = 16
+
+
+def bits_to_bytes(bits: int) -> int:
+    """Convert a bit count to bytes, rounding up."""
+    return (bits + 7) // 8
+
+
+def tx_delay_ps(size_bytes: int, rate_bps: int) -> int:
+    """Exact transmission delay of ``size_bytes`` at ``rate_bps``, in ps.
+
+    Uses integer arithmetic: ``ps = bytes * 8 * 1e12 / rate``.  The result
+    is exact whenever ``rate_bps`` divides the numerator, which holds for
+    all the round link rates used in the paper (10/40 Gbps).
+    """
+    if size_bytes < 0:
+        raise ValueError(f"negative packet size: {size_bytes}")
+    if rate_bps <= 0:
+        raise ValueError(f"non-positive link rate: {rate_bps}")
+    return (size_bytes * 8 * 1_000_000_000_000) // rate_bps
+
+
+def tx_delay_ns(size_bytes: int, rate_bps: int) -> int:
+    """Transmission delay in integer nanoseconds, rounded half-up."""
+    ps = tx_delay_ps(size_bytes, rate_bps)
+    return (ps + PS_PER_NS // 2) // PS_PER_NS
+
+
+def min_pkt_tx_delay_ns(rate_bps: int, min_packet_bytes: int = MIN_PACKET_BYTES) -> int:
+    """Transmission delay of a minimum-sized packet — the ``d`` of Theorem 3."""
+    return max(1, tx_delay_ns(min_packet_bytes, rate_bps))
+
+
+def ns_to_sec(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds (for reporting only)."""
+    return ns / NS_PER_SEC
+
+
+def pps(rate_bps: int, packet_bytes: int) -> float:
+    """Packets per second for back-to-back packets of a given size."""
+    if packet_bytes <= 0:
+        raise ValueError(f"non-positive packet size: {packet_bytes}")
+    return rate_bps / (packet_bytes * 8)

@@ -1,0 +1,83 @@
+"""Tests for the configuration advisor."""
+
+import pytest
+
+from repro.core.advisor import Advice, Severity, advise, worst_severity
+from repro.core.config import PrintQueueConfig
+
+
+def codes(advice):
+    return {a.code for a in advice}
+
+
+class TestWorkloadMismatch:
+    def test_paper_uw_config_clean(self):
+        config = PrintQueueConfig(m0=6, k=12, alpha=2, T=4, min_packet_bytes=64)
+        advice = advise(config, packet_interval_ns=110)
+        assert "deep-windows-starved" not in codes(advice)
+        assert worst_severity(advice) is not Severity.ERROR
+
+    def test_paper_wsdm_config_clean(self):
+        config = PrintQueueConfig(m0=10, k=12, alpha=1, T=4, min_packet_bytes=1500)
+        advice = advise(config, packet_interval_ns=1200)
+        assert worst_severity(advice) is not Severity.ERROR
+
+    def test_starved_deep_windows_flagged(self):
+        """The exact misconfiguration found during development: m0=6 with
+        MTU packets at 10 Gbps (d = 1200 ns) starves windows 1..T-1."""
+        config = PrintQueueConfig(m0=6, k=12, alpha=1, T=4)
+        advice = advise(config, packet_interval_ns=1200)
+        assert "deep-windows-starved" in codes(advice)
+        assert worst_severity(advice) is Severity.ERROR
+
+    def test_too_coarse_m0_flagged(self):
+        config = PrintQueueConfig(m0=14, k=12, alpha=1, T=4)
+        advice = advise(config, packet_interval_ns=110)
+        assert "m0-too-coarse" in codes(advice)
+
+    def test_tiny_coefficient_flagged(self):
+        config = PrintQueueConfig(m0=6, k=12, alpha=3, T=6, min_packet_bytes=64)
+        advice = advise(config, packet_interval_ns=300)
+        assert "deep-coefficient-tiny" in codes(advice)
+
+
+class TestResourceChecks:
+    def test_infeasible_polling_flagged(self):
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=1)
+        advice = advise(config)
+        assert "polling-infeasible" in codes(advice)
+
+    def test_sram_over_budget_flagged(self):
+        config = PrintQueueConfig(m0=6, k=16, alpha=1, T=10, num_ports=16)
+        advice = advise(config)
+        assert "sram-over-budget" in codes(advice)
+
+    def test_qm_overflow_flagged(self):
+        config = PrintQueueConfig(qm_levels=1024)
+        advice = advise(config, expected_max_depth=100_000)
+        assert "qm-overflow" in codes(advice)
+
+    def test_qm_granularity_considered(self):
+        config = PrintQueueConfig(qm_levels=1024, qm_granularity=128)
+        advice = advise(config, expected_max_depth=100_000)
+        assert "qm-overflow" not in codes(advice)
+
+    def test_horizon_info(self):
+        config = PrintQueueConfig(m0=6, k=12, alpha=2, T=4)
+        advice = advise(config, query_horizon_ns=10 * config.set_period_ns)
+        assert "horizon-spans-snapshots" in codes(advice)
+
+
+class TestSeverity:
+    def test_worst_severity_ordering(self):
+        advice = [
+            Advice(Severity.INFO, "a", ""),
+            Advice(Severity.ERROR, "b", ""),
+            Advice(Severity.WARNING, "c", ""),
+        ]
+        assert worst_severity(advice) is Severity.ERROR
+        assert worst_severity([]) is None
+
+    def test_str_rendering(self):
+        a = Advice(Severity.WARNING, "code-x", "something odd")
+        assert "warning" in str(a) and "code-x" in str(a)

@@ -1,0 +1,120 @@
+"""Tests for the closed-loop (AIMD) sender."""
+
+import pytest
+
+from repro.switch.packet import FlowKey
+from repro.switch.port import EgressPort
+from repro.switch.queue import EgressQueue
+from repro.switch.switchsim import Switch
+from repro.traffic.closedloop import ClosedLoopSender
+from repro.units import GBPS
+
+FLOW = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+OTHER = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80)
+
+
+def build(rate=10 * GBPS, capacity=None, **sender_kwargs):
+    queue = EgressQueue(capacity_units=capacity)
+    port = EgressPort(0, rate, queue=queue)
+    switch = Switch([port])
+    sender = ClosedLoopSender(switch, port, FLOW, **sender_kwargs)
+    return switch, port, sender
+
+
+class TestValidation:
+    def test_bad_params(self):
+        switch, port, _ = build()
+        with pytest.raises(ValueError):
+            ClosedLoopSender(switch, port, FLOW, rtt_ns=0)
+        with pytest.raises(ValueError):
+            ClosedLoopSender(switch, port, FLOW, mss_bytes=0)
+        with pytest.raises(ValueError):
+            ClosedLoopSender(switch, port, FLOW, initial_cwnd=0)
+        with pytest.raises(ValueError):
+            ClosedLoopSender(switch, port, FLOW, cwnd_limit=0.5)
+
+    def test_double_start_rejected(self):
+        _, _, sender = build(stop_ns=1000)
+        sender.start()
+        with pytest.raises(RuntimeError):
+            sender.start()
+
+
+class TestDynamics:
+    def test_reaches_link_rate_without_losses(self):
+        """With ample buffer the flow should saturate the bottleneck."""
+        switch, port, sender = build(
+            rtt_ns=50_000, stop_ns=5_000_000, ssthresh=1000.0
+        )
+        sender.start()
+        switch.run()
+        # 10 Gbps for ~5 ms at 1500 B = ~4100 packets; allow ramp-up.
+        assert sender.stats.sent > 2500
+        assert sender.stats.lost == 0
+        # Goodput within 2x of link rate over the active window.
+        bytes_sent = sender.stats.sent * 1500
+        assert bytes_sent * 8 / (5e-3) > 0.5 * 10 * GBPS
+
+    def test_cwnd_halves_on_loss(self):
+        switch, port, sender = build(
+            capacity=20, rtt_ns=50_000, stop_ns=3_000_000, ssthresh=10_000.0
+        )
+        sender.start()
+        switch.run()
+        assert sender.stats.lost > 0
+        # AIMD kept the window bounded near the pipe + buffer size.
+        assert sender.stats.cwnd_max < 2_000
+
+    def test_cwnd_limit_caps_rate(self):
+        """A window cap models the paper's '~90% of link' background."""
+        rtt = 100_000
+        switch, port, sender = build(
+            rtt_ns=rtt, stop_ns=10_000_000, ssthresh=10_000.0
+        )
+        cap = 0.9 * sender.bdp_packets(10 * GBPS)
+        sender.cwnd_limit = cap
+        sender.start()
+        switch.run()
+        active_s = 10e-3
+        rate = sender.stats.acked * 1500 * 8 / active_s
+        assert rate == pytest.approx(0.9 * 10 * GBPS, rel=0.15)
+        assert sender.stats.lost == 0
+
+    def test_stops_at_stop_ns(self):
+        switch, port, sender = build(stop_ns=500_000, rtt_ns=50_000)
+        sender.start()
+        switch.run()
+        sent_at_stop = sender.stats.sent
+        assert sent_at_stop > 0
+        # Nothing new after the stop time (acks drain, no sends).
+        assert sender.in_flight == 0
+
+    def test_acks_only_for_own_flow(self):
+        from repro.switch.packet import Packet
+
+        switch, port, sender = build(rtt_ns=50_000, stop_ns=200_000)
+        sender.start()
+        switch.inject(Packet(OTHER, 1500, 100))
+        switch.run()
+        # Acked count never exceeds own sent count.
+        assert sender.stats.acked <= sender.stats.sent
+
+
+class TestTwoFlows:
+    def test_two_aimd_flows_share_the_link(self):
+        queue = EgressQueue(capacity_units=200)
+        port = EgressPort(0, 10 * GBPS, queue=queue)
+        switch = Switch([port])
+        a = ClosedLoopSender(
+            switch, port, FLOW, rtt_ns=100_000, stop_ns=20_000_000, ssthresh=500.0
+        )
+        b = ClosedLoopSender(
+            switch, port, OTHER, rtt_ns=100_000, stop_ns=20_000_000, ssthresh=500.0
+        )
+        a.start()
+        b.start()
+        switch.run()
+        # Both make progress and neither starves (within 4x of each other).
+        assert a.stats.acked > 1000 and b.stats.acked > 1000
+        ratio = a.stats.acked / b.stats.acked
+        assert 0.25 < ratio < 4.0

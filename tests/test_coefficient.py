@@ -1,0 +1,156 @@
+"""Tests for Algorithm 2 / Theorems 1-3: count-recovery coefficients.
+
+Beyond unit checks, an empirical validation: drive a window set with a
+synthetic line-rate packet stream and confirm that the per-window observed
+counts divided by coefficient[i] recover the true counts within tolerance
+— the proportional property the recovery procedure relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coefficient import (
+    coefficients,
+    first_window_z,
+    next_z,
+    pass_ratio,
+)
+from repro.core.config import PrintQueueConfig
+from repro.core.windowset import TimeWindowSet
+from repro.switch.packet import FlowKey
+
+
+class TestFirstWindowZ:
+    def test_theorem3_value(self):
+        # 2^m0 / d: m0=10 (1024 ns) with 1200 ns MTU delay -> 0.853.
+        cfg = PrintQueueConfig(m0=10, k=12, alpha=1, T=4, min_packet_bytes=1500)
+        assert first_window_z(cfg) == pytest.approx(1024 / 1200, rel=1e-6)
+
+    def test_explicit_d(self):
+        cfg = PrintQueueConfig(m0=6, k=12, alpha=2, T=4)
+        assert first_window_z(cfg, d_ns=110) == pytest.approx(64 / 110)
+
+    def test_clamped_at_one(self):
+        # m0=6 (64 ns) with 51 ns minimum-packet delay: z saturates at 1.
+        cfg = PrintQueueConfig(m0=6, k=12, alpha=2, T=4, min_packet_bytes=64)
+        assert first_window_z(cfg) == 1.0
+
+    def test_bad_d(self):
+        cfg = PrintQueueConfig()
+        with pytest.raises(ValueError):
+            first_window_z(cfg, d_ns=0)
+
+
+class TestPassRatio:
+    def test_in_unit_interval(self):
+        for z in [0.05, 0.3, 0.5, 0.8, 0.99, 1.0]:
+            for alpha in [1, 2, 3]:
+                ratio = pass_ratio(z, alpha)
+                assert 0 < ratio <= 1
+
+    def test_z_one_alpha_one(self):
+        # z=1: p=0, ratio = 1 * (1-0)/(1-0) / 2 = 0.5.
+        assert pass_ratio(1.0, 1) == pytest.approx(0.5)
+
+    def test_limiting_behaviour(self):
+        # Sparse traffic (z -> 0): passing needs two consecutive packets,
+        # so the ratio tends to z itself (geometric sum ~= 2^alpha).
+        assert pass_ratio(0.01, 2) == pytest.approx(0.01, rel=0.05)
+        # Saturated traffic (z = 1): every cell passes, and 2^alpha cells
+        # compress into one, keeping the newest: ratio = 1 / 2^alpha.
+        assert pass_ratio(1.0, 2) == pytest.approx(0.25)
+
+    def test_larger_alpha_smaller_ratio(self):
+        # More compression (larger alpha) keeps fewer packets per hop.
+        assert pass_ratio(0.8, 3) < pass_ratio(0.8, 2) < pass_ratio(0.8, 1)
+
+    def test_bad_z(self):
+        with pytest.raises(ValueError):
+            pass_ratio(-0.1, 1)
+        with pytest.raises(ValueError):
+            pass_ratio(1.5, 1)
+
+    def test_zero_z_passes_nothing(self):
+        assert pass_ratio(0.0, 1) == 0.0
+
+
+class TestNextZ:
+    def test_theorem2_form(self):
+        z = 0.8
+        p = 1 - z * z
+        assert next_z(z, 2) == pytest.approx(1 - p**4)
+
+    def test_stays_in_unit_interval(self):
+        # z may underflow to exactly 0 for very sparse traffic (deep
+        # windows see essentially nothing), but never leaves [0, 1].
+        for z0 in [0.05, 0.3, 0.7, 0.95]:
+            z = z0
+            for _ in range(6):
+                z = next_z(z, 2)
+                assert 0 <= z <= 1
+
+    def test_sparse_traffic_decays(self):
+        # For sparse traffic the occupancy probability shrinks per hop...
+        z = 0.2
+        for _ in range(4):
+            nz = next_z(z, 1)
+            assert nz < z
+            z = nz
+
+    def test_dense_traffic_saturates(self):
+        # ...while for dense traffic the exponentially longer cell periods
+        # make deeper cells *more* likely occupied.
+        assert next_z(0.9, 1) > 0.9
+
+
+class TestCoefficients:
+    def test_first_is_one(self):
+        cfg = PrintQueueConfig(m0=10, k=12, alpha=1, T=4, min_packet_bytes=1500)
+        coeff = coefficients(cfg)
+        assert coeff[0] == 1.0
+        assert len(coeff) == 4
+
+    def test_strictly_decreasing(self):
+        cfg = PrintQueueConfig(m0=6, k=12, alpha=2, T=5)
+        coeff = coefficients(cfg, d_ns=110)
+        assert all(a > b > 0 for a, b in zip(coeff, coeff[1:]))
+
+    def test_single_window(self):
+        cfg = PrintQueueConfig(T=1)
+        assert coefficients(cfg) == [1.0]
+
+
+class TestEmpiricalRecovery:
+    """Drive a window set with a line-rate stream; the per-window counts
+    divided by coefficient[i] should recover the offered counts."""
+
+    def test_proportional_property(self):
+        k, alpha, T = 8, 1, 3
+        cfg = PrintQueueConfig(m0=0, k=k, alpha=alpha, T=T)
+        rng = np.random.default_rng(7)
+        flows = [
+            FlowKey.from_strings("10.0.%d.%d" % (i // 250, i % 250 + 1), "10.1.0.1", 5000 + i, 80)
+            for i in range(40)
+        ]
+        ws = TimeWindowSet(cfg)
+        # One packet every ~1.25 ticks (z = 0.8), random flow each time.
+        z_target = 0.8
+        t = 0
+        total = 0
+        horizon = (1 << k) * 12  # 12 window-0 periods
+        while t < horizon:
+            ws.update(flows[int(rng.integers(0, len(flows)))], t)
+            total += 1
+            t += int(np.ceil(1 / z_target)) if rng.random() > 0.8 else 1
+        coeff = coefficients(cfg, d_ns=horizon / total)
+        # Count packets per window within one window period of its latest.
+        from repro.core.filtering import filter_windows
+
+        filtered = filter_windows(ws.snapshot(), cfg)
+        # Window 1 holds compressed data: observed/coefficient should be
+        # within 30 % of a full window-1 period's packet count.
+        w1 = filtered[1]
+        observed = len(w1.cells)
+        expected_per_period = total / horizon * (1 << (k + alpha))
+        recovered = observed / coeff[1]
+        assert recovered == pytest.approx(expected_per_period, rel=0.3)

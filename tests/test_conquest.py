@@ -1,0 +1,78 @@
+"""Tests for the ConQuest baseline and the paper's comparison claims."""
+
+import pytest
+
+from repro.baselines.conquest import ConQuest
+from repro.switch.packet import FlowKey
+
+A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+B = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80)
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConQuest(num_snapshots=1)
+        with pytest.raises(ValueError):
+            ConQuest(slice_ns=0)
+
+    def test_contribution_of_queued_flow(self):
+        cq = ConQuest(num_snapshots=4, slice_ns=1000)
+        # 10 packets of A arrive in slice 0; queried while dequeuing in
+        # slice 2 with a 2000 ns standing queue.
+        for i in range(10):
+            cq.on_enqueue(A, 100 + i)
+        contribution = cq.queue_contribution(A, 2500, queuing_delay_ns=2400)
+        assert contribution == 10
+
+    def test_active_slice_excluded(self):
+        cq = ConQuest(num_snapshots=4, slice_ns=1000)
+        cq.on_enqueue(A, 2500)  # same slice as the dequeue below
+        assert cq.queue_contribution(A, 2600, queuing_delay_ns=500) == 0
+
+    def test_zero_delay_zero_contribution(self):
+        cq = ConQuest()
+        cq.on_enqueue(A, 10)
+        assert cq.queue_contribution(A, 20, queuing_delay_ns=0) == 0
+
+    def test_is_contributor_threshold(self):
+        cq = ConQuest(num_snapshots=4, slice_ns=1000)
+        for i in range(5):
+            cq.on_enqueue(A, i)
+        cq.on_enqueue(B, 6)
+        assert cq.is_contributor(A, 1500, 1500, threshold=3)
+        assert not cq.is_contributor(B, 1500, 1500, threshold=3)
+
+
+class TestRingRecycling:
+    def test_old_slices_recycled(self):
+        cq = ConQuest(num_snapshots=3, slice_ns=1000)
+        cq.on_enqueue(A, 0)  # slice 0
+        cq.on_enqueue(B, 3500)  # slice 3 -> recycles slice 0's snapshot
+        # Slice 0's data is gone: a long-standing queue cannot see it.
+        assert cq.queue_contribution(A, 4200, queuing_delay_ns=4200) == 0
+
+    def test_coverage_property(self):
+        cq = ConQuest(num_snapshots=4, slice_ns=1000)
+        assert cq.coverage_ns == 3000
+        assert cq.can_cover_delay(2500)
+        assert not cq.can_cover_delay(3500)
+
+
+class TestPaperComparisonClaims:
+    def test_cannot_answer_historical_victim(self):
+        """The paper's Section-8 point: ConQuest judges the *current*
+        queue; once the ring wraps, a victim's historical culprits are
+        unrecoverable."""
+        cq = ConQuest(num_snapshots=4, slice_ns=1000)
+        # A congests the queue during slices 0-1...
+        for i in range(20):
+            cq.on_enqueue(A, i * 100)
+        # ...but the diagnosis question arrives much later.
+        much_later = 10_000
+        assert cq.queue_contribution(A, much_later, queuing_delay_ns=800) == 0
+        assert not cq.can_cover_delay(much_later)
+
+    def test_sram_accounting(self):
+        cq = ConQuest(num_snapshots=4, sketch_width=256, sketch_depth=2)
+        assert cq.sram_entries == 4 * 256 * 2

@@ -1,0 +1,91 @@
+"""Tests for the high-level Diagnoser (oracle-free culprit reports)."""
+
+import pytest
+
+from repro.core.config import PrintQueueConfig
+from repro.core.diagnosis import Diagnoser
+from repro.errors import QueryError
+from repro.experiments.runner import simulate_workload
+from repro.metrics.accuracy import precision_recall
+from repro.traffic.scenarios import microburst_scenario
+
+
+def ws_config():
+    return PrintQueueConfig(
+        m0=10, k=10, alpha=1, T=3, min_packet_bytes=1500, qm_poll_period_ns=100_000
+    )
+
+
+@pytest.fixture(scope="module")
+def burst_run():
+    trace = microburst_scenario(burst_packets_per_flow=150)
+    return simulate_workload("unused", 1, config=ws_config(), trace=trace)
+
+
+class TestRegimeEstimation:
+    def test_estimates_near_truth(self, burst_run):
+        run = burst_run
+        diagnoser = Diagnoser(run.pq)
+        victim = max(run.records, key=lambda r: r.queuing_delay)
+        estimated = diagnoser.estimate_regime_start(victim.enq_timestamp)
+        true_start = run.taxonomy.regime_start(victim.enq_timestamp)
+        # Resolution = queue-monitor polling cadence (100 us here).
+        assert abs(estimated - true_start) <= 4 * 100_000
+
+    def test_never_after_victim_enqueue(self, burst_run):
+        run = burst_run
+        diagnoser = Diagnoser(run.pq)
+        for record in run.records[:: max(1, len(run.records) // 50)]:
+            assert diagnoser.estimate_regime_start(record.enq_timestamp) <= (
+                record.enq_timestamp
+            )
+
+    def test_no_snapshots_returns_zero(self):
+        from repro.core.printqueue import PrintQueuePort
+
+        pq = PrintQueuePort(ws_config())
+        assert Diagnoser(pq).estimate_regime_start(10**9) == 0
+
+
+class TestDiagnose:
+    def test_report_structure(self, burst_run):
+        run = burst_run
+        diagnoser = Diagnoser(run.pq)
+        victim = max(run.records, key=lambda r: r.queuing_delay)
+        report = diagnoser.diagnose_record(victim)
+        assert report.victim_enq_ns == victim.enq_timestamp
+        assert report.direct.total > 0
+        assert report.original.total > 0
+
+    def test_direct_accuracy(self, burst_run):
+        run = burst_run
+        diagnoser = Diagnoser(run.pq)
+        victim = max(run.records, key=lambda r: r.queuing_delay)
+        report = diagnoser.diagnose_record(victim)
+        score = precision_recall(report.direct, run.taxonomy.direct(victim))
+        assert score.precision > 0.7 and score.recall > 0.7
+
+    def test_original_accuracy(self, burst_run):
+        run = burst_run
+        diagnoser = Diagnoser(run.pq)
+        victim = max(run.records, key=lambda r: r.queuing_delay)
+        report = diagnoser.diagnose_record(victim)
+        truth = run.taxonomy.original(victim.enq_timestamp)
+        score = precision_recall(report.original, truth)
+        assert score.recall > 0.6
+
+    def test_dp_query_path(self, burst_run):
+        run = burst_run
+        diagnoser = Diagnoser(run.pq)
+        victim = max(run.records, key=lambda r: r.queuing_delay)
+        report = diagnoser.diagnose_record(victim, use_data_plane_query=True)
+        assert report.direct.total > 0
+
+    def test_rejects_inverted_interval(self, burst_run):
+        diagnoser = Diagnoser(burst_run.pq)
+        with pytest.raises(QueryError):
+            diagnoser.diagnose(100, 50)
+
+    def test_threshold_validation(self, burst_run):
+        with pytest.raises(ValueError):
+            Diagnoser(burst_run.pq, empty_threshold_levels=-1)

@@ -1,0 +1,106 @@
+"""Tests for the flow-size distributions (WS / DM / UW-like)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.distributions import (
+    DataMiningDistribution,
+    EmpiricalCdfDistribution,
+    UWLikeDistribution,
+    WebSearchDistribution,
+    distribution_by_name,
+)
+
+
+class TestEmpiricalCdf:
+    def test_validates_knots(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdfDistribution([(100, 1.0)])  # too few
+        with pytest.raises(ValueError):
+            EmpiricalCdfDistribution([(100, 0.0), (50, 1.0)])  # sizes down
+        with pytest.raises(ValueError):
+            EmpiricalCdfDistribution([(100, 0.5), (200, 0.4)])  # probs down
+        with pytest.raises(ValueError):
+            EmpiricalCdfDistribution([(100, 0.0), (200, 0.9)])  # no 1.0 end
+        with pytest.raises(ValueError):
+            EmpiricalCdfDistribution([(0, 0.0), (200, 1.0)])  # zero size
+
+    def test_samples_within_support(self):
+        dist = EmpiricalCdfDistribution([(100, 0.0), (10_000, 1.0)])
+        rng = np.random.default_rng(1)
+        samples = dist.sample_flow_bytes(rng, 2000)
+        assert samples.min() >= 100
+        assert samples.max() <= 10_000
+
+    def test_quantiles_respected(self):
+        dist = EmpiricalCdfDistribution([(100, 0.0), (1_000, 0.5), (100_000, 1.0)])
+        rng = np.random.default_rng(2)
+        samples = dist.sample_flow_bytes(rng, 20_000)
+        frac_below_1k = np.mean(samples <= 1_000)
+        assert frac_below_1k == pytest.approx(0.5, abs=0.02)
+
+    def test_deterministic_given_rng(self):
+        dist = WebSearchDistribution()
+        a = dist.sample_flow_bytes(np.random.default_rng(3), 100)
+        b = dist.sample_flow_bytes(np.random.default_rng(3), 100)
+        assert np.array_equal(a, b)
+
+
+class TestWorkloadProperties:
+    def test_ws_near_mtu_packets(self):
+        dist = WebSearchDistribution()
+        rng = np.random.default_rng(4)
+        assert np.all(dist.sample_packet_bytes(rng, 100) == 1500)
+
+    def test_dm_mostly_mtu(self):
+        dist = DataMiningDistribution()
+        rng = np.random.default_rng(5)
+        sizes = dist.sample_packet_bytes(rng, 5000)
+        assert np.mean(sizes >= 1460) > 0.9
+
+    def test_uw_small_packets(self):
+        """Section 7.1: UW packets are around 100 bytes."""
+        dist = UWLikeDistribution()
+        rng = np.random.default_rng(6)
+        sizes = dist.sample_packet_bytes(rng, 10_000)
+        assert 100 <= sizes.mean() <= 160
+        assert sizes.min() >= 64
+
+    def test_uw_extreme_long_tail(self):
+        """Section 7.1: in UW, the 100th-largest flow has less than 1 %
+        of the largest flow's packets."""
+        dist = UWLikeDistribution()
+        rng = np.random.default_rng(7)
+        flows = np.sort(dist.sample_flow_bytes(rng, 30_000))[::-1]
+        assert flows[99] / flows[0] < 0.01
+
+    def test_dm_heavier_tail_than_ws(self):
+        """VL2's data-mining distribution has far more mass in tiny flows
+        and a longer tail than web search."""
+        rng = np.random.default_rng(8)
+        dm = DataMiningDistribution().sample_flow_bytes(rng, 30_000)
+        ws = WebSearchDistribution().sample_flow_bytes(
+            np.random.default_rng(8), 30_000
+        )
+        assert np.median(dm) < np.median(ws)
+        assert dm.max() > ws.max()
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("ws", WebSearchDistribution),
+            ("websearch", WebSearchDistribution),
+            ("dm", DataMiningDistribution),
+            ("DM", DataMiningDistribution),
+            ("uw", UWLikeDistribution),
+            ("uw-like", UWLikeDistribution),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(distribution_by_name(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            distribution_by_name("caida")

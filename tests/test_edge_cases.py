@@ -1,0 +1,160 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import AnalysisProgram
+from repro.core.config import PrintQueueConfig
+from repro.core.printqueue import PrintQueuePort
+from repro.core.queries import QueryInterval
+from repro.errors import ConfigError
+from repro.switch.packet import FlowKey, Packet
+from repro.switch.port import EgressPort
+from repro.switch.switchsim import Switch
+from repro.traffic.trace import Trace
+from repro.units import GBPS
+
+FLOW = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+
+
+class TestConfigEdges:
+    def test_minimal_config(self):
+        config = PrintQueueConfig(m0=0, k=1, alpha=1, T=1)
+        assert config.set_period_ns == 2
+        assert config.num_cells == 2
+
+    def test_invalid_params_rejected(self):
+        for kwargs in (
+            dict(m0=-1),
+            dict(m0=25),
+            dict(k=0),
+            dict(k=21),
+            dict(alpha=0),
+            dict(alpha=9),
+            dict(T=0),
+            dict(T=17),
+            dict(link_rate_bps=0),
+            dict(qm_levels=0),
+            dict(qm_granularity=0),
+            dict(qm_poll_period_ns=0),
+            dict(num_ports=0),
+        ):
+            with pytest.raises(ConfigError):
+                PrintQueueConfig(**kwargs)
+
+    def test_window_index_bounds(self):
+        config = PrintQueueConfig(T=2)
+        with pytest.raises(ConfigError):
+            config.cell_period_ns(2)
+        with pytest.raises(ConfigError):
+            config.shift(-1)
+
+    def test_describe(self):
+        text = PrintQueueConfig(m0=6, k=12, alpha=2, T=4).describe()
+        assert "m0=6" in text and "set_period" in text
+
+    def test_config_hashable_for_caching(self):
+        a = PrintQueueConfig()
+        b = PrintQueueConfig()
+        assert hash(a) == hash(b)
+        assert a == b
+
+
+class TestAnalysisEdges:
+    def test_query_interval_entirely_before_data(self):
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=2)
+        analysis = AnalysisProgram(config, d_ns=16.0)
+        for t in range(50_000, 60_000, 16):
+            analysis.on_dequeue(FLOW, t)
+        analysis.periodic_poll(60_000)
+        estimate = analysis.query_time_windows(QueryInterval(0, 100))
+        assert estimate.total == 0
+
+    def test_query_interval_after_all_data(self):
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=2)
+        analysis = AnalysisProgram(config, d_ns=16.0)
+        analysis.on_dequeue(FLOW, 100)
+        analysis.periodic_poll(200)
+        estimate = analysis.query_time_windows(QueryInterval(10_000, 20_000))
+        assert estimate.total == 0
+
+    def test_single_packet_recovered(self):
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=2)
+        analysis = AnalysisProgram(config, d_ns=16.0)
+        analysis.on_dequeue(FLOW, 100)
+        analysis.periodic_poll(200)
+        estimate = analysis.query_time_windows(QueryInterval(0, 200))
+        assert estimate[FLOW] == pytest.approx(1.0)
+
+    def test_poll_on_empty_structure(self):
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=2)
+        analysis = AnalysisProgram(config)
+        snapshot = analysis.periodic_poll(1000)
+        assert all(fw.cells == [] for fw in snapshot.windows)
+        # Querying the empty snapshot returns an empty estimate.
+        estimate = analysis.query_time_windows(QueryInterval(0, 1000))
+        assert estimate.total == 0
+
+    def test_hardware_dp_read_stores_snapshot(self):
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=2)
+        analysis = AnalysisProgram(config, model_dp_read_cost=True)
+        analysis.on_dequeue(FLOW, 100)
+        snap = analysis.dp_read(200)
+        assert snap is not None
+        assert snap in analysis.tw_snapshots
+        assert analysis.qm_snapshots  # monitor captured alongside
+
+
+class TestPrintQueuePortEdges:
+    def test_finish_idempotent_queries(self):
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=2)
+        pq = PrintQueuePort(config)
+        pq.process_dequeue(FLOW, 100, depth_after=0)
+        pq.finish(200)
+        first = pq.async_query(QueryInterval(0, 200)).total
+        pq.finish(300)  # extra finish must not duplicate counts
+        second = pq.async_query(QueryInterval(0, 200)).total
+        assert second == pytest.approx(first)
+
+    def test_zero_traffic_port(self):
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=2)
+        pq = PrintQueuePort(config)
+        pq.finish(1000)
+        assert pq.async_query(QueryInterval(0, 1000)).total == 0
+
+
+class TestSimulatorEdges:
+    def test_trace_generator_path_through_switch(self):
+        trace = Trace(
+            arrival_ns=np.array([0, 10, 20], dtype=np.int64),
+            size_bytes=np.array([100, 100, 100], dtype=np.int64),
+            flow_index=np.zeros(3, dtype=np.int64),
+            flows=[FLOW],
+        )
+        switch = Switch.single_port(10 * GBPS)
+        stats = switch.run_trace(trace.packets())
+        assert stats.tx_packets == 3
+
+    def test_run_until_horizon_pauses(self):
+        switch = Switch.single_port(10 * GBPS)
+        switch.inject(Packet(FLOW, 1500, 0))
+        switch.inject(Packet(FLOW, 1500, 10_000))
+        switch.run(until_ns=5_000)
+        assert switch.stats.rx_packets == 1
+        switch.run()
+        assert switch.stats.rx_packets == 2
+
+    def test_giant_packet_timing(self):
+        # A 64 KB jumbo at 10 Gbps takes 52.4 us on the wire.
+        p1 = Packet(FLOW, 65_536, 0)
+        p2 = Packet(FLOW, 64, 0)
+        switch = Switch.single_port(10 * GBPS)
+        switch.run_trace([p1, p2])
+        assert p2.deq_timestamp == pytest.approx(52_429, abs=2)
+
+    def test_identical_flows_distinct_packets(self):
+        packets = [Packet(FLOW, 100, 0, seq=i) for i in range(5)]
+        switch = Switch.single_port(10 * GBPS)
+        switch.run_trace(packets)
+        deqs = [p.deq_timestamp for p in packets]
+        assert len(set(deqs)) == 5  # all distinct despite same flow/time

@@ -1,0 +1,79 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.switch.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        log = []
+        q.schedule(30, lambda: log.append("c"))
+        q.schedule(10, lambda: log.append("a"))
+        q.schedule(20, lambda: log.append("b"))
+        q.run_all()
+        assert log == ["a", "b", "c"]
+
+    def test_stable_tie_break(self):
+        q = EventQueue()
+        log = []
+        for name in "abcde":
+            q.schedule(5, lambda n=name: log.append(n))
+        q.run_all()
+        assert log == list("abcde")
+
+    def test_run_until_horizon(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda: log.append(10))
+        q.schedule(20, lambda: log.append(20))
+        q.schedule(30, lambda: log.append(30))
+        last = q.run_until(20)
+        assert log == [10, 20]
+        assert last == 20
+        assert len(q) == 1
+
+    def test_callbacks_can_reschedule(self):
+        q = EventQueue()
+        log = []
+
+        def tick(t):
+            log.append(t)
+            if t < 50:
+                q.schedule(t + 10, lambda: tick(t + 10))
+
+        q.schedule(10, lambda: tick(10))
+        q.run_all()
+        assert log == [10, 20, 30, 40, 50]
+
+    def test_rescheduled_within_horizon_honoured(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda: q.schedule(15, lambda: log.append("inner")))
+        q.run_until(20)
+        assert log == ["inner"]
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1, lambda: None)
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.schedule(42, lambda: None)
+        assert q.peek_time() == 42
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_runaway_guard(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule(q.peek_time() + 1 if len(q) else 1, forever)
+
+        q.schedule(0, forever)
+        with pytest.raises(RuntimeError):
+            q.run_all(max_events=100)

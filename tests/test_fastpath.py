@@ -1,0 +1,152 @@
+"""The vectorised FIFO fast path must match the event-driven switch
+record-for-record: same dequeue timestamps, same enqueue depths, same
+drops.  This equivalence is what lets the benchmark harness use the fast
+path while the rest of the library trusts the event-driven semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch.fastpath import fifo_timestamps
+from repro.switch.packet import FlowKey, Packet
+from repro.switch.port import EgressPort
+from repro.switch.queue import EgressQueue
+from repro.switch.switchsim import Switch
+from repro.units import GBPS
+
+FLOW = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+
+
+def run_event_sim(arrivals, sizes, rate_bps, capacity=None):
+    queue = EgressQueue(capacity_units=capacity)
+    port = EgressPort(0, rate_bps, queue=queue)
+    switch = Switch([port])
+    packets = [
+        Packet(FLOW, int(s), int(a), seq=i)
+        for i, (a, s) in enumerate(zip(arrivals, sizes))
+    ]
+    switch.run_trace(packets)
+    kept = [p for p in packets if not p.dropped]
+    return kept, switch.stats.drops
+
+
+def assert_equivalent(arrivals, sizes, rate_bps, capacity=None):
+    arrivals = np.asarray(arrivals, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    result = fifo_timestamps(arrivals, sizes, rate_bps, capacity)
+    kept, drops = run_event_sim(arrivals, sizes, rate_bps, capacity)
+    assert drops == result.drops
+    assert len(kept) == len(result.kept)
+    for i, pkt in enumerate(kept):
+        assert pkt.enq_timestamp == result.enq_timestamp[i], f"pkt {i} enq"
+        assert pkt.deq_timestamp == result.deq_timestamp[i], f"pkt {i} deq"
+        assert pkt.enq_qdepth == result.enq_qdepth[i], f"pkt {i} depth"
+
+
+class TestBasics:
+    def test_empty(self):
+        result = fifo_timestamps(np.array([]), np.array([]), GBPS)
+        assert len(result.kept) == 0
+        assert result.drops == 0
+
+    def test_single_packet(self):
+        result = fifo_timestamps(np.array([100]), np.array([1500]), 10 * GBPS)
+        assert result.deq_timestamp[0] == 100
+        assert result.enq_qdepth[0] == 0
+
+    def test_back_to_back(self):
+        result = fifo_timestamps(
+            np.array([0, 0, 0]), np.array([1500] * 3), 10 * GBPS
+        )
+        assert list(result.deq_timestamp) == [0, 1200, 2400]
+        assert list(result.enq_qdepth) == [0, 1, 2]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            fifo_timestamps(np.array([10, 5]), np.array([100, 100]), GBPS)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fifo_timestamps(np.array([1]), np.array([100, 200]), GBPS)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            fifo_timestamps(np.array([1]), np.array([100]), 0)
+
+    def test_tail_drop(self):
+        result = fifo_timestamps(
+            np.array([0, 0, 0, 0]), np.array([1500] * 4), 10 * GBPS, capacity_pkts=2
+        )
+        assert result.drops == 2
+        assert list(result.kept) == [0, 1]
+
+
+class TestEquivalence:
+    def test_bursty_mixed_sizes(self):
+        rng = np.random.default_rng(1)
+        arrivals = np.sort(rng.integers(0, 100_000, 500))
+        sizes = rng.integers(64, 1501, 500)
+        assert_equivalent(arrivals, sizes, 10 * GBPS)
+
+    def test_overloaded(self):
+        rng = np.random.default_rng(2)
+        arrivals = np.sort(rng.integers(0, 50_000, 1000))
+        sizes = rng.integers(64, 1501, 1000)
+        assert_equivalent(arrivals, sizes, 10 * GBPS)
+
+    def test_underloaded_sparse(self):
+        arrivals = np.arange(100) * 10_000
+        sizes = np.full(100, 64)
+        assert_equivalent(arrivals, sizes, 10 * GBPS)
+
+    def test_with_capacity(self):
+        rng = np.random.default_rng(3)
+        arrivals = np.sort(rng.integers(0, 30_000, 800))
+        sizes = rng.integers(64, 1501, 800)
+        assert_equivalent(arrivals, sizes, 10 * GBPS, capacity=20)
+
+    def test_simultaneous_arrivals(self):
+        arrivals = np.zeros(50, dtype=np.int64)
+        sizes = np.full(50, 750)
+        assert_equivalent(arrivals, sizes, 10 * GBPS)
+        assert_equivalent(arrivals, sizes, 10 * GBPS, capacity=7)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(0, 2000), st.integers(64, 1500)),
+            min_size=1,
+            max_size=120,
+        ),
+        rate_gbps=st.sampled_from([1, 10, 40]),
+        capacity=st.one_of(st.none(), st.integers(1, 30)),
+    )
+    def test_property_equivalence(self, data, rate_gbps, capacity):
+        gaps = np.array([d[0] for d in data], dtype=np.int64)
+        arrivals = np.cumsum(gaps)
+        sizes = np.array([d[1] for d in data], dtype=np.int64)
+        assert_equivalent(arrivals, sizes, rate_gbps * GBPS, capacity)
+
+
+class TestConservation:
+    def test_fifo_order_preserved(self):
+        rng = np.random.default_rng(4)
+        arrivals = np.sort(rng.integers(0, 10_000, 300))
+        sizes = rng.integers(64, 1501, 300)
+        result = fifo_timestamps(arrivals, sizes, 10 * GBPS)
+        # Dequeue times strictly ordered; no packet departs before arrival.
+        assert np.all(np.diff(result.deq_timestamp) >= 0)
+        assert np.all(result.deq_timestamp >= result.enq_timestamp)
+
+    def test_depth_conservation(self):
+        # At any dequeue, depth equals arrivals-so-far minus departures.
+        rng = np.random.default_rng(5)
+        arrivals = np.sort(rng.integers(0, 20_000, 400))
+        sizes = rng.integers(64, 1501, 400)
+        result = fifo_timestamps(arrivals, sizes, 10 * GBPS)
+        for i in range(len(result.kept)):
+            t = result.enq_timestamp[i]
+            enqueued = np.sum(result.enq_timestamp[: i]) * 0 + i  # i packets before
+            departed = int(np.sum(result.deq_timestamp[:i] < t))
+            assert result.enq_qdepth[i] == enqueued - departed

@@ -1,0 +1,67 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.experiments.figures import cdf, sparkline, timeline
+
+
+class TestTimeline:
+    def test_empty(self):
+        assert timeline([], []) == "(no data)"
+
+    def test_renders_peak(self):
+        times = list(range(0, 1_000_000, 10_000))
+        values = [10] * 50 + [100] * 50
+        art = timeline(times, values, buckets=20, height=5)
+        lines = art.splitlines()
+        assert len(lines) == 7  # height + axis + labels
+        # The top row only covers the second (tall) half.
+        top = lines[0].split("|", 1)[1]
+        assert "#" in top[10:]
+        assert "#" not in top[:9]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            timeline([1, 2], [1])
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            timeline([1], [1], buckets=0)
+
+    def test_single_point(self):
+        art = timeline([5], [3])
+        assert "#" in art
+
+
+class TestCdf:
+    def test_renders_series(self):
+        art = cdf([("a", [0.1, 0.5, 0.9]), ("b", [0.8, 0.9])], width=20)
+        lines = art.splitlines()
+        assert lines[0].startswith("           a")
+        assert "|" in lines[0]
+
+    def test_empty_series(self):
+        art = cdf([("x", [])])
+        assert "(empty)" in art
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            cdf([("a", [1])], lo=1.0, hi=1.0)
+
+    def test_saturates_at_hi(self):
+        art = cdf([("a", [0.0])], width=10)
+        # All mass at 0: every cell shows the full-CDF glyph.
+        row = art.splitlines()[0].split("|")[1]
+        assert set(row) == {"@"}
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone(self):
+        art = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert art[0] == "▁" and art[-1] == "█"
+
+    def test_flat(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1

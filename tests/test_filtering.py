@@ -1,0 +1,121 @@
+"""Tests for Algorithm 3 — the stale-cell filter."""
+
+import pytest
+
+from repro.core.config import PrintQueueConfig
+from repro.core.filtering import filter_windows
+from repro.core.windowset import TimeWindowSet
+from repro.switch.packet import FlowKey
+
+FLOWS = [
+    FlowKey.from_strings("10.0.0.%d" % (i + 1), "10.1.0.1", 5000 + i, 80)
+    for i in range(8)
+]
+
+
+def cfg(k=3, alpha=1, T=2, m0=0):
+    return PrintQueueConfig(m0=m0, k=k, alpha=alpha, T=T)
+
+
+class TestWindowZero:
+    def test_empty_set(self):
+        config = cfg()
+        ws = TimeWindowSet(config)
+        filtered = filter_windows(ws.snapshot(), config)
+        assert all(fw.reference_tts is None for fw in filtered)
+        assert all(fw.cells == [] for fw in filtered)
+
+    def test_same_cycle_retained(self):
+        config = cfg()
+        ws = TimeWindowSet(config)
+        for tts in [0, 2, 5]:  # all cycle 0, latest index 5
+            ws.update(FLOWS[0], tts)
+        filtered = filter_windows(ws.snapshot(), config)
+        assert sorted(t for t, _ in filtered[0].cells) == [0, 2, 5]
+
+    def test_previous_cycle_above_latest_index_retained(self):
+        config = cfg()
+        ws = TimeWindowSet(config)
+        ws.update(FLOWS[0], 6)  # cycle 0, index 6 (above future latest)
+        ws.update(FLOWS[1], 9)  # cycle 1, index 1 -> latest
+        filtered = filter_windows(ws.snapshot(), config)
+        # Index 6 of cycle 0 is within one window period of TTS 9.
+        assert sorted(t for t, _ in filtered[0].cells) == [6, 9]
+
+    def test_previous_cycle_below_latest_index_dropped(self):
+        config = cfg()
+        ws = TimeWindowSet(config)
+        ws.update(FLOWS[0], 1)  # cycle 0, index 1
+        ws.update(FLOWS[1], 11)  # cycle 1, index 3 -> latest; idx1@cyc0 stale
+        filtered = filter_windows(ws.snapshot(), config)
+        assert [t for t, _ in filtered[0].cells] == [11]
+
+    def test_two_cycles_back_dropped(self):
+        config = cfg()
+        ws = TimeWindowSet(config)
+        ws.update(FLOWS[0], 7)  # cycle 0 index 7
+        ws.update(FLOWS[1], 17)  # cycle 2 index 1 -> cycle-0 data is stale
+        filtered = filter_windows(ws.snapshot(), config)
+        assert [t for t, _ in filtered[0].cells] == [17]
+
+
+class TestDeeperWindows:
+    def test_reference_derivation(self):
+        """The deeper reference is (TTS - 2^k) >> alpha — one window
+        period back, compressed."""
+        config = cfg(k=3, alpha=2, T=3)
+        ws = TimeWindowSet(config)
+        ws.update(FLOWS[0], 20)
+        filtered = filter_windows(ws.snapshot(), config)
+        assert filtered[0].reference_tts == 20
+        assert filtered[1].reference_tts == (20 - 8) >> 2
+        # The window-2 derivation goes negative ((3 - 8) >> 2) and clamps
+        # to zero — the structure predates one full window-1 period.
+        assert filtered[2].reference_tts == 0
+
+    def test_reference_floor_at_zero(self):
+        config = cfg(k=3, alpha=1, T=3)
+        ws = TimeWindowSet(config)
+        ws.update(FLOWS[0], 2)
+        filtered = filter_windows(ws.snapshot(), config)
+        assert filtered[1].reference_tts == 0
+        assert filtered[2].reference_tts == 0
+
+    def test_live_passed_cells_survive(self):
+        config = cfg(k=2, alpha=1, T=2)
+        ws = TimeWindowSet(config)
+        ws.update(FLOWS[0], 0)
+        ws.update(FLOWS[1], 4)  # passes FLOWS[0] to w1 at tts 0
+        filtered = filter_windows(ws.snapshot(), config)
+        w1_cells = filtered[1].cells
+        assert len(w1_cells) == 1
+        assert w1_cells[0][1] == FLOWS[0]
+
+    def test_coverage_ranges_contiguous(self):
+        """Window i+1's nominal coverage ends where window i's starts."""
+        config = PrintQueueConfig(m0=4, k=6, alpha=1, T=4)
+        ws = TimeWindowSet(config)
+        for i in range(5000):
+            ws.update(FLOWS[i % 8], i * 20)
+        filtered = filter_windows(ws.snapshot(), config)
+        for newer, older in zip(filtered, filtered[1:]):
+            newer_cov = newer.coverage_ns(config.k)
+            older_cov = older.coverage_ns(config.k)
+            assert newer_cov is not None and older_cov is not None
+            # Alignment within one cell period of the older window.
+            gap = abs(older_cov[1] - newer_cov[0])
+            assert gap <= config.cell_period_ns(older.window_index)
+
+
+class TestValidation:
+    def test_wrong_window_count(self):
+        config = cfg(T=2)
+        ws = TimeWindowSet(config)
+        with pytest.raises(ValueError):
+            filter_windows(ws.snapshot()[:1], config)
+
+    def test_coverage_none_when_empty(self):
+        config = cfg()
+        ws = TimeWindowSet(config)
+        filtered = filter_windows(ws.snapshot(), config)
+        assert filtered[0].coverage_ns(config.k) is None

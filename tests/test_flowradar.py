@@ -1,0 +1,95 @@
+"""Tests for the FlowRadar baseline: encode + single-cell decode."""
+
+import pytest
+
+from repro.baselines.flowradar import FlowRadar
+from repro.switch.packet import FlowKey
+
+
+def flow(i):
+    return FlowKey.from_strings(
+        "10.0.%d.%d" % (i // 250, i % 250 + 1), "10.1.0.1", 5000 + (i % 60000), 80
+    )
+
+
+class TestDecodeRoundTrip:
+    def test_single_flow(self):
+        fr = FlowRadar(num_cells=64, num_hashes=3)
+        for _ in range(17):
+            fr.update(flow(0))
+        result = fr.decode()
+        assert result.flows == {flow(0): 17}
+        assert result.fully_decoded
+
+    def test_moderate_population_exact(self):
+        """Below the decode threshold (#flows << cells), the decode is
+        exact for every flow."""
+        fr = FlowRadar(num_cells=1024, num_hashes=3)
+        truth = {}
+        for i in range(100):
+            count = (i % 7) + 1
+            fr.update(flow(i), count=count)
+            truth[flow(i)] = count
+        result = fr.decode()
+        assert result.flows == truth
+        assert result.fully_decoded
+
+    def test_multiple_updates_same_flow(self):
+        fr = FlowRadar(num_cells=256, num_hashes=3)
+        fr.update(flow(0), count=3)
+        fr.update(flow(0), count=4)
+        assert fr.decode().flows[flow(0)] == 7
+
+    def test_overload_leaves_undecoded_cells(self):
+        """Far more flows than cells: the peeling decode stalls and
+        reports undecoded cells rather than inventing flows."""
+        fr = FlowRadar(num_cells=64, num_hashes=3)
+        truth = {}
+        for i in range(500):
+            fr.update(flow(i))
+            truth[flow(i)] = 1
+        result = fr.decode()
+        assert not result.fully_decoded
+        # Whatever did decode is correct.
+        for f, count in result.flows.items():
+            assert truth[f] == count
+
+    def test_decode_is_nondestructive(self):
+        fr = FlowRadar(num_cells=128, num_hashes=3)
+        fr.update(flow(0), count=5)
+        first = fr.decode()
+        second = fr.decode()
+        assert first.flows == second.flows
+
+
+class TestValidation:
+    def test_bad_cells(self):
+        with pytest.raises(ValueError):
+            FlowRadar(num_cells=0)
+
+    def test_bad_hashes(self):
+        with pytest.raises(ValueError):
+            FlowRadar(num_cells=8, num_hashes=0)
+        with pytest.raises(ValueError):
+            FlowRadar(num_cells=8, num_hashes=9)
+
+    def test_bad_filter(self):
+        with pytest.raises(ValueError):
+            FlowRadar(filter_bits=4)
+
+    def test_reset(self):
+        fr = FlowRadar(num_cells=64)
+        fr.update(flow(0))
+        fr.reset()
+        result = fr.decode()
+        assert result.flows == {}
+        assert result.fully_decoded
+
+    def test_flow_counts_interface(self):
+        fr = FlowRadar(num_cells=64)
+        fr.update(flow(0), count=2)
+        assert fr.flow_counts() == {flow(0): 2}
+
+    def test_sram_entries_accounts_filter(self):
+        fr = FlowRadar(num_cells=100, filter_bits=640)
+        assert fr.sram_entries == 100 + 10

@@ -1,0 +1,98 @@
+"""Tests for per-flow statistics."""
+
+import pytest
+
+from repro.metrics.flowstats import (
+    collect_flow_stats,
+    elephant_mice_split,
+    flow_completion_times,
+    rank_by_packets,
+)
+from repro.switch.packet import FlowKey
+from repro.switch.telemetry import DequeueRecord
+
+A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+B = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80)
+C = FlowKey.from_strings("10.0.0.3", "10.1.0.1", 5002, 80)
+
+
+def rec(flow, enq, deq, size=1500):
+    return DequeueRecord(flow, size, enq, deq, 0)
+
+
+def sample_stats():
+    records = [
+        rec(A, 0, 100),
+        rec(A, 50, 250),
+        rec(A, 100, 400),
+        rec(B, 10, 25, size=100),
+        rec(C, 0, 5, size=100),
+        rec(C, 5, 10, size=100),
+    ]
+    return collect_flow_stats(records)
+
+
+class TestCollect:
+    def test_aggregation(self):
+        stats = sample_stats()
+        a = stats[A]
+        assert a.packets == 3
+        assert a.bytes == 4500
+        assert a.first_enq_ns == 0
+        assert a.last_deq_ns == 400
+        assert a.max_queuing_ns == 300
+        assert a.mean_queuing_ns == pytest.approx((100 + 200 + 300) / 3)
+
+    def test_rate(self):
+        stats = sample_stats()
+        # A: 4500 B over 400 ns = 90 Gbps (synthetic but exact).
+        assert stats[A].rate_bps == pytest.approx(4500 * 8 / 400e-9)
+
+    def test_mean_packet_bytes(self):
+        stats = sample_stats()
+        assert stats[B].mean_packet_bytes == 100
+
+    def test_empty(self):
+        assert collect_flow_stats([]) == {}
+
+
+class TestRanking:
+    def test_rank_by_packets(self):
+        ranked = rank_by_packets(sample_stats())
+        assert ranked[0].flow == A
+        assert ranked[1].flow == C
+
+    def test_top_limits(self):
+        assert len(rank_by_packets(sample_stats(), top=1)) == 1
+
+    def test_deterministic_tie_break(self):
+        stats = collect_flow_stats([rec(A, 0, 1), rec(B, 0, 1)])
+        first = rank_by_packets(stats)
+        second = rank_by_packets(stats)
+        assert [s.flow for s in first] == [s.flow for s in second]
+
+
+class TestElephantMice:
+    def test_split(self):
+        # A carries 4500 of 4700 bytes (~96%): alone it crosses 80%.
+        elephants, mice = elephant_mice_split(sample_stats(), 0.8)
+        assert [s.flow for s in elephants] == [A]
+        assert {s.flow for s in mice} == {B, C}
+
+    def test_bytes_conserved(self):
+        stats = sample_stats()
+        elephants, mice = elephant_mice_split(stats, 0.5)
+        total = sum(s.bytes for s in stats.values())
+        assert sum(s.bytes for s in elephants) + sum(s.bytes for s in mice) == total
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            elephant_mice_split(sample_stats(), 1.0)
+
+
+class TestFct:
+    def test_sorted_ascending(self):
+        fcts = flow_completion_times(sample_stats())
+        durations = [d for _, d in fcts]
+        assert durations == sorted(durations)
+        assert fcts[0][0] == C  # 10 ns span

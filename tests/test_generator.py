@@ -1,0 +1,90 @@
+"""Tests for the Poisson workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.distributions import UWLikeDistribution, WebSearchDistribution
+from repro.traffic.generator import PoissonWorkload, WorkloadConfig
+from repro.units import GBPS
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(load=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(duration_ns=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(flow_pacing_rate_bps=0)
+
+
+class TestGeneration:
+    def test_load_targeting(self):
+        """The in-window offered load lands near the requested target
+        despite the heavy-tailed flow sizes."""
+        for name, dist in [("ws", WebSearchDistribution()), ("uw", UWLikeDistribution())]:
+            cfg = WorkloadConfig(load=1.2, duration_ns=20_000_000)
+            trace = PoissonWorkload(dist, cfg, seed=11).generate()
+            offered = trace.offered_load_bps()
+            assert 1.1 * 10 * GBPS <= offered <= 1.6 * 10 * GBPS, name
+
+    def test_deterministic_per_seed(self):
+        dist = WebSearchDistribution()
+        cfg = WorkloadConfig(load=0.8, duration_ns=5_000_000)
+        a = PoissonWorkload(dist, cfg, seed=5).generate()
+        b = PoissonWorkload(dist, cfg, seed=5).generate()
+        assert np.array_equal(a.arrival_ns, b.arrival_ns)
+        assert np.array_equal(a.size_bytes, b.size_bytes)
+        assert a.flows == b.flows
+
+    def test_different_seeds_differ(self):
+        dist = WebSearchDistribution()
+        cfg = WorkloadConfig(load=0.8, duration_ns=5_000_000)
+        a = PoissonWorkload(dist, cfg, seed=5).generate()
+        b = PoissonWorkload(dist, cfg, seed=6).generate()
+        assert not (
+            len(a) == len(b) and np.array_equal(a.arrival_ns, b.arrival_ns)
+        )
+
+    def test_sorted_arrivals(self):
+        trace = PoissonWorkload(
+            UWLikeDistribution(), WorkloadConfig(load=1.0, duration_ns=2_000_000), 7
+        ).generate()
+        assert np.all(np.diff(trace.arrival_ns) >= 0)
+
+    def test_arrivals_within_window(self):
+        cfg = WorkloadConfig(load=1.0, duration_ns=3_000_000)
+        trace = PoissonWorkload(WebSearchDistribution(), cfg, 8).generate()
+        assert trace.arrival_ns.min() >= 0
+        assert trace.arrival_ns.max() < cfg.duration_ns + cfg.jitter_ns + 1
+
+    def test_flow_indices_consistent(self):
+        trace = PoissonWorkload(
+            WebSearchDistribution(), WorkloadConfig(load=0.9, duration_ns=3_000_000), 9
+        ).generate()
+        assert trace.flow_index.min() >= 0
+        assert trace.flow_index.max() < trace.num_flows
+        # Every flow in the table contributed at least one packet.
+        assert len(np.unique(trace.flow_index)) == trace.num_flows
+
+    def test_flow_keys_unique(self):
+        trace = PoissonWorkload(
+            UWLikeDistribution(), WorkloadConfig(load=1.0, duration_ns=2_000_000), 10
+        ).generate()
+        assert len(set(trace.flows)) == len(trace.flows)
+
+    def test_pacing_spreads_flows(self):
+        """A flow's packets are spread roughly across flow_bytes/pacing."""
+        dist = WebSearchDistribution()
+        cfg = WorkloadConfig(
+            load=0.5, duration_ns=20_000_000, flow_pacing_rate_bps=1 * GBPS
+        )
+        trace = PoissonWorkload(dist, cfg, seed=12).generate()
+        # Pick the flow with the most packets and check its span.
+        counts = np.bincount(trace.flow_index)
+        big = int(np.argmax(counts))
+        mask = trace.flow_index == big
+        span = trace.arrival_ns[mask].max() - trace.arrival_ns[mask].min()
+        sent_bytes = trace.size_bytes[mask].sum()
+        implied_rate = sent_bytes * 8 / (span / 1e9)
+        assert implied_rate == pytest.approx(1 * GBPS, rel=0.5)

@@ -1,0 +1,113 @@
+"""Tests for the HashPipe baseline."""
+
+import pytest
+
+from repro.baselines.hashpipe import HashPipe
+from repro.switch.packet import FlowKey
+
+
+def flow(i):
+    return FlowKey.from_strings(
+        "10.0.%d.%d" % (i // 250, i % 250 + 1), "10.1.0.1", 5000 + (i % 60000), 80
+    )
+
+
+class TestBasics:
+    def test_single_flow_exact(self):
+        hp = HashPipe(slots_per_stage=64, stages=3)
+        for _ in range(100):
+            hp.update(flow(0))
+        assert hp.estimate(flow(0)) == 100
+
+    def test_unseen_flow_zero(self):
+        hp = HashPipe(slots_per_stage=64, stages=3)
+        hp.update(flow(0))
+        assert hp.estimate(flow(1)) == 0
+
+    def test_few_flows_all_exact(self):
+        hp = HashPipe(slots_per_stage=256, stages=4)
+        truth = {}
+        for i in range(10):
+            for _ in range(i + 1):
+                hp.update(flow(i))
+            truth[flow(i)] = i + 1
+        for f, count in truth.items():
+            assert hp.estimate(f) == count
+
+    def test_flow_counts_aggregates_stages(self):
+        hp = HashPipe(slots_per_stage=64, stages=3)
+        for i in range(5):
+            hp.update(flow(i), count=7)
+        counts = hp.flow_counts()
+        assert sum(counts.values()) == 35
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            HashPipe(slots_per_stage=100)
+
+    def test_stage_count_validated(self):
+        with pytest.raises(ValueError):
+            HashPipe(stages=0)
+
+    def test_reset(self):
+        hp = HashPipe(slots_per_stage=64, stages=2)
+        hp.update(flow(0))
+        hp.reset()
+        assert hp.estimate(flow(0)) == 0
+        assert hp.flow_counts() == {}
+
+    def test_sram_entries(self):
+        assert HashPipe(slots_per_stage=4096, stages=5).sram_entries == 20480
+
+
+class TestHeavyHitterBehaviour:
+    def test_heavy_hitters_survive_overload(self):
+        """With far more flows than slots, the heavy flows keep most of
+        their counts — HashPipe's core property."""
+        hp = HashPipe(slots_per_stage=256, stages=4)
+        heavy = [flow(i) for i in range(5)]
+        # 5 heavy flows of 1000 packets, 3000 mice of 1.
+        import random
+
+        rng = random.Random(3)
+        updates = [f for f in heavy for _ in range(1000)]
+        updates += [flow(100 + i) for i in range(3000)]
+        rng.shuffle(updates)
+        for f in updates:
+            hp.update(f)
+        for f in heavy:
+            assert hp.estimate(f) >= 500, "heavy flow lost its count"
+
+    def test_heavy_hitters_listing(self):
+        hp = HashPipe(slots_per_stage=256, stages=4)
+        for _ in range(50):
+            hp.update(flow(0))
+        hp.update(flow(1))
+        hits = hp.heavy_hitters(threshold=10)
+        assert hits[0][0] == flow(0)
+        assert all(count >= 10 for _, count in hits)
+
+    def test_no_overcounting(self):
+        """HashPipe never over-estimates: counts split, never inflate."""
+        hp = HashPipe(slots_per_stage=64, stages=2)
+        truth = {}
+        import random
+
+        rng = random.Random(9)
+        for _ in range(5000):
+            f = flow(rng.randrange(500))
+            truth[f] = truth.get(f, 0) + 1
+            hp.update(f)
+        for f, count in truth.items():
+            assert hp.estimate(f) <= count
+
+    def test_total_conserved_up_to_evictions(self):
+        hp = HashPipe(slots_per_stage=64, stages=2)
+        n = 2000
+        for i in range(n):
+            hp.update(flow(i % 300))
+        stored = sum(hp.flow_counts().values())
+        assert stored <= n
+        # Evicted mass is tracked: stored + (at least) evictions <= n holds
+        # loosely; just confirm the counter moves under pressure.
+        assert hp.evictions > 0

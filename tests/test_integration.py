@@ -1,0 +1,169 @@
+"""End-to-end integration tests across the full stack.
+
+These cover the paths the module-level tests cannot: the event-driven
+switch feeding PrintQueue through real hooks, non-FIFO scheduling under
+the time windows (the paper's scheduling-agnostic claim), the queue
+monitor against the taxonomy oracle on real traffic, and the equivalence
+of the fast-path harness with the event-driven pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrintQueueConfig
+from repro.core.printqueue import PrintQueue, PrintQueuePort
+from repro.core.queries import QueryInterval
+from repro.core.taxonomy import CulpritTaxonomy
+from repro.experiments.runner import (
+    drive_printqueue,
+    run_trace_through_fifo,
+    simulate_workload,
+)
+from repro.metrics.accuracy import precision_recall
+from repro.switch.packet import FlowKey, Packet
+from repro.switch.port import EgressPort
+from repro.switch.queue import EgressQueue
+from repro.switch.scheduler import StrictPriorityScheduler
+from repro.switch.switchsim import Switch
+from repro.switch.telemetry import GroundTruthRecorder
+from repro.traffic.scenarios import incast_scenario, microburst_scenario
+from repro.units import GBPS
+
+
+def ws_config(**kw):
+    defaults = dict(m0=10, k=10, alpha=1, T=3, min_packet_bytes=1500)
+    defaults.update(kw)
+    return PrintQueueConfig(**defaults)
+
+
+class TestEventDrivenPipeline:
+    def test_switch_hooks_to_query(self):
+        """Microburst through the real switch; an async query over a
+        victim's interval matches ground truth closely."""
+        config = ws_config()
+        pq = PrintQueue(config, port_ids=[0], d_ns=1200.0)
+        recorder = GroundTruthRecorder()
+        port = EgressPort(0, 10 * GBPS)
+        switch = Switch([port])
+        pq.attach(switch.ports.values())
+        port.add_egress_hook(recorder.hook)
+
+        trace = microburst_scenario(burst_packets_per_flow=100)
+        switch.run_trace(trace.packets())
+        end = recorder.records[-1].deq_timestamp + 1
+        pq.finish(end)
+
+        victim = max(recorder.records, key=lambda r: r.queuing_delay)
+        interval = QueryInterval.for_victim(
+            victim.enq_timestamp, victim.deq_timestamp
+        )
+        estimate = pq.port(0).async_query(interval)
+        truth = CulpritTaxonomy(list(recorder.records)).direct(victim)
+        score = precision_recall(estimate, truth)
+        assert score.precision > 0.7
+        assert score.recall > 0.7
+
+    def test_fastpath_harness_matches_event_pipeline(self):
+        """The offline driver and the event-driven hooks produce the same
+        time-window state for the same trace."""
+        config = ws_config()
+        trace = incast_scenario(fan_in=8, response_bytes=30_000)
+
+        # Path A: event-driven.
+        pq_a = PrintQueue(config, port_ids=[0], d_ns=1200.0)
+        recorder = GroundTruthRecorder()
+        port = EgressPort(0, 10 * GBPS)
+        switch = Switch([port])
+        pq_a.attach(switch.ports.values())
+        port.add_egress_hook(recorder.hook)
+        switch.run_trace(trace.packets())
+        end = recorder.records[-1].deq_timestamp + 1
+        pq_a.finish(end)
+
+        # Path B: offline fast path.
+        records, _ = run_trace_through_fifo(trace)
+        pq_b = PrintQueuePort(config, d_ns=1200.0, model_dp_read_cost=False)
+        drive_printqueue(records, pq_b)
+
+        interval = QueryInterval(0, end)
+        est_a = pq_a.port(0).async_query(interval)
+        est_b = pq_b.async_query(interval)
+        assert est_a.as_dict() == pytest.approx(est_b.as_dict())
+
+
+class TestSchedulingAgnostic:
+    def test_time_windows_under_strict_priority(self):
+        """Section 4: time windows consume only dequeue timestamps, so
+        they work unchanged under non-FIFO scheduling."""
+        config = ws_config()
+        queues = [EgressQueue(), EgressQueue()]
+        sched = StrictPriorityScheduler(queues)
+        port = EgressPort(0, 10 * GBPS, scheduler=sched)
+        pq = PrintQueue(config, port_ids=[0], d_ns=1200.0)
+        recorder = GroundTruthRecorder()
+        switch = Switch([port])
+        pq.attach(switch.ports.values())
+        port.add_egress_hook(recorder.hook)
+
+        flows = [
+            FlowKey.from_strings("10.0.0.%d" % (i + 1), "10.1.0.1", 5000 + i, 80)
+            for i in range(2)
+        ]
+        packets = []
+        for i in range(400):
+            # Low-priority bulk + high-priority interleave, oversubscribed.
+            packets.append(Packet(flows[0], 1500, i * 600, priority=1))
+            if i % 4 == 0:
+                packets.append(Packet(flows[1], 1500, i * 600 + 10, priority=0))
+        switch.run_trace(packets)
+        end = recorder.records[-1].deq_timestamp + 1
+        pq.finish(end)
+
+        victim = max(recorder.records, key=lambda r: r.queuing_delay)
+        assert victim.flow == flows[0]  # low priority suffers
+        interval = QueryInterval.for_victim(
+            victim.enq_timestamp, victim.deq_timestamp
+        )
+        estimate = pq.port(0).async_query(interval)
+        truth = CulpritTaxonomy(list(recorder.records)).direct(victim)
+        score = precision_recall(estimate, truth)
+        assert score.recall > 0.6
+        # High-priority traffic is correctly implicated as a direct culprit.
+        assert estimate[flows[1]] > 0
+
+
+class TestQueueMonitorOnRealTraffic:
+    def test_matches_taxonomy_oracle(self):
+        """Queue monitor survivors == taxonomy monotone-stack oracle at
+        poll instants (granularity 1, lossless levels)."""
+        run = simulate_workload(
+            "ws", duration_ns=6_000_000, load=1.3, config=ws_config(), seed=13
+        )
+        analysis = run.pq.analysis
+        snap = analysis.qm_snapshots[-1]
+        got = analysis.original_culprits(snap.time_ns)
+        want = run.taxonomy.original(snap.time_ns)
+        score = precision_recall(got, want)
+        assert score.precision > 0.95
+        assert score.recall > 0.95
+
+
+class TestAccuracyRegression:
+    """Coarse accuracy bounds that lock in the reproduction's behaviour;
+    failures here mean a core algorithm regressed."""
+
+    def test_ws_async_band(self):
+        run = simulate_workload(
+            "ws", duration_ns=12_000_000, load=1.3, config=ws_config(), seed=3
+        )
+        victims = [
+            i for i, r in enumerate(run.records) if r.enq_qdepth >= 1000
+        ][:30]
+        assert victims, "workload failed to build a 1k queue"
+        from repro.experiments.evaluation import evaluate_async_queries
+
+        scores = evaluate_async_queries(run.pq, run.taxonomy, run.records, victims)
+        mean_p = np.mean([s.precision for s in scores])
+        mean_r = np.mean([s.recall for s in scores])
+        assert mean_p > 0.75
+        assert mean_r > 0.6

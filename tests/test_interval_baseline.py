@@ -1,0 +1,99 @@
+"""Tests for the fixed-reset-interval + prorating baseline harness."""
+
+import pytest
+
+from repro.baselines.hashpipe import HashPipe
+from repro.baselines.interval import FixedIntervalEstimator
+from repro.core.queries import QueryInterval
+from repro.errors import QueryError
+from repro.switch.packet import FlowKey
+
+A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+B = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80)
+
+
+class ExactCounter:
+    """A lossless per-flow counter (isolates the prorating math)."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def update(self, flow, count=1):
+        self.counts[flow] = self.counts.get(flow, 0) + count
+
+    def flow_counts(self):
+        return dict(self.counts)
+
+    def reset(self):
+        self.counts = {}
+
+
+class TestRollovers:
+    def test_periods_cut_on_schedule(self):
+        est = FixedIntervalEstimator(ExactCounter(), period_ns=100)
+        for t in [10, 50, 120, 250]:
+            est.update(A, t)
+        est.finish()
+        assert len(est.periods) == 3
+        assert [sum(p.counts.values()) for p in est.periods] == [2, 1, 1]
+
+    def test_empty_periods_created_for_gaps(self):
+        est = FixedIntervalEstimator(ExactCounter(), period_ns=100)
+        est.update(A, 10)
+        est.update(A, 450)
+        est.finish()
+        assert len(est.periods) == 5
+        assert sum(p.counts.get(A, 0) for p in est.periods) == 2
+
+    def test_finish_required_before_query(self):
+        est = FixedIntervalEstimator(ExactCounter(), period_ns=100)
+        with pytest.raises(QueryError):
+            est.query(QueryInterval(0, 10))
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            FixedIntervalEstimator(ExactCounter(), period_ns=0)
+
+
+class TestProrating:
+    def test_full_period_query_exact(self):
+        est = FixedIntervalEstimator(ExactCounter(), period_ns=100)
+        for t in range(0, 100, 10):
+            est.update(A, t)
+        est.finish()
+        result = est.query(QueryInterval(0, 100))
+        assert result[A] == pytest.approx(10.0)
+
+    def test_half_period_prorated(self):
+        est = FixedIntervalEstimator(ExactCounter(), period_ns=100)
+        for t in range(0, 100, 10):
+            est.update(A, t)
+        est.finish()
+        result = est.query(QueryInterval(0, 50))
+        assert result[A] == pytest.approx(5.0)
+
+    def test_prorating_is_blind_to_within_period_timing(self):
+        """The fundamental weakness the paper exploits: all packets sit
+        in the first half, but a second-half query still gets half."""
+        est = FixedIntervalEstimator(ExactCounter(), period_ns=100)
+        for t in range(0, 50, 5):  # 10 packets, all in [0, 50)
+            est.update(A, t)
+        est.finish()
+        result = est.query(QueryInterval(50, 100))
+        assert result[A] == pytest.approx(5.0)  # overestimates reality (0)
+
+    def test_query_spanning_periods(self):
+        est = FixedIntervalEstimator(ExactCounter(), period_ns=100)
+        for t in range(0, 200, 10):
+            est.update(A if t < 100 else B, t)
+        est.finish()
+        result = est.query(QueryInterval(50, 150))
+        assert result[A] == pytest.approx(5.0)
+        assert result[B] == pytest.approx(5.0)
+
+    def test_with_hashpipe_structure(self):
+        est = FixedIntervalEstimator(HashPipe(slots_per_stage=64, stages=3), 100)
+        for t in range(0, 100, 10):
+            est.update(A, t)
+        est.finish()
+        assert est.query(QueryInterval(0, 100))[A] == pytest.approx(10.0)

@@ -1,0 +1,51 @@
+"""Tests for the linear-storage telemetry models (NetSight/BurstRadar)."""
+
+import pytest
+
+from repro.baselines.linear import LinearStorageModel
+from repro.switch.packet import FlowKey
+
+A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+
+
+class TestNetSightMode:
+    def test_every_packet_exported(self):
+        model = LinearStorageModel(record_bytes=16)
+        for t in range(0, 1000, 100):
+            model.update(A, t)
+        assert model.exported_packets == 10
+        assert model.exported_bytes == 160
+
+    def test_measured_rate(self):
+        model = LinearStorageModel(record_bytes=16)
+        # 1000 packets over 1 ms -> 1 Mpps -> 16 MB/s.
+        for i in range(1000):
+            model.update(A, i * 1000)
+        assert model.storage_mbps() == pytest.approx(16.0, rel=0.01)
+
+    def test_rate_zero_when_empty(self):
+        assert LinearStorageModel().storage_mbps() == 0.0
+
+    def test_records_kept_on_request(self):
+        model = LinearStorageModel(keep_records=True)
+        model.update(A, 5)
+        assert model.records()[0].deq_timestamp == 5
+
+    def test_records_not_kept_by_default(self):
+        model = LinearStorageModel()
+        model.update(A, 5)
+        with pytest.raises(ValueError):
+            model.records()
+
+
+class TestBurstRadarMode:
+    def test_only_congested_packets(self):
+        model = LinearStorageModel(congested_only=True, depth_threshold=10)
+        model.update(A, 0, enq_qdepth=5)
+        model.update(A, 1, enq_qdepth=15)
+        model.update(A, 2, enq_qdepth=10)
+        assert model.exported_packets == 2
+
+    def test_bad_record_size(self):
+        with pytest.raises(ValueError):
+            LinearStorageModel(record_bytes=0)

@@ -1,0 +1,111 @@
+"""Tests for the accuracy metrics (Section 7.1 definitions)."""
+
+import math
+
+import pytest
+
+from repro.core.queries import FlowEstimate
+from repro.metrics.accuracy import (
+    cdf_points,
+    precision_recall,
+    summarize_scores,
+    topk_precision_recall,
+    AccuracyScore,
+)
+from repro.switch.packet import FlowKey
+
+A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+B = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80)
+C = FlowKey.from_strings("10.0.0.3", "10.1.0.1", 5002, 80)
+
+
+class TestPrecisionRecall:
+    def test_exact_match_is_perfect(self):
+        score = precision_recall({A: 5, B: 3}, {A: 5, B: 3})
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_overestimate_hurts_precision_only(self):
+        score = precision_recall({A: 10}, {A: 5})
+        assert score.precision == 0.5
+        assert score.recall == 1.0
+
+    def test_underestimate_hurts_recall_only(self):
+        score = precision_recall({A: 2}, {A: 5})
+        assert score.precision == 1.0
+        assert score.recall == pytest.approx(0.4)
+
+    def test_wrong_flow_hurts_both(self):
+        score = precision_recall({B: 5}, {A: 5})
+        assert score.precision == 0.0 and score.recall == 0.0
+
+    def test_per_flow_min_not_total_min(self):
+        # Totals match (8 = 8) but attribution is half wrong.
+        score = precision_recall({A: 4, B: 4}, {A: 8})
+        assert score.precision == 0.5
+        assert score.recall == 0.5
+
+    def test_degenerate_conventions(self):
+        assert precision_recall({}, {}) == AccuracyScore(1.0, 1.0)
+        assert precision_recall({A: 1}, {}) == AccuracyScore(0.0, 1.0)
+        assert precision_recall({}, {A: 1}) == AccuracyScore(1.0, 0.0)
+
+    def test_accepts_flow_estimate(self):
+        est = FlowEstimate({A: 5})
+        score = precision_recall(est, FlowEstimate({A: 5}))
+        assert score.precision == 1.0
+
+    def test_f1(self):
+        assert AccuracyScore(1.0, 1.0).f1 == 1.0
+        assert AccuracyScore(0.0, 0.0).f1 == 0.0
+        assert AccuracyScore(0.5, 1.0).f1 == pytest.approx(2 / 3)
+
+
+class TestTopK:
+    def test_restricts_to_heavy_flows(self):
+        est = {A: 100, B: 50, C: 1}
+        truth = {A: 100, B: 50, C: 90}
+        score = topk_precision_recall(est, truth, k=2)
+        # Precision over est's top-2 {A, B}: perfect.
+        assert score.precision == 1.0
+        # Recall over truth's top-2 {A, C}: C is badly underestimated.
+        assert score.recall == pytest.approx((100 + 1) / 190)
+
+    def test_k_larger_than_population(self):
+        score = topk_precision_recall({A: 5}, {A: 5}, k=100)
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            topk_precision_recall({}, {}, k=0)
+
+
+class TestSummaries:
+    def test_mean_and_median(self):
+        scores = [
+            AccuracyScore(1.0, 0.2),
+            AccuracyScore(0.5, 0.4),
+            AccuracyScore(0.0, 0.6),
+        ]
+        summary = summarize_scores(scores)
+        assert summary["mean_precision"] == pytest.approx(0.5)
+        assert summary["median_precision"] == 0.5
+        assert summary["mean_recall"] == pytest.approx(0.4)
+        assert summary["count"] == 3
+
+    def test_even_count_median(self):
+        scores = [AccuracyScore(0.0, 0.0), AccuracyScore(1.0, 1.0)]
+        assert summarize_scores(scores)["median_precision"] == 0.5
+
+    def test_empty(self):
+        summary = summarize_scores([])
+        assert math.isnan(summary["mean_precision"])
+        assert summary["count"] == 0
+
+
+class TestCdf:
+    def test_points(self):
+        points = cdf_points([0.3, 0.1, 0.2])
+        assert points == [(0.1, pytest.approx(1 / 3)), (0.2, pytest.approx(2 / 3)), (0.3, 1.0)]
+
+    def test_empty(self):
+        assert cdf_points([]) == []

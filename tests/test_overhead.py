@@ -1,0 +1,96 @@
+"""Tests for the SRAM / PCIe overhead models behind Figures 13-15."""
+
+import pytest
+
+from repro.core.config import PrintQueueConfig
+from repro.metrics import overhead
+from repro.units import PCIE_BYTES_PER_ENTRY
+
+
+def cfg(**kw):
+    defaults = dict(m0=6, k=12, alpha=2, T=4)
+    defaults.update(kw)
+    return PrintQueueConfig(**defaults)
+
+
+class TestSram:
+    def test_time_windows_scaling(self):
+        base = overhead.time_windows_sram_bytes(cfg())
+        assert overhead.time_windows_sram_bytes(cfg(T=8)) == 2 * base
+        assert overhead.time_windows_sram_bytes(cfg(k=13)) == 2 * base
+
+    def test_ports_rounded_to_power_of_two(self):
+        one = overhead.time_windows_sram_bytes(cfg(), num_ports=1)
+        assert overhead.time_windows_sram_bytes(cfg(), num_ports=3) == 4 * one
+        assert overhead.time_windows_sram_bytes(cfg(), num_ports=4) == 4 * one
+
+    def test_alpha_does_not_affect_sram(self):
+        # Section 7.1: "alpha does not affect resource consumption".
+        assert overhead.time_windows_sram_bytes(
+            cfg(alpha=1)
+        ) == overhead.time_windows_sram_bytes(cfg(alpha=3))
+
+    def test_queue_monitor_sram_near_paper_figure(self):
+        """Section 7.2: the queue monitor for one port uses 12.81 % of
+        data-plane SRAM; our model's constants land within 2 points."""
+        utilization = overhead.sram_utilization(
+            cfg(), include_queue_monitor=True
+        ) - overhead.sram_utilization(cfg(), include_queue_monitor=False)
+        assert utilization == pytest.approx(0.1281, abs=0.02)
+
+    def test_utilization_fractional(self):
+        u = overhead.sram_utilization(cfg())
+        assert 0 < u < 1
+
+
+class TestStorageBandwidth:
+    def test_printqueue_rate(self):
+        config = cfg()
+        mbps = overhead.printqueue_storage_mbps(config)
+        expected = (
+            config.T
+            * config.num_cells
+            * PCIE_BYTES_PER_ENTRY
+            / (config.set_period_ns / 1e9)
+            / 1e6
+        )
+        assert mbps == pytest.approx(expected)
+
+    def test_larger_alpha_cheaper(self):
+        # Larger alpha -> longer set period -> lower polling bandwidth.
+        assert overhead.printqueue_storage_mbps(
+            cfg(alpha=3)
+        ) < overhead.printqueue_storage_mbps(cfg(alpha=1))
+
+    def test_larger_T_cheaper(self):
+        # Another window costs entries but extends the set period
+        # exponentially: net bandwidth drops.
+        assert overhead.printqueue_storage_mbps(
+            cfg(T=5)
+        ) < overhead.printqueue_storage_mbps(cfg(T=4))
+
+    def test_linear_storage(self):
+        # 9.1 Mpps at 16 B/record = 145.6 MB/s.
+        assert overhead.linear_storage_mbps(9.1e6) == pytest.approx(145.6)
+
+    def test_ratio_grows_with_T(self):
+        """Figure 14a: the linear:exponential ratio grows with T."""
+        pps = 9.1e6
+        ratios = [
+            overhead.linear_to_exponential_ratio(cfg(T=t), pps) for t in (2, 3, 4, 5)
+        ]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+        # The aggressive corner (alpha=3, T=5) reaches orders of magnitude,
+        # as in the paper's Figure 14a top curve.
+        assert overhead.linear_to_exponential_ratio(cfg(alpha=3, T=5), pps) > 100
+
+    def test_feasibility(self):
+        # The paper's chosen configurations sit under the PCIe line.
+        assert overhead.config_is_feasible(cfg())  # UW config
+        assert overhead.config_is_feasible(
+            cfg(m0=10, alpha=1, min_packet_bytes=1500)
+        )  # WS/DM config
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            overhead.linear_storage_mbps(-1)

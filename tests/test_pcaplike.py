@@ -1,0 +1,105 @@
+"""Tests for the pqtrace binary format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodeError
+from repro.traffic import pcaplike
+from repro.traffic.distributions import WebSearchDistribution
+from repro.traffic.generator import PoissonWorkload, WorkloadConfig
+from repro.traffic.trace import Trace
+from repro.switch.packet import FlowKey
+
+
+def small_trace():
+    flows = [
+        FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80),
+        FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80, 17),
+    ]
+    return Trace(
+        arrival_ns=np.array([0, 100, 250], dtype=np.int64),
+        size_bytes=np.array([64, 1500, 100], dtype=np.int64),
+        flow_index=np.array([0, 1, 0], dtype=np.int64),
+        flows=flows,
+        priority=np.array([0, 3, 0], dtype=np.int64),
+        name="small",
+    )
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.pqtrace"
+        count = pcaplike.write_trace(trace, path)
+        assert count == 3
+        loaded = pcaplike.read_trace(path)
+        assert np.array_equal(loaded.arrival_ns, trace.arrival_ns)
+        assert np.array_equal(loaded.size_bytes, trace.size_bytes)
+        for i in range(3):
+            assert (
+                loaded.flows[loaded.flow_index[i]]
+                == trace.flows[trace.flow_index[i]]
+            )
+        assert list(loaded.priority) == [0, 3, 0]
+
+    def test_priority_omitted_when_all_zero(self, tmp_path):
+        trace = small_trace()
+        trace.priority = None
+        path = tmp_path / "t.pqtrace"
+        pcaplike.write_trace(trace, path)
+        assert pcaplike.read_trace(path).priority is None
+
+    def test_generated_workload_round_trip(self, tmp_path):
+        workload = PoissonWorkload(
+            WebSearchDistribution(),
+            WorkloadConfig(load=0.8, duration_ns=2_000_000),
+            seed=3,
+        )
+        trace = workload.generate()
+        path = tmp_path / "ws.pqtrace"
+        pcaplike.write_trace(trace, path)
+        loaded = pcaplike.read_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.num_flows == trace.num_flows
+        assert np.array_equal(loaded.arrival_ns, trace.arrival_ns)
+
+    def test_file_size_formula(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.pqtrace"
+        pcaplike.write_trace(trace, path)
+        assert path.stat().st_size == pcaplike.trace_file_bytes(3)
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pqtrace"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(DecodeError):
+            pcaplike.read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc.pqtrace"
+        path.write_bytes(b"PQ")
+        with pytest.raises(DecodeError):
+            pcaplike.read_trace(path)
+
+    def test_truncated_body(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.pqtrace"
+        pcaplike.write_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(DecodeError):
+            pcaplike.read_trace(path)
+
+    def test_bad_version(self, tmp_path):
+        import struct
+
+        path = tmp_path / "v9.pqtrace"
+        path.write_bytes(struct.pack("<4sHHQ", b"PQTR", 9, 0, 0))
+        with pytest.raises(DecodeError):
+            pcaplike.read_trace(path)
+
+    def test_negative_count_formula(self):
+        with pytest.raises(ValueError):
+            pcaplike.trace_file_bytes(-1)

@@ -1,0 +1,145 @@
+"""Integration tests for EgressPort + Switch: line-rate drain timing."""
+
+import pytest
+
+from repro.switch.events import EventQueue
+from repro.switch.packet import FlowKey, Packet
+from repro.switch.port import EgressPort
+from repro.switch.queue import EgressQueue
+from repro.switch.scheduler import StrictPriorityScheduler
+from repro.switch.switchsim import Switch
+from repro.units import GBPS
+
+FLOW_A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+FLOW_B = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80)
+
+
+def run_single_port(packets, rate_bps=10 * GBPS, **port_kwargs):
+    switch = Switch.single_port(rate_bps, port=EgressPort(0, rate_bps, **port_kwargs))
+    switch.run_trace(packets)
+    return switch
+
+
+class TestLineRateDrain:
+    def test_back_to_back_spacing(self):
+        # Two 1500 B packets arriving together at 10 Gbps: second departs
+        # exactly 1200 ns after the first.
+        packets = [Packet(FLOW_A, 1500, 0), Packet(FLOW_A, 1500, 0)]
+        run_single_port(packets)
+        assert packets[0].deq_timestamp == 0
+        assert packets[1].deq_timestamp == 1200
+
+    def test_idle_port_forwards_immediately(self):
+        p = Packet(FLOW_A, 1500, 5000)
+        run_single_port([p])
+        assert p.deq_timestamp == 5000
+        assert p.deq_timedelta == 0
+
+    def test_wire_busy_delays_next(self):
+        # Packet 2 arrives mid-transmission of packet 1.
+        p1 = Packet(FLOW_A, 1500, 0)
+        p2 = Packet(FLOW_A, 64, 600)
+        run_single_port([p1, p2])
+        assert p2.deq_timestamp == 1200
+        assert p2.deq_timedelta == 600
+
+    def test_non_integer_tx_accumulates_exactly(self):
+        # 100 B at 10 Gbps = 80 ns exactly; 125 B = 100 ns; mixing sizes
+        # with ps accounting keeps departures exact.
+        sizes = [100, 125, 100, 125]
+        packets = [Packet(FLOW_A, s, 0) for s in sizes]
+        run_single_port(packets)
+        deqs = [p.deq_timestamp for p in packets]
+        assert deqs == [0, 80, 180, 260]
+
+    def test_fractional_byte_time_ceils(self):
+        # 65 B at 10 Gbps = 52 ns exactly; 64 B = 51.2 ns -> next start
+        # ceils to 52 ns on the ns clock.
+        packets = [Packet(FLOW_A, 64, 0), Packet(FLOW_A, 64, 0)]
+        run_single_port(packets)
+        assert packets[1].deq_timestamp == 52
+
+    def test_queue_depth_metadata(self):
+        packets = [Packet(FLOW_A, 1500, 0) for _ in range(4)]
+        run_single_port(packets)
+        assert [p.enq_qdepth for p in packets] == [0, 1, 2, 3]
+
+    def test_tx_counters(self):
+        switch = run_single_port([Packet(FLOW_A, 1000, 0), Packet(FLOW_B, 500, 0)])
+        assert switch.stats.tx_packets == 2
+        assert switch.stats.tx_bytes == 1500
+        assert switch.stats.rx_packets == 2
+
+
+class TestDrops:
+    def test_tail_drop_counted(self):
+        port = EgressPort(0, 10 * GBPS, queue=EgressQueue(capacity_units=2))
+        switch = Switch([port])
+        # All five arrive at t=0, before the first transmission completes
+        # (arrivals tie-break ahead of dequeues): two fit, three drop.
+        packets = [Packet(FLOW_A, 1500, 0) for _ in range(5)]
+        switch.run_trace(packets)
+        assert switch.stats.drops == 3
+        assert switch.stats.tx_packets == 2
+        assert sum(p.dropped for p in packets) == 3
+
+
+class TestMultiPort:
+    def test_classifier_steering(self):
+        ports = [EgressPort(0, 10 * GBPS), EgressPort(1, 10 * GBPS)]
+        switch = Switch(ports, classifier=lambda p: p.priority % 2)
+        packets = [Packet(FLOW_A, 100, i, priority=i) for i in range(10)]
+        switch.run_trace(packets)
+        assert switch.stats.per_port_tx == {0: 5, 1: 5}
+
+    def test_egress_spec_steering(self):
+        ports = [EgressPort(0, 10 * GBPS), EgressPort(1, 10 * GBPS)]
+        switch = Switch(ports)
+        p = Packet(FLOW_A, 100, 0)
+        p.egress_spec = 1
+        switch.run_trace([p])
+        assert switch.stats.per_port_tx == {0: 0, 1: 1}
+
+    def test_duplicate_port_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Switch([EgressPort(0, GBPS), EgressPort(0, GBPS)])
+
+    def test_unknown_port_raises(self):
+        from repro.errors import SimulationError
+
+        switch = Switch([EgressPort(0, GBPS)], classifier=lambda p: 7)
+        switch.inject(Packet(FLOW_A, 100, 0))
+        with pytest.raises(SimulationError):
+            switch.run()
+
+
+class TestSchedulers:
+    def test_strict_priority_end_to_end(self):
+        queues = [EgressQueue(), EgressQueue()]
+        sched = StrictPriorityScheduler(queues)
+        port = EgressPort(0, 10 * GBPS, scheduler=sched)
+        switch = Switch([port])
+        low = [Packet(FLOW_A, 1500, 0, priority=1) for _ in range(5)]
+        high = Packet(FLOW_B, 1500, 100, priority=0)
+        switch.run_trace(low + [high])
+        # The high-priority packet jumps all queued low-priority packets:
+        # it waits only for the in-flight transmission to finish.
+        assert high.deq_timestamp == 1200
+        assert sorted(p.deq_timestamp for p in low)[1] == 2400
+
+    def test_egress_hook_sees_all_packets(self):
+        seen = []
+        port = EgressPort(0, 10 * GBPS)
+        port.add_egress_hook(seen.append)
+        switch = Switch([port])
+        packets = [Packet(FLOW_A, 100, i * 10) for i in range(7)]
+        switch.run_trace(packets)
+        assert seen == packets
+
+    def test_enqueue_hook_order(self):
+        enq_seen = []
+        port = EgressPort(0, 10 * GBPS)
+        port.add_enqueue_hook(lambda p: enq_seen.append(p.enq_qdepth))
+        switch = Switch([port])
+        switch.run_trace([Packet(FLOW_A, 1500, 0) for _ in range(3)])
+        assert enq_seen == [0, 1, 2]

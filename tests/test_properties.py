@@ -1,0 +1,186 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise invariants that span module boundaries: the query path
+over arbitrary packet streams, trace algebra, interval splitting, and
+the analysis program's conservation behaviour.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import AnalysisProgram
+from repro.core.config import PrintQueueConfig
+from repro.core.queries import FlowEstimate, QueryInterval
+from repro.metrics.accuracy import precision_recall
+from repro.switch.packet import FlowKey
+from repro.traffic.trace import Trace
+
+FLOWS = [
+    FlowKey.from_strings("10.0.0.%d" % (i + 1), "10.1.0.1", 5000 + i, 80)
+    for i in range(6)
+]
+
+
+def make_config():
+    return PrintQueueConfig(m0=2, k=5, alpha=1, T=3)
+
+
+@st.composite
+def packet_streams(draw):
+    """A sorted stream of (timestamp, flow index) with bounded gaps."""
+    n = draw(st.integers(10, 300))
+    gaps = draw(
+        st.lists(st.integers(1, 12), min_size=n, max_size=n)
+    )
+    flows = draw(
+        st.lists(st.integers(0, len(FLOWS) - 1), min_size=n, max_size=n)
+    )
+    times = np.cumsum(gaps).tolist()
+    return list(zip(times, flows))
+
+
+class TestQueryPathProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=packet_streams())
+    def test_estimates_never_negative_and_bounded(self, stream):
+        """Whatever the stream, a query never returns negative counts and
+        the window-0-covered portion never exceeds the stream length by
+        more than the coefficient inflation allows."""
+        config = make_config()
+        analysis = AnalysisProgram(config, d_ns=6.0)
+        for t, f in stream:
+            analysis.on_dequeue(FLOWS[f], t)
+        end = stream[-1][0] + 1
+        analysis.periodic_poll(end)
+        estimate = analysis.query_time_windows(QueryInterval(0, end))
+        assert all(v >= 0 for _, v in estimate.items())
+        max_inflation = 1.0 / min(analysis.coefficients)
+        assert estimate.total <= len(stream) * max_inflation + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=packet_streams(), split=st.integers(1, 1000))
+    def test_interval_splitting_additive(self, stream, split):
+        """Querying [a, c) equals querying [a, b) + [b, c): the interval
+        splitter must neither double-count nor drop cells."""
+        config = make_config()
+        analysis = AnalysisProgram(config, d_ns=6.0)
+        for t, f in stream:
+            analysis.on_dequeue(FLOWS[f], t)
+        end = stream[-1][0] + 1
+        analysis.periodic_poll(end)
+        b = 1 + split % (end - 1) if end > 2 else 1
+        whole = analysis.query_time_windows(QueryInterval(0, end))
+        left = analysis.query_time_windows(QueryInterval(0, b)) if b > 0 else FlowEstimate()
+        right = analysis.query_time_windows(QueryInterval(b, end))
+        combined = left.merge(right)
+        # Cells straddling the split boundary are counted by both halves
+        # (whole-cell inclusion), so combined >= whole, with the excess
+        # bounded by one cell per window per snapshot.
+        assert combined.total >= whole.total - 1e-9
+        slack = sum(1.0 / c for c in analysis.coefficients)
+        assert combined.total <= whole.total + slack + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=packet_streams())
+    def test_window0_only_interval_is_exact(self, stream):
+        """A query confined to the most recent window period reproduces
+        the exact per-flow counts when no two packets share a cell."""
+        config = make_config()
+        # Spread packets so each lands in its own window-0 cell.
+        spread = [(t * 4, f) for t, f in stream]
+        analysis = AnalysisProgram(config, d_ns=4.0)
+        for t, f in spread:
+            analysis.on_dequeue(FLOWS[f], t)
+        end = spread[-1][0] + 1
+        analysis.periodic_poll(end)
+        window0_span = config.window_period_ns(0)
+        start = max(0, end - window0_span // 2)
+        # Align to a cell boundary: exactness only holds when the query
+        # does not slice through a cell (whole-cell inclusion otherwise
+        # legitimately picks up the straddling packet).
+        start = (start >> config.m0) << config.m0
+        if start >= end - 4:
+            return
+        truth = {}
+        for t, f in spread:
+            if start <= t < end:
+                truth[FLOWS[f]] = truth.get(FLOWS[f], 0) + 1
+        estimate = analysis.query_time_windows(QueryInterval(start, end))
+        score = precision_recall(estimate, truth)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(1.0)
+
+
+class TestTraceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrivals=st.lists(st.integers(0, 10_000), min_size=1, max_size=100),
+        cut=st.integers(0, 10_000),
+    )
+    def test_slice_partitions_trace(self, arrivals, cut):
+        arrivals = sorted(arrivals)
+        n = len(arrivals)
+        trace = Trace(
+            arrival_ns=np.array(arrivals, dtype=np.int64),
+            size_bytes=np.full(n, 100, dtype=np.int64),
+            flow_index=np.zeros(n, dtype=np.int64),
+            flows=[FLOWS[0]],
+        )
+        left = trace.slice_time(0, cut)
+        right = trace.slice_time(cut, 10**9)
+        assert len(left) + len(right) == n
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batches=st.lists(
+            st.lists(st.integers(0, 5_000), min_size=1, max_size=30),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_merge_preserves_packets(self, batches):
+        traces = []
+        for b, arrivals in enumerate(batches):
+            arrivals = sorted(arrivals)
+            n = len(arrivals)
+            traces.append(
+                Trace(
+                    arrival_ns=np.array(arrivals, dtype=np.int64),
+                    size_bytes=np.full(n, 100 + b, dtype=np.int64),
+                    flow_index=np.zeros(n, dtype=np.int64),
+                    flows=[FLOWS[b]],
+                )
+            )
+        merged = Trace.merge(traces)
+        assert len(merged) == sum(len(t) for t in traces)
+        assert np.all(np.diff(merged.arrival_ns) >= 0)
+        assert merged.total_bytes() == sum(t.total_bytes() for t in traces)
+
+
+class TestEstimateProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=st.dictionaries(
+            st.integers(0, 5), st.floats(0.0, 100.0), max_size=6
+        )
+    )
+    def test_self_comparison_perfect(self, counts):
+        mapping = {FLOWS[i]: v for i, v in counts.items() if v > 0}
+        score = precision_recall(mapping, mapping)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        est=st.dictionaries(st.integers(0, 5), st.floats(0.01, 100.0), max_size=6),
+        tru=st.dictionaries(st.integers(0, 5), st.floats(0.01, 100.0), max_size=6),
+    )
+    def test_scores_always_in_unit_interval(self, est, tru):
+        score = precision_recall(
+            {FLOWS[i]: v for i, v in est.items()},
+            {FLOWS[i]: v for i, v in tru.items()},
+        )
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0

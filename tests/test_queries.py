@@ -1,0 +1,85 @@
+"""Tests for query inputs/results (QueryInterval, FlowEstimate)."""
+
+import pytest
+
+from repro.core.queries import CulpritReport, FlowEstimate, QueryInterval
+from repro.errors import QueryError
+from repro.switch.packet import FlowKey
+
+FLOW_A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+FLOW_B = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80)
+
+
+class TestQueryInterval:
+    def test_basics(self):
+        q = QueryInterval(10, 50)
+        assert q.length_ns == 40
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            QueryInterval(10, 10)
+        with pytest.raises(QueryError):
+            QueryInterval(10, 5)
+
+    def test_for_victim_includes_both_dequeues(self):
+        q = QueryInterval.for_victim(100, 200)
+        assert q.start_ns == 100
+        assert q.end_ns == 201  # closed-open with deq included
+
+    def test_intersect(self):
+        q = QueryInterval(10, 50)
+        assert q.intersect(0, 20).end_ns == 20
+        assert q.intersect(40, 100).start_ns == 40
+        assert q.intersect(60, 100) is None
+        assert q.intersect(50, 60) is None  # touching is empty
+
+
+class TestFlowEstimate:
+    def test_add_and_get(self):
+        est = FlowEstimate()
+        est.add(FLOW_A, 2.5)
+        est.add(FLOW_A, 1.5)
+        assert est[FLOW_A] == 4.0
+        assert est[FLOW_B] == 0.0
+        assert FLOW_A in est and FLOW_B not in est
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FlowEstimate().add(FLOW_A, -1)
+
+    def test_total(self):
+        est = FlowEstimate({FLOW_A: 3, FLOW_B: 7})
+        assert est.total == 10
+
+    def test_merge_is_pure(self):
+        a = FlowEstimate({FLOW_A: 1})
+        b = FlowEstimate({FLOW_A: 2, FLOW_B: 5})
+        merged = a.merge(b)
+        assert merged[FLOW_A] == 3 and merged[FLOW_B] == 5
+        assert a[FLOW_A] == 1  # original untouched
+
+    def test_top(self):
+        est = FlowEstimate({FLOW_A: 1, FLOW_B: 9})
+        assert est.top(1) == [(FLOW_B, 9)]
+        assert [f for f, _ in est.top(5)] == [FLOW_B, FLOW_A]
+
+    def test_as_dict_copy(self):
+        est = FlowEstimate({FLOW_A: 1})
+        d = est.as_dict()
+        d[FLOW_A] = 99
+        assert est[FLOW_A] == 1
+
+
+class TestCulpritReport:
+    def test_summary_renders(self):
+        report = CulpritReport(
+            victim_enq_ns=100,
+            victim_deq_ns=400,
+            direct=FlowEstimate({FLOW_A: 5}),
+            indirect=FlowEstimate({FLOW_B: 3}),
+            original=FlowEstimate({FLOW_B: 2}),
+        )
+        text = report.summary()
+        assert "300 ns" in text
+        assert "direct" in text and "indirect" in text and "original" in text
+        assert str(FLOW_A) in text

@@ -1,0 +1,125 @@
+"""Unit tests for EgressQueue depth accounting and metadata stamping."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.switch.packet import FlowKey, Packet
+from repro.switch.queue import EgressQueue
+
+FLOW = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+
+
+def make_packet(size=1500, arrival=0):
+    return Packet(FLOW, size, arrival)
+
+
+class TestEnqueueMetadata:
+    def test_enq_qdepth_excludes_self(self):
+        q = EgressQueue()
+        p1, p2 = make_packet(), make_packet()
+        q.enqueue(p1, 10)
+        q.enqueue(p2, 20)
+        assert p1.enq_qdepth == 0
+        assert p2.enq_qdepth == 1
+
+    def test_enq_timestamp_stamped(self):
+        q = EgressQueue()
+        p = make_packet()
+        q.enqueue(p, 123)
+        assert p.enq_timestamp == 123
+
+    def test_deq_stamps_timedelta_and_depth(self):
+        q = EgressQueue()
+        p = make_packet()
+        q.enqueue(p, 100)
+        out = q.dequeue(150)
+        assert out is p
+        assert p.deq_timedelta == 50
+        assert p.deq_qdepth == 0
+
+    def test_fifo_order(self):
+        q = EgressQueue()
+        packets = [make_packet() for _ in range(5)]
+        for i, p in enumerate(packets):
+            q.enqueue(p, i)
+        for p in packets:
+            assert q.dequeue(100) is p
+
+
+class TestDepthAccounting:
+    def test_packet_units_default(self):
+        q = EgressQueue()
+        q.enqueue(make_packet(size=9000), 0)
+        assert q.depth_units == 1
+
+    def test_cell_units(self):
+        q = EgressQueue(cell_bytes=80)
+        q.enqueue(make_packet(size=1500), 0)  # ceil(1500/80) = 19 cells
+        assert q.depth_units == 19
+        q.enqueue(make_packet(size=80), 0)
+        assert q.depth_units == 20
+        q.enqueue(make_packet(size=81), 0)
+        assert q.depth_units == 22
+
+    def test_bytes_tracked(self):
+        q = EgressQueue()
+        q.enqueue(make_packet(size=100), 0)
+        q.enqueue(make_packet(size=200), 0)
+        assert q.buffered_bytes == 300
+        q.dequeue(5)
+        assert q.buffered_bytes == 200
+
+    def test_max_depth_seen(self):
+        q = EgressQueue()
+        for i in range(4):
+            q.enqueue(make_packet(), i)
+        q.dequeue(10)
+        q.dequeue(11)
+        assert q.max_depth_seen == 4
+
+
+class TestTailDrop:
+    def test_drop_when_full(self):
+        q = EgressQueue(capacity_units=2)
+        assert q.enqueue(make_packet(), 0)
+        assert q.enqueue(make_packet(), 0)
+        victim = make_packet()
+        assert not q.enqueue(victim, 0)
+        assert victim.dropped
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_capacity_respects_units(self):
+        q = EgressQueue(capacity_units=20, cell_bytes=80)
+        assert q.enqueue(make_packet(size=1500), 0)  # 19 cells
+        assert not q.enqueue(make_packet(size=160), 0)  # 2 cells > 1 left
+        assert q.enqueue(make_packet(size=80), 0)  # exactly fits
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EgressQueue(capacity_units=0)
+
+
+class TestErrors:
+    def test_dequeue_empty(self):
+        with pytest.raises(SimulationError):
+            EgressQueue().dequeue(0)
+
+    def test_dequeue_before_enqueue_time(self):
+        q = EgressQueue()
+        q.enqueue(make_packet(), 100)
+        with pytest.raises(SimulationError):
+            q.dequeue(50)
+
+    def test_samples_disabled_by_default(self):
+        q = EgressQueue()
+        with pytest.raises(SimulationError):
+            _ = q.samples
+
+    def test_samples_recorded(self):
+        q = EgressQueue(record_samples=True)
+        q.enqueue(make_packet(), 5)
+        q.enqueue(make_packet(), 7)
+        q.dequeue(9)
+        depths = [(s.time_ns, s.depth) for s in q.samples]
+        assert depths == [(5, 1), (7, 2), (9, 1)]

@@ -1,0 +1,162 @@
+"""Tests for the queue monitor (Section 5) — including a replay of the
+paper's Figure 7 example and a hypothesis equivalence proof against the
+exact monotone-stack oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queuemonitor import QueueMonitor
+from repro.switch.packet import FlowKey
+
+FLOWS = {
+    name: FlowKey.from_strings("10.0.0.%d" % (i + 1), "10.1.0.1", 5000 + i, 80)
+    for i, name in enumerate("ABCDEFGH")
+}
+
+
+class TestFigure7:
+    def test_stale_peak_entry_filtered(self):
+        """Figure 7: B raises the queue 2->5, the queue drains back to 2,
+        D raises it 2->7.  The entry at level 5 is a stale leftover from
+        the earlier peak; the walk must keep A (level <=2) and D (7) but
+        not B."""
+        qm = QueueMonitor(levels=16)
+        qm.on_enqueue(FLOWS["A"], 2)  # A brings depth to 2
+        qm.on_enqueue(FLOWS["B"], 5)  # B: 2 -> 5
+        qm.on_dequeue(FLOWS["B"], 2)  # drains back to 2
+        qm.on_enqueue(FLOWS["D"], 7)  # D: 2 -> 7
+        snapshot = qm.snapshot(time_ns=100)
+        survivors = {(e.level, e.flow) for e in snapshot.walk()}
+        assert (2, FLOWS["A"]) in survivors
+        assert (7, FLOWS["D"]) in survivors
+        assert all(flow != FLOWS["B"] for _, flow in survivors)
+
+    def test_flow_counts(self):
+        qm = QueueMonitor(levels=16)
+        qm.on_enqueue(FLOWS["A"], 1)
+        qm.on_enqueue(FLOWS["A"], 2)
+        qm.on_enqueue(FLOWS["B"], 3)
+        counts = qm.snapshot(0).flow_counts()
+        assert counts == {FLOWS["A"]: 2, FLOWS["B"]: 1}
+
+
+class TestBasicSemantics:
+    def test_simple_rise(self):
+        qm = QueueMonitor(levels=8)
+        for depth, name in [(1, "A"), (2, "B"), (3, "C")]:
+            qm.on_enqueue(FLOWS[name], depth)
+        entries = qm.snapshot(0).walk()
+        assert [(e.level, e.flow) for e in entries] == [
+            (1, FLOWS["A"]),
+            (2, FLOWS["B"]),
+            (3, FLOWS["C"]),
+        ]
+
+    def test_drain_clears_upper_levels(self):
+        qm = QueueMonitor(levels=8)
+        qm.on_enqueue(FLOWS["A"], 1)
+        qm.on_enqueue(FLOWS["B"], 2)
+        qm.on_dequeue(FLOWS["A"], 1)
+        entries = qm.snapshot(0).walk()
+        assert [(e.level, e.flow) for e in entries] == [(1, FLOWS["A"])]
+
+    def test_refill_overwrites(self):
+        qm = QueueMonitor(levels=8)
+        qm.on_enqueue(FLOWS["A"], 1)
+        qm.on_enqueue(FLOWS["B"], 2)
+        qm.on_dequeue(FLOWS["A"], 1)
+        qm.on_enqueue(FLOWS["C"], 2)
+        entries = qm.snapshot(0).walk()
+        assert [(e.level, e.flow) for e in entries] == [
+            (1, FLOWS["A"]),
+            (2, FLOWS["C"]),
+        ]
+
+    def test_empty_queue_no_survivors(self):
+        qm = QueueMonitor(levels=8)
+        qm.on_enqueue(FLOWS["A"], 1)
+        qm.on_dequeue(FLOWS["A"], 0)
+        assert qm.snapshot(0).walk() == []
+
+    def test_granularity_folds_levels(self):
+        qm = QueueMonitor(levels=8, granularity=4)
+        qm.on_enqueue(FLOWS["A"], 3)  # level 0
+        qm.on_enqueue(FLOWS["B"], 9)  # level 2
+        entries = qm.snapshot(0).walk()
+        assert [(e.level, e.flow) for e in entries] == [(2, FLOWS["B"])]
+
+    def test_overflow_clamped(self):
+        qm = QueueMonitor(levels=4)
+        qm.on_enqueue(FLOWS["A"], 100)
+        assert qm.overflows == 1
+        assert qm.top == 3
+
+    def test_reset(self):
+        qm = QueueMonitor(levels=8)
+        qm.on_enqueue(FLOWS["A"], 1)
+        qm.reset()
+        assert qm.snapshot(0).walk() == []
+        assert qm.top == 0
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            QueueMonitor(levels=0)
+        with pytest.raises(ValueError):
+            QueueMonitor(levels=4, granularity=0)
+
+    def test_snapshot_is_frozen(self):
+        qm = QueueMonitor(levels=8)
+        qm.on_enqueue(FLOWS["A"], 1)
+        snap = qm.snapshot(0)
+        qm.on_enqueue(FLOWS["B"], 2)
+        assert len(snap.walk()) == 1
+
+
+class MonotoneStackOracle:
+    """The exact original-culprit semantics: a stack of (level, flow)
+    pairs, pushed on enqueue, popped down to the new depth on dequeue."""
+
+    def __init__(self):
+        self.stack = []
+        self.depth = 0
+
+    def enqueue(self, flow):
+        self.depth += 1
+        self.stack.append((self.depth, flow))
+
+    def dequeue(self):
+        self.depth -= 1
+        while self.stack and self.stack[-1][0] > self.depth:
+            self.stack.pop()
+
+    def survivors(self):
+        return list(self.stack)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(st.booleans(), min_size=1, max_size=400),
+)
+def test_monitor_equals_oracle(ops):
+    """With granularity 1 and lossless levels, the queue monitor's walk
+    must equal the exact monotone-stack oracle after any enqueue/dequeue
+    sequence (dequeues on an empty queue are skipped)."""
+    qm = QueueMonitor(levels=512)
+    oracle = MonotoneStackOracle()
+    flows = list(FLOWS.values())
+    i = 0
+    for is_enqueue in ops:
+        if is_enqueue:
+            flow = flows[i % len(flows)]
+            i += 1
+            oracle.enqueue(flow)
+            qm.on_enqueue(flow, oracle.depth)
+        else:
+            if oracle.depth == 0:
+                continue
+            leaving = flows[(i * 7) % len(flows)]
+            oracle.dequeue()
+            qm.on_dequeue(leaving, oracle.depth)
+    got = [(e.level, e.flow) for e in qm.snapshot(0).walk()]
+    assert got == oracle.survivors()

@@ -1,0 +1,88 @@
+"""Tests for the Figure-8 bank-flipping discipline."""
+
+import pytest
+
+from repro.core.registers import BankedStructure
+from repro.errors import RegisterError
+
+
+class Counter:
+    """Trivial structure standing in for a register array."""
+
+    def __init__(self):
+        self.value = 0
+
+
+def make_banks():
+    return BankedStructure(Counter)
+
+
+class TestPeriodicFlips:
+    def test_flip_returns_frozen_active(self):
+        banks = make_banks()
+        banks.active.value = 42
+        frozen = banks.periodic_flip()
+        assert frozen.value == 42
+        assert banks.active.value == 0
+        assert banks.periodic_flips == 1
+
+    def test_alternation(self):
+        banks = make_banks()
+        seen = set()
+        for _ in range(6):
+            seen.add(banks.active_index)
+            banks.periodic_flip()
+        # Without data-plane locks, flips alternate between two banks.
+        assert len(seen) == 2
+
+    def test_updates_go_to_new_active(self):
+        banks = make_banks()
+        banks.active.value = 1
+        frozen = banks.periodic_flip()
+        banks.active.value = 2
+        assert frozen.value == 1
+
+
+class TestDataPlaneFreeze:
+    def test_freeze_locks_and_redirects(self):
+        banks = make_banks()
+        banks.active.value = 7
+        frozen = banks.dp_freeze()
+        assert frozen.value == 7
+        assert banks.locked_index is not None
+        assert banks.active.value == 0
+
+    def test_concurrent_freeze_rejected(self):
+        banks = make_banks()
+        assert banks.dp_freeze() is not None
+        assert banks.dp_freeze() is None
+        assert banks.dp_rejections == 1
+
+    def test_release_allows_new_freeze(self):
+        banks = make_banks()
+        banks.dp_freeze()
+        banks.dp_release()
+        assert banks.dp_freeze() is not None
+
+    def test_release_without_freeze_raises(self):
+        with pytest.raises(RegisterError):
+            make_banks().dp_release()
+
+    def test_periodic_flips_avoid_locked_bank(self):
+        """Section 6.2: while the special registers are being read,
+        periodic updates flip between the two unused banks."""
+        banks = make_banks()
+        banks.dp_freeze()
+        locked = banks.locked_index
+        for _ in range(5):
+            banks.periodic_flip()
+            assert banks.active_index != locked
+
+    def test_locked_bank_content_untouched(self):
+        banks = make_banks()
+        banks.active.value = 99
+        frozen = banks.dp_freeze()
+        for _ in range(4):
+            banks.periodic_flip()
+            banks.active.value += 1
+        assert frozen.value == 99

@@ -1,0 +1,115 @@
+"""Tests for the experiment result store."""
+
+import pytest
+
+from repro.experiments.reporting import ResultStore, ResultTable, render_markdown
+
+
+class TestResultTable:
+    def test_row_width_checked(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_round_trip_dict(self):
+        table = ResultTable("t", ["a"], notes="hello")
+        table.add_row(3.5)
+        clone = ResultTable.from_dict(table.to_dict())
+        assert clone.name == "t"
+        assert clone.rows == [[3.5]]
+        assert clone.notes == "hello"
+
+
+class TestResultStore:
+    def test_get_or_create(self):
+        store = ResultStore()
+        t1 = store.table("fig9", ["depth", "precision"])
+        t2 = store.table("fig9", ["depth", "precision"])
+        assert t1 is t2
+        assert len(store) == 1
+
+    def test_header_conflict_rejected(self):
+        store = ResultStore()
+        store.table("fig9", ["a"])
+        with pytest.raises(ValueError):
+            store.table("fig9", ["b"])
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore()
+        table = store.table("table2", ["system", "precision", "recall"])
+        table.add_row("PrintQueue", 0.93, 0.91)
+        table.add_row("HashPipe", 0.69, 0.63)
+        path = tmp_path / "results.json"
+        store.save(path)
+        loaded = ResultStore.load(path)
+        assert loaded.get("table2").rows == [
+            ["PrintQueue", 0.93, 0.91],
+            ["HashPipe", 0.69, 0.63],
+        ]
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "tables": []}')
+        with pytest.raises(ValueError):
+            ResultStore.load(path)
+
+    def test_merge_overwrites(self):
+        a = ResultStore()
+        a.table("x", ["c"]).add_row(1)
+        b = ResultStore()
+        b.table("x", ["c"]).add_row(2)
+        a.merge(b)
+        assert a.get("x").rows == [[2]]
+
+    def test_tables_sorted(self):
+        store = ResultStore()
+        store.table("z", ["a"])
+        store.table("a", ["a"])
+        assert [t.name for t in store.tables()] == ["a", "z"]
+
+
+class TestRenderScript:
+    def test_render_results_script(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        store = ResultStore()
+        store.table("Figure 9 (UW)", ["depth", "prec"]).add_row("1-2k", 0.83)
+        results = tmp_path / "results.json"
+        store.save(results)
+        script = Path(__file__).parent.parent / "benchmarks" / "render_results.py"
+        out = subprocess.run(
+            [sys.executable, str(script), str(results)],
+            capture_output=True,
+            text=True,
+        )
+        assert out.returncode == 0
+        assert "Figure 9 (UW)" in out.stdout
+        assert "| 1-2k | 0.83 |" in out.stdout
+
+    def test_render_script_missing_file(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = Path(__file__).parent.parent / "benchmarks" / "render_results.py"
+        out = subprocess.run(
+            [sys.executable, str(script), str(tmp_path / "missing.json")],
+            capture_output=True,
+            text=True,
+        )
+        assert out.returncode == 1
+
+
+class TestMarkdown:
+    def test_renders_tables(self):
+        store = ResultStore()
+        table = store.table("fig14b", ["config", "sram"], notes="SRAM use.")
+        table.add_row("k=12 T=5", "5.0%")
+        md = render_markdown(store)
+        assert "### fig14b" in md
+        assert "| config | sram |" in md
+        assert "| k=12 T=5 | 5.0% |" in md
+        assert "SRAM use." in md

@@ -1,0 +1,101 @@
+"""Tests for the scenario builders (microburst, incast, case study)."""
+
+import numpy as np
+import pytest
+
+from repro.switch.fastpath import fifo_timestamps
+from repro.switch.packet import PROTO_TCP, PROTO_UDP
+from repro.traffic.scenarios import (
+    incast_scenario,
+    microburst_scenario,
+    udp_burst_case_study,
+)
+from repro.units import DEFAULT_LINK_RATE_BPS, GBPS, NS_PER_SEC
+
+
+class TestMicroburst:
+    def test_burst_exceeds_drain_rate(self):
+        trace = microburst_scenario()
+        # During the burst window the offered rate is far above 10 Gbps.
+        start = 1_000_000
+        burst = trace.slice_time(start, start + 100_000)
+        rate = burst.size_bytes.sum() * 8 / (100_000 / NS_PER_SEC)
+        assert rate > 2 * DEFAULT_LINK_RATE_BPS
+
+    def test_burst_builds_queue(self):
+        trace = microburst_scenario()
+        result = fifo_timestamps(
+            trace.arrival_ns, trace.size_bytes, DEFAULT_LINK_RATE_BPS
+        )
+        assert result.enq_qdepth.max() > 500
+
+    def test_flow_population(self):
+        trace = microburst_scenario(burst_flows=8)
+        assert trace.num_flows == 9  # 8 burst + 1 background
+
+    def test_background_alone_underloaded(self):
+        trace = microburst_scenario(burst_flows=1, burst_packets_per_flow=1)
+        assert trace.offered_load_bps() < DEFAULT_LINK_RATE_BPS
+
+
+class TestIncast:
+    def test_synchronized_starts(self):
+        trace = incast_scenario(fan_in=16, sync_spread_ns=20_000)
+        first_arrivals = []
+        for i in range(trace.num_flows):
+            mask = trace.flow_index == i
+            first_arrivals.append(int(trace.arrival_ns[mask].min()))
+        assert max(first_arrivals) - min(first_arrivals) <= 25_000
+
+    def test_fan_in_flow_count(self):
+        assert incast_scenario(fan_in=32).num_flows == 32
+
+    def test_single_application_regime(self):
+        """The paper's point: the whole burst is one application's
+        traffic — every flow shares the destination."""
+        trace = incast_scenario(fan_in=8)
+        dsts = {f.dst_ip for f in trace.flows}
+        assert len(dsts) == 1
+
+
+class TestCaseStudy:
+    def test_flow_roles(self):
+        study = udp_burst_case_study(duration_ns=10_000_000, burst_datagrams=100)
+        assert study.burst_flow.proto == PROTO_UDP
+        assert study.background_flow.proto == PROTO_TCP
+        assert study.new_tcp_flow.proto == PROTO_TCP
+        assert study.new_tcp_start_ns > study.burst_start_ns
+
+    def test_rates_match_spec(self):
+        study = udp_burst_case_study(duration_ns=30_000_000, burst_datagrams=2000)
+        trace = study.trace
+        # Background flow ~9 Gbps over the run.
+        bg_index = trace.flows.index(study.background_flow)
+        mask = trace.flow_index == bg_index
+        bg_bytes = int(trace.size_bytes[mask].sum())
+        bg_rate = bg_bytes * 8 / (trace.duration_ns / NS_PER_SEC)
+        assert bg_rate == pytest.approx(0.9 * DEFAULT_LINK_RATE_BPS, rel=0.1)
+
+    def test_burst_causes_long_lived_queue(self):
+        """The headline effect: queuing persists far longer than the
+        burst itself (paper: 76x; open-loop model: >2x)."""
+        study = udp_burst_case_study(duration_ns=60_000_000)
+        trace = study.trace
+        result = fifo_timestamps(
+            trace.arrival_ns, trace.size_bytes, DEFAULT_LINK_RATE_BPS
+        )
+        burst_index = trace.flows.index(study.burst_flow)
+        burst_mask = trace.flow_index == burst_index
+        burst_span = (
+            trace.arrival_ns[burst_mask].max() - trace.arrival_ns[burst_mask].min()
+        )
+        # Queuing persists to the end of the (60 ms) trace — long after
+        # the ~30 ms burst ended — because the post-burst drain rate is
+        # only 0.5 Gbps.  The full drain takes ~6x the burst length.
+        depth_positive = result.enq_qdepth > 10
+        last_congested = result.enq_timestamp[depth_positive].max()
+        queuing_span = last_congested - study.burst_start_ns
+        assert queuing_span > 1.8 * burst_span
+        # The backlog at trace end is still substantial.
+        final_depth = result.enq_qdepth[-1]
+        assert final_depth > 1000

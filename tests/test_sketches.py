@@ -1,0 +1,77 @@
+"""Tests for the Count-Min / Count sketch substrates."""
+
+import random
+
+import pytest
+
+from repro.baselines.sketches import CountMinSketch, CountSketch
+from repro.switch.packet import FlowKey
+
+
+def flow(i):
+    return FlowKey.from_strings(
+        "10.0.%d.%d" % (i // 250, i % 250 + 1), "10.1.0.1", 5000 + (i % 60000), 80
+    )
+
+
+class TestCountMin:
+    def test_exact_when_sparse(self):
+        cms = CountMinSketch(width=1024, depth=4)
+        cms.update(flow(0), 10)
+        cms.update(flow(1), 20)
+        assert cms.estimate(flow(0)) == 10
+        assert cms.estimate(flow(1)) == 20
+
+    def test_never_underestimates(self):
+        cms = CountMinSketch(width=64, depth=3)
+        rng = random.Random(1)
+        truth = {}
+        for _ in range(3000):
+            f = flow(rng.randrange(400))
+            truth[f] = truth.get(f, 0) + 1
+            cms.update(f)
+        for f, count in truth.items():
+            assert cms.estimate(f) >= count
+
+    def test_reset(self):
+        cms = CountMinSketch(width=64, depth=2)
+        cms.update(flow(0))
+        cms.reset()
+        assert cms.estimate(flow(0)) == 0
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+
+
+class TestCountSketch:
+    def test_exact_when_sparse(self):
+        cs = CountSketch(width=1024, depth=5)
+        cs.update(flow(0), 42)
+        assert cs.estimate(flow(0)) == 42
+
+    def test_small_bias_under_load(self):
+        """The median estimator is unbiased: averaged over many flows the
+        signed collisions roughly cancel."""
+        cs = CountSketch(width=128, depth=5)
+        rng = random.Random(2)
+        truth = {}
+        for _ in range(5000):
+            f = flow(rng.randrange(300))
+            truth[f] = truth.get(f, 0) + 1
+            cs.update(f)
+        errors = [cs.estimate(f) - c for f, c in truth.items()]
+        mean_error = sum(errors) / len(errors)
+        assert abs(mean_error) < 3.0
+
+    def test_reset(self):
+        cs = CountSketch(width=64, depth=3)
+        cs.update(flow(0))
+        cs.reset()
+        assert cs.estimate(flow(0)) == 0
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0)

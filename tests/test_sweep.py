@@ -1,0 +1,74 @@
+"""Tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.core.config import PrintQueueConfig
+from repro.experiments.sweep import ConfigSweep, SweepPoint, pareto_front
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    base = PrintQueueConfig(m0=10, k=10, alpha=1, T=3, min_packet_bytes=1500)
+    return ConfigSweep(
+        "ws", base, duration_ns=6_000_000, load=1.3, victims_per_band=5
+    )
+
+
+class TestSweep:
+    def test_point_measures_config(self, sweep):
+        point = sweep.point("base")
+        assert 0 <= point.mean_precision <= 1
+        assert 0 <= point.mean_recall <= 1
+        assert point.storage_mbps > 0
+        assert 0 < point.sram_fraction < 1
+        assert point.config.T == 3
+
+    def test_overrides_applied(self, sweep):
+        point = sweep.point("t4", T=4)
+        assert point.config.T == 4
+        assert point.config.k == 10  # base preserved
+
+    def test_grid(self, sweep):
+        points = sweep.grid([("a", {}), ("b", dict(alpha=2))])
+        assert [p.label for p in points] == ["a", "b"]
+        assert points[1].config.alpha == 2
+
+    def test_runs_cached_per_config(self, sweep):
+        sweep.point("x")
+        before = len(sweep._runs)
+        sweep.point("y")  # same config -> no new simulation
+        assert len(sweep._runs) == before
+
+    def test_advice_attached(self, sweep):
+        # An m0 mismatched to MTU packet spacing must be flagged.
+        point = sweep.point("bad-m0", m0=4)
+        assert any(a.code == "deep-windows-starved" for a in point.advice)
+
+
+class TestParetoFront:
+    def _pt(self, label, mbps, recall):
+        config = PrintQueueConfig()
+        return SweepPoint(
+            label=label,
+            config=config,
+            accuracy={"mean_precision": recall, "mean_recall": recall},
+            storage_mbps=mbps,
+            sram_fraction=0.1,
+        )
+
+    def test_dominated_points_removed(self):
+        points = [
+            self._pt("cheap-bad", 1.0, 0.5),
+            self._pt("dominated", 2.0, 0.4),  # more storage, less recall
+            self._pt("mid", 5.0, 0.8),
+            self._pt("expensive-best", 20.0, 0.95),
+        ]
+        front = [p.label for p in pareto_front(points)]
+        assert front == ["cheap-bad", "mid", "expensive-best"]
+
+    def test_single_point(self):
+        points = [self._pt("only", 1.0, 0.5)]
+        assert pareto_front(points) == points
+
+    def test_empty(self):
+        assert pareto_front([]) == []

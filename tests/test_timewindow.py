@@ -1,0 +1,112 @@
+"""Unit tests for a single TimeWindow: mapping rule and latest-cell scan."""
+
+import pytest
+
+from repro.core.timewindow import EMPTY, CellRecord, TimeWindow
+from repro.switch.packet import FlowKey
+
+FLOW_A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)
+FLOW_B = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5001, 80)
+
+
+class TestMappingRule:
+    def test_figure5_breakdown(self):
+        """Replay the paper's Figure 5: timestamp 0xAAA9105A, m0=7, k=12."""
+        timestamp = 0xAAA9105A
+        m0, k = 7, 12
+        tts = timestamp >> m0
+        window = TimeWindow(k)
+        index, old_cycle, _ = window.insert(tts, FLOW_A)
+        assert index == 0b001000100000  # the figure's 12-bit index
+        assert tts >> k == 0b1010101010101  # the figure's 13-bit cycle ID
+        assert old_cycle == EMPTY
+        cell = window.cell(index)
+        assert cell is not None and cell.cycle_id == 0b1010101010101
+
+    def test_index_is_low_k_bits(self):
+        window = TimeWindow(4)
+        index, _, _ = window.insert(0b110101, FLOW_A)
+        assert index == 0b0101
+
+    def test_tts_reconstruction(self):
+        window = TimeWindow(4)
+        tts = 0b1011_0110
+        index, _, _ = window.insert(tts, FLOW_A)
+        cell = window.cell(index)
+        assert cell.tts(4) == tts
+
+    def test_eviction_returns_previous(self):
+        window = TimeWindow(4)
+        window.insert(0b0001, FLOW_A)
+        _, old_cycle, old_flow = window.insert(0b1_0001, FLOW_B)
+        assert old_cycle == 0
+        assert old_flow == FLOW_A
+        # The newer packet always wins the cell.
+        assert window.cell(1).flow == FLOW_B
+
+
+class TestLatestCell:
+    def test_empty_window(self):
+        assert TimeWindow(4).latest_cell() is None
+
+    def test_max_cycle_wins(self):
+        window = TimeWindow(4)
+        window.insert((3 << 4) | 2, FLOW_A)
+        window.insert((5 << 4) | 1, FLOW_B)
+        latest = window.latest_cell()
+        assert latest.cycle_id == 5 and latest.index == 1
+
+    def test_within_cycle_higher_index_wins(self):
+        window = TimeWindow(4)
+        window.insert((5 << 4) | 1, FLOW_A)
+        window.insert((5 << 4) | 9, FLOW_B)
+        latest = window.latest_cell()
+        assert latest.index == 9
+
+    def test_ring_wraparound(self):
+        # After wrapping, low-index cells carry higher cycles and win.
+        window = TimeWindow(2)
+        for tts in range(6):  # cycles 0 and 1, indices 0-3 then 0-1
+            window.insert(tts, FLOW_A)
+        latest = window.latest_cell()
+        assert (latest.cycle_id, latest.index) == (1, 1)
+
+
+class TestBasics:
+    def test_len(self):
+        assert len(TimeWindow(5)) == 32
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            TimeWindow(0)
+
+    def test_occupancy(self):
+        window = TimeWindow(4)
+        assert window.occupancy() == 0
+        window.insert(3, FLOW_A)
+        window.insert(7, FLOW_A)
+        assert window.occupancy() == 2
+        window.insert(3, FLOW_B)  # same cell: overwrite, not new
+        assert window.occupancy() == 2
+
+    def test_records_in_index_order(self):
+        window = TimeWindow(4)
+        window.insert(9, FLOW_A)
+        window.insert(2, FLOW_B)
+        records = window.records()
+        assert [r.index for r in records] == [2, 9]
+
+    def test_reset(self):
+        window = TimeWindow(4)
+        window.insert(3, FLOW_A)
+        window.reset()
+        assert window.occupancy() == 0
+        assert window.cell(3) is None
+
+    def test_snapshot_is_independent(self):
+        window = TimeWindow(4)
+        window.insert(3, FLOW_A)
+        snap = window.snapshot()
+        window.insert((1 << 4) | 3, FLOW_B)
+        assert snap.cell(3).flow == FLOW_A
+        assert window.cell(3).flow == FLOW_B

@@ -1,0 +1,123 @@
+"""Tests for the multi-switch network substrate."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.switch.packet import FlowKey, Packet
+from repro.switch.port import EgressPort
+from repro.switch.topology import Network, build_leaf_spine
+from repro.units import GBPS
+
+
+def flow_to_leaf(src_leaf, dst_leaf, sport=5000):
+    return FlowKey.from_strings(
+        f"10.{src_leaf}.0.1", f"10.{dst_leaf}.0.1", sport, 80
+    )
+
+
+class TestNetworkWiring:
+    def test_duplicate_node_rejected(self):
+        network = Network()
+        network.add_switch("a", [EgressPort(0, GBPS)], lambda p: 0)
+        with pytest.raises(ConfigError):
+            network.add_switch("a", [EgressPort(0, GBPS)], lambda p: 0)
+
+    def test_link_validation(self):
+        network = Network()
+        network.add_switch("a", [EgressPort(0, GBPS)], lambda p: 0)
+        with pytest.raises(ConfigError):
+            network.link("a", 0, "missing")
+        with pytest.raises(ConfigError):
+            network.link("a", 7, "a")
+        with pytest.raises(ConfigError):
+            network.link("a", 0, "a", propagation_ns=-1)
+
+    def test_inject_unknown_node(self):
+        with pytest.raises(ConfigError):
+            Network().inject("ghost", Packet(flow_to_leaf(0, 1), 100, 0))
+
+    def test_unlinked_port_delivers(self):
+        network = Network()
+        network.add_switch("a", [EgressPort(0, 10 * GBPS)], lambda p: 0)
+        packet = Packet(flow_to_leaf(0, 1), 1500, 100)
+        network.inject("a", packet)
+        network.run()
+        assert network.delivered == [packet]
+
+
+class TestLeafSpine:
+    def test_local_traffic_stays_on_leaf(self):
+        network, nodes = build_leaf_spine(num_leaves=2)
+        recorder = network.record_paths()
+        packet = Packet(flow_to_leaf(0, 0), 1500, 0)
+        network.inject("leaf0", packet)
+        network.run()
+        path = recorder.paths()[0]
+        assert [h.node for h in path.hops] == ["leaf0"]
+
+    def test_cross_leaf_traffic_takes_three_hops(self):
+        network, nodes = build_leaf_spine(num_leaves=2, propagation_ns=500)
+        recorder = network.record_paths()
+        packet = Packet(flow_to_leaf(0, 1), 1500, 0)
+        network.inject("leaf0", packet)
+        network.run()
+        path = recorder.paths()[0]
+        assert [h.node for h in path.hops] == ["leaf0", "spine", "leaf1"]
+        # Each hop begins after the previous dequeue + propagation.
+        for prev, nxt in zip(path.hops, path.hops[1:]):
+            assert nxt.enq_timestamp == prev.deq_timestamp + 500
+
+    def test_congestion_localized_to_bottleneck_hop(self):
+        """Two leaves funnel into one destination leaf: the spine's
+        downlink is the bottleneck; leaf uplinks stay uncongested."""
+        network, nodes = build_leaf_spine(num_leaves=3)
+        recorder = network.record_paths()
+        for i in range(60):
+            network.inject("leaf0", Packet(flow_to_leaf(0, 2, 5000), 1500, i * 1200))
+            network.inject("leaf1", Packet(flow_to_leaf(1, 2, 5001), 1500, i * 1200))
+        network.run()
+        worst_by_node = {}
+        for path in recorder.paths():
+            for hop in path.hops:
+                worst_by_node[hop.node] = max(
+                    worst_by_node.get(hop.node, 0), hop.queuing_delay
+                )
+        assert worst_by_node["spine"] > 10_000
+        assert worst_by_node["leaf0"] < worst_by_node["spine"] / 5
+        # Path traces point at the spine as the worst hop.
+        longest = max(recorder.paths(), key=lambda p: p.total_queuing)
+        assert longest.worst_hop().node == "spine"
+
+    def test_min_leaves(self):
+        with pytest.raises(ConfigError):
+            build_leaf_spine(num_leaves=1)
+
+    def test_delivery_counts(self):
+        network, nodes = build_leaf_spine(num_leaves=2)
+        for i in range(10):
+            network.inject("leaf0", Packet(flow_to_leaf(0, 1, 5000 + i), 1500, i * 2000))
+        network.run()
+        assert len(network.delivered) == 10
+
+
+class TestPathRecorder:
+    def test_total_queuing_sums_hops(self):
+        network, nodes = build_leaf_spine(num_leaves=2)
+        recorder = network.record_paths()
+        a = Packet(flow_to_leaf(0, 1), 1500, 0)
+        b = Packet(flow_to_leaf(0, 1), 1500, 0)
+        b.seq = 1
+        network.inject("leaf0", a)
+        network.inject("leaf0", b)
+        network.run()
+        # b queues behind a on the first hop at least.
+        path_b = recorder.paths()[1]
+        assert path_b.total_queuing >= 1200
+        assert path_b.total_queuing == sum(h.queuing_delay for h in path_b.hops)
+
+    def test_worst_hop_requires_hops(self):
+        from repro.switch.topology import PathTrace
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            PathTrace(flow_to_leaf(0, 1), 0).worst_hop()

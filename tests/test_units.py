@@ -1,0 +1,75 @@
+"""Unit tests for time/rate conversions in repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestTxDelay:
+    def test_64b_at_10g_is_51200_ps(self):
+        assert units.tx_delay_ps(64, 10 * units.GBPS) == 51_200
+
+    def test_1500b_at_10g_is_1200_ns(self):
+        assert units.tx_delay_ns(1500, 10 * units.GBPS) == 1200
+
+    def test_rounding_half_up(self):
+        # 1 byte at 10 Gbps = 0.8 ns -> rounds to 1 ns.
+        assert units.tx_delay_ns(1, 10 * units.GBPS) == 1
+
+    def test_zero_size(self):
+        assert units.tx_delay_ps(0, units.GBPS) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            units.tx_delay_ps(-1, units.GBPS)
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.tx_delay_ps(100, 0)
+        with pytest.raises(ValueError):
+            units.tx_delay_ps(100, -5)
+
+    def test_exact_at_40g(self):
+        # 1500 B at 40 Gbps = 300 ns exactly.
+        assert units.tx_delay_ns(1500, 40 * units.GBPS) == 300
+
+    def test_scales_linearly_with_size(self):
+        one = units.tx_delay_ps(100, units.GBPS)
+        ten = units.tx_delay_ps(1000, units.GBPS)
+        assert ten == 10 * one
+
+
+class TestMinPktTxDelay:
+    def test_default_min_packet(self):
+        # 64 B at 10 Gbps = 51.2 ns -> 51 ns.
+        assert units.min_pkt_tx_delay_ns(10 * units.GBPS) == 51
+
+    def test_custom_min_packet(self):
+        assert units.min_pkt_tx_delay_ns(10 * units.GBPS, 1500) == 1200
+
+    def test_never_zero(self):
+        # Even absurdly fast links yield at least 1 ns.
+        assert units.min_pkt_tx_delay_ns(10**15, 1) == 1
+
+
+class TestPps:
+    def test_uw_like_rate(self):
+        # ~100 B packets at 10 Gbps is 12.5 Mpps back-to-back.
+        assert units.pps(10 * units.GBPS, 100) == pytest.approx(12.5e6)
+
+    def test_mtu_rate(self):
+        assert units.pps(10 * units.GBPS, 1500) == pytest.approx(833_333.3, rel=1e-3)
+
+    def test_bad_packet_size(self):
+        with pytest.raises(ValueError):
+            units.pps(units.GBPS, 0)
+
+
+class TestMisc:
+    def test_bits_to_bytes_rounds_up(self):
+        assert units.bits_to_bytes(8) == 1
+        assert units.bits_to_bytes(9) == 2
+        assert units.bits_to_bytes(0) == 0
+
+    def test_ns_to_sec(self):
+        assert units.ns_to_sec(1_500_000_000) == pytest.approx(1.5)

@@ -1,0 +1,155 @@
+"""Unit tests for Algorithm 1 — the per-packet time-window procedure.
+
+The scenarios mirror the three behaviours narrated for the paper's
+Figure 6 example: same-cycle collisions drop, stale evictions drop,
+consecutive-cycle evictions pass (and pass recursively through windows).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PrintQueueConfig
+from repro.core.timewindow import EMPTY
+from repro.core.windowset import TimeWindowSet
+from repro.switch.packet import FlowKey
+
+FLOW = [
+    FlowKey.from_strings("10.0.0.%d" % (i + 1), "10.1.0.1", 5000 + i, 80)
+    for i in range(8)
+]
+
+
+def tiny_config(k=2, alpha=1, T=3, m0=0):
+    return PrintQueueConfig(m0=m0, k=k, alpha=alpha, T=T)
+
+
+class TestPassingRule:
+    def test_fresh_cell_no_pass(self):
+        ws = TimeWindowSet(tiny_config())
+        depth = ws.update(FLOW[0], 0)
+        assert depth == 1
+        assert ws.passes == 0
+
+    def test_consecutive_cycle_passes(self):
+        # Figure-6 time step 3 behaviour: eviction with cycle delta 1.
+        ws = TimeWindowSet(tiny_config())
+        ws.update(FLOW[0], 0)  # w0 cell 0, cycle 0
+        ws.update(FLOW[1], 4)  # w0 cell 0, cycle 1 -> FLOW[0] passes
+        assert ws.passes == 1
+        w1_cell = ws.windows[1].cell(0)
+        assert w1_cell is not None and w1_cell.flow == FLOW[0]
+        # The newer packet owns window 0's cell.
+        assert ws.windows[0].cell(0).flow == FLOW[1]
+
+    def test_same_cycle_collision_drops(self):
+        # Figure-6 time step 1: A evicted by B within one cycle -> dropped.
+        ws = TimeWindowSet(tiny_config())
+        ws.update(FLOW[0], 0)
+        ws.update(FLOW[1], 0)
+        assert ws.passes == 0
+        assert ws.drops == 1
+        assert ws.windows[1].occupancy() == 0
+        assert ws.windows[0].cell(0).flow == FLOW[1]
+
+    def test_stale_eviction_drops(self):
+        # Figure-6 time step 2: D's cycle is too far in the past.
+        ws = TimeWindowSet(tiny_config())
+        ws.update(FLOW[0], 0)  # cycle 0
+        ws.update(FLOW[1], 8)  # cycle 2: delta 2 -> drop, not pass
+        assert ws.passes == 0
+        assert ws.drops == 1
+        assert ws.windows[1].occupancy() == 0
+
+    def test_recursive_pass_through_three_windows(self):
+        # Build the chain: A reaches window 2 after two consecutive
+        # evictions with cycle delta exactly 1 at each level.
+        ws = TimeWindowSet(tiny_config())
+        ws.update(FLOW[0], 0)  # A -> w0 cell 0 (cycle 0)
+        ws.update(FLOW[1], 4)  # B evicts A -> A to w1 tts 0 (cell 0, cyc 0)
+        ws.update(FLOW[2], 8)  # C evicts B -> B to w1 tts 2 (cell 2)
+        ws.update(FLOW[3], 12)  # D evicts C -> C to w1 tts 4 (cell 0, cyc 1)
+        #                         ... which evicts A -> A to w2 tts 0
+        assert ws.passes == 4
+        assert ws.windows[2].cell(0).flow == FLOW[0]
+        assert ws.windows[1].cell(0).flow == FLOW[2]
+
+    def test_pass_stops_at_last_window(self):
+        # With T=1 an eviction has nowhere to go: it is simply replaced.
+        ws = TimeWindowSet(tiny_config(T=1))
+        ws.update(FLOW[0], 0)
+        ws.update(FLOW[1], 4)
+        assert ws.windows[0].cell(0).flow == FLOW[1]
+        # Counter still records the would-be pass attempt ending the loop.
+        assert ws.updates == 2
+
+    def test_m0_trims_timestamp(self):
+        ws = TimeWindowSet(tiny_config(m0=6))
+        ws.update(FLOW[0], 63)  # all below-m0 bits ignored
+        ws.update(FLOW[1], 0)
+        # Both map to TTS 0 -> same cell, same cycle -> drop not pass.
+        assert ws.drops == 1
+
+    def test_alpha_compression_on_pass(self):
+        # alpha=2: evicted TTS shifts right by 2 entering the next window.
+        ws = TimeWindowSet(tiny_config(k=2, alpha=2, T=2))
+        ws.update(FLOW[0], 3)  # w0 cell 3, cycle 0
+        ws.update(FLOW[1], 7)  # w0 cell 3, cycle 1 -> pass FLOW[0]
+        # Evicted TTS = 3 -> w1 TTS = 3 >> 2 = 0 -> cell 0.
+        assert ws.windows[1].cell(0).flow == FLOW[0]
+
+
+class TestCounters:
+    def test_update_count(self):
+        ws = TimeWindowSet(tiny_config())
+        for i in range(10):
+            ws.update(FLOW[i % 8], i)
+        assert ws.updates == 10
+
+    def test_occupancy_profile(self):
+        ws = TimeWindowSet(tiny_config())
+        for tts in range(4):
+            ws.update(FLOW[0], tts)
+        assert ws.occupancy() == [4, 0, 0]
+
+    def test_reset(self):
+        ws = TimeWindowSet(tiny_config())
+        ws.update(FLOW[0], 0)
+        ws.reset()
+        assert ws.occupancy() == [0, 0, 0]
+
+
+class TestInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        timestamps=st.lists(st.integers(0, 10_000), min_size=1, max_size=300),
+        k=st.integers(2, 5),
+        alpha=st.integers(1, 3),
+        T=st.integers(1, 4),
+    )
+    def test_newest_always_stored_in_window0(self, timestamps, k, alpha, T):
+        """After any update sequence, the last packet's cell in window 0
+        holds the last packet (the newest always wins its cell)."""
+        ws = TimeWindowSet(PrintQueueConfig(m0=0, k=k, alpha=alpha, T=T))
+        timestamps = sorted(timestamps)
+        for i, ts in enumerate(timestamps):
+            ws.update(FLOW[i % 8], ts)
+        last_tts = timestamps[-1]
+        cell = ws.windows[0].cell(last_tts & ((1 << k) - 1))
+        assert cell is not None
+        assert cell.cycle_id == last_tts >> k
+        assert cell.flow == FLOW[(len(timestamps) - 1) % 8]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        timestamps=st.lists(st.integers(0, 5_000), min_size=1, max_size=200),
+    )
+    def test_passes_plus_drops_equals_evictions(self, timestamps):
+        """Every eviction is either passed or dropped, never both/neither."""
+        ws = TimeWindowSet(PrintQueueConfig(m0=0, k=3, alpha=1, T=3))
+        for i, ts in enumerate(sorted(timestamps)):
+            ws.update(FLOW[i % 8], ts)
+        stored = sum(ws.occupancy())
+        # Conservation: packets in = packets stored + dropped (passes move
+        # a packet between windows without consuming it).
+        assert ws.updates == stored + ws.drops
