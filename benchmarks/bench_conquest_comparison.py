@@ -79,7 +79,7 @@ def run_comparison():
             cq_scores.append(precision_recall(cq_estimates[i], truth))
             pq_scores.append(
                 precision_recall(
-                    run.pq.async_query(victim_interval(record)), truth
+                    run.pq.query(interval=victim_interval(record)).estimate, truth
                 )
             )
         cqs = summarize_scores(cq_scores)

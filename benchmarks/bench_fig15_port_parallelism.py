@@ -15,9 +15,8 @@ limit.
 
 import pytest
 
-from common import all_victim_indices, fmt, get_run, get_victims, print_table, workload_config
-from repro.experiments.evaluation import evaluate_async_queries
-from repro.metrics.accuracy import summarize_scores
+from common import VICTIMS_PER_BAND, WORKLOADS, fmt, print_table, sweep, workload_config
+from repro.engine import SweepCell
 from repro.metrics.overhead import sram_utilization
 
 SWEEP = [
@@ -30,19 +29,28 @@ SWEEP = [
 
 
 def run_fig15():
+    spec = WORKLOADS["ws"]
+    # The simulation itself is per-port and independent of num_ports, so
+    # every cell keys on the structural parameters only (port=0): the
+    # sweep pool dedups the configurations shared between port counts and
+    # fans the distinct ones over worker processes.
+    cells = [
+        SweepCell(
+            workload="ws",
+            config=workload_config("ws", **params),
+            duration_ns=spec["duration_ns"],
+            load=spec["load"],
+            seed=spec["seed"],
+            victims_per_band=VICTIMS_PER_BAND,
+        )
+        for _, params in SWEEP
+    ]
+    outcomes = sweep(cells)
     rows = []
     results = {}
-    for ports, params in SWEEP:
+    for (ports, params), outcome in zip(SWEEP, outcomes):
         config = workload_config("ws", num_ports=ports, **params)
-        # The simulation itself is per-port and independent of num_ports:
-        # key the cached run on the structural parameters only.
-        sim_config = workload_config("ws", **params)
-        victims = get_victims("ws", config=sim_config)
-        indices = sorted(all_victim_indices(victims))
-        run, _ = get_run("ws", config=sim_config)
-        summary = summarize_scores(
-            evaluate_async_queries(run.pq, run.taxonomy, run.records, indices)
-        )
+        summary = outcome.accuracy
         sram_pct = 100 * sram_utilization(config)
         rows.append(
             (

@@ -50,12 +50,14 @@ def run_fig16():
     ]
     victim = victims[len(victims) // 2]
 
-    direct = run.pq.async_query(
-        QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
-    )
+    direct = run.pq.query(
+        interval=QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    ).estimate
     regime_start, _ = run.taxonomy.congestion_regime(victim)
-    indirect = run.pq.async_query(QueryInterval(regime_start, victim.enq_timestamp))
-    original = run.pq.original_culprits(victim.enq_timestamp)
+    indirect = run.pq.query(
+        interval=QueryInterval(regime_start, victim.enq_timestamp)
+    ).estimate
+    original = run.pq.query(at_ns=victim.enq_timestamp).estimate
 
     def shares(estimate):
         total = max(estimate.total, 1e-9)

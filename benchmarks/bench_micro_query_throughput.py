@@ -34,7 +34,7 @@ def test_query_throughput(benchmark):
 
     def do_queries():
         for interval in intervals:
-            run.pq.async_query(interval)
+            run.pq.query(interval=interval)
 
     benchmark.pedantic(do_queries, rounds=3, iterations=1)
     per_query_s = benchmark.stats["mean"] / len(intervals)

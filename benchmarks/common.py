@@ -1,23 +1,26 @@
 """Shared infrastructure for the per-figure/table benchmarks.
 
-Simulation runs are cached at module level so benches sharing a workload
-(Fig. 9 / Table 2 / Fig. 10 all use the same UW run) pay for it once per
-pytest session.  Set ``REPRO_SCALE`` (default 1.0) to scale trace
-durations and victim counts up or down.
+Simulation runs are cached in :class:`repro.engine.ResultCache` instances
+so benches sharing a workload (Fig. 9 / Table 2 / Fig. 10 all use the
+same UW run) pay for it once per pytest session, and sweep-style benches
+can fan independent cells over a process pool via :func:`sweep`.  Set
+``REPRO_SCALE`` (default 1.0) to scale trace durations and victim counts
+up or down.
+
+``repro`` and this module are put on ``sys.path`` by
+``benchmarks/conftest.py``; no path hacks are needed here.
 """
 
 from __future__ import annotations
 
 import os
-import sys
 from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-sys.path.insert(0, os.path.dirname(__file__))  # allow `import common`
 
 from repro.baselines.flowradar import FlowRadar
 from repro.baselines.hashpipe import HashPipe
 from repro.baselines.interval import FixedIntervalEstimator
 from repro.core.config import PrintQueueConfig
+from repro.engine import CellResult, ParallelSweep, ResultCache, SweepCell
 from repro.experiments.evaluation import (
     evaluate_async_queries,
     evaluate_baseline,
@@ -53,8 +56,18 @@ WORKLOADS: Dict[str, Dict] = {
 
 VICTIMS_PER_BAND = max(5, int(30 * SCALE))
 
-_run_cache: Dict[Tuple, ExperimentRun] = {}
-_victim_cache: Dict[Tuple, Dict] = {}
+_run_cache = ResultCache()
+_victim_cache = ResultCache()
+
+#: Shared process-pool sweep for benches that fan independent
+#: (workload, config, port) cells; per-cell results are memoised so
+#: overlapping sweeps only simulate each cell once per session.
+SWEEP_POOL = ParallelSweep(max_workers=min(4, os.cpu_count() or 1))
+
+
+def sweep(cells: Sequence[SweepCell]) -> List[CellResult]:
+    """Evaluate sweep cells (cache-first, process pool for the misses)."""
+    return SWEEP_POOL.run(cells)
 
 
 def workload_config(name: str, **overrides) -> PrintQueueConfig:
@@ -84,43 +97,49 @@ def get_run(
         frozenset(dp_triggers) if dp_triggers else None,
         with_baselines,
     )
-    if key in _run_cache:
-        return _run_cache[key]
-    baselines: List[FixedIntervalEstimator] = []
-    if with_baselines:
-        # Table 2: HashPipe and FlowRadar get 5 stages x 4096 entries of
-        # SRAM, reset every PrintQueue set period, prorated on query.
-        baselines = [
-            FixedIntervalEstimator(
-                HashPipe(slots_per_stage=4096, stages=5), cfg.set_period_ns
-            ),
-            FixedIntervalEstimator(
-                FlowRadar(num_cells=3 * 4096, num_hashes=3, filter_bits=2 * 4096 * 8),
-                cfg.set_period_ns,
-            ),
-        ]
-    run = simulate_workload(
-        workload,
-        duration_ns=spec["duration_ns"],
-        load=spec["load"],
-        config=cfg,
-        seed=seed,
-        dp_trigger_indices=dp_triggers,
-        baselines=baselines,
-    )
-    _run_cache[key] = (run, baselines)
-    return run, baselines
+
+    def compute() -> Tuple[ExperimentRun, List[FixedIntervalEstimator]]:
+        baselines: List[FixedIntervalEstimator] = []
+        if with_baselines:
+            # Table 2: HashPipe and FlowRadar get 5 stages x 4096 entries
+            # of SRAM, reset every PrintQueue set period, prorated on
+            # query.
+            baselines.extend(
+                [
+                    FixedIntervalEstimator(
+                        HashPipe(slots_per_stage=4096, stages=5), cfg.set_period_ns
+                    ),
+                    FixedIntervalEstimator(
+                        FlowRadar(
+                            num_cells=3 * 4096,
+                            num_hashes=3,
+                            filter_bits=2 * 4096 * 8,
+                        ),
+                        cfg.set_period_ns,
+                    ),
+                ]
+            )
+        run = simulate_workload(
+            workload,
+            duration_ns=spec["duration_ns"],
+            load=spec["load"],
+            config=cfg,
+            seed=seed,
+            dp_trigger_indices=dp_triggers,
+            baselines=baselines,
+        )
+        return run, baselines
+
+    return _run_cache.get_or(key, compute)
 
 
 def get_victims(workload: str, config: Optional[PrintQueueConfig] = None) -> Dict:
     """Sampled victim indices per depth band for a workload."""
     run, _ = get_run(workload, config=config)
     key = (workload, config or WORKLOADS[workload]["config"])
-    if key not in _victim_cache:
-        _victim_cache[key] = sample_victims_by_band(
-            run.records, per_band=VICTIMS_PER_BAND
-        )
-    return _victim_cache[key]
+    return _victim_cache.get_or(
+        key, lambda: sample_victims_by_band(run.records, per_band=VICTIMS_PER_BAND)
+    )
 
 
 def all_victim_indices(victims: Dict) -> Set[int]:

@@ -1,0 +1,15 @@
+"""Pytest bootstrap for the benchmark suite.
+
+Makes ``repro`` (the ``src/`` layout package) and the shared ``common``
+module importable no matter which directory pytest is invoked from, so
+the benches need no ``PYTHONPATH`` juggling or ``sys.path`` hacks of
+their own.
+"""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for _path in (os.path.join(os.path.dirname(_HERE), "src"), _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)

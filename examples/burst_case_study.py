@@ -88,12 +88,14 @@ def main() -> None:
         f"(queued {victim.queuing_delay / 1e6:.2f} ms):"
     )
 
-    direct = run.pq.async_query(
-        QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
-    )
+    direct = run.pq.query(
+        interval=QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    ).estimate
     regime_start, _ = run.taxonomy.congestion_regime(victim)
-    indirect = run.pq.async_query(QueryInterval(regime_start, victim.enq_timestamp))
-    original = run.pq.original_culprits(victim.enq_timestamp)
+    indirect = run.pq.query(
+        interval=QueryInterval(regime_start, victim.enq_timestamp)
+    ).estimate
+    original = run.pq.query(at_ns=victim.enq_timestamp).estimate
 
     print("\n              burst    background    new TCP   (packet share, Fig 16b)")
     for label, est in (("direct", direct), ("indirect", indirect), ("original", original)):

@@ -82,9 +82,9 @@ def main() -> None:
 
     # Attribute: ask the bottleneck hop's PrintQueue who was there.
     pq = pq_ports[(worst_hop.node, worst_hop.port_id)]
-    estimate = pq.async_query(
-        QueryInterval.for_victim(worst_hop.enq_timestamp, worst_hop.deq_timestamp)
-    )
+    estimate = pq.query(
+        interval=QueryInterval.for_victim(worst_hop.enq_timestamp, worst_hop.deq_timestamp)
+    ).estimate
     by_rack = {}
     for culprit_flow, packets in estimate.items():
         rack = (culprit_flow.src_ip >> 16) & 0xFF

@@ -30,13 +30,13 @@ def main() -> None:
         f"behind {victim.enq_qdepth} packets."
     )
 
-    direct = run.pq.async_query(
-        QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
-    )
+    direct = run.pq.query(
+        interval=QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    ).estimate
     regime_start, _ = run.taxonomy.congestion_regime(victim)
-    indirect = run.pq.async_query(
-        QueryInterval(regime_start, victim.enq_timestamp)
-    )
+    indirect = run.pq.query(
+        interval=QueryInterval(regime_start, victim.enq_timestamp)
+    ).estimate
 
     direct_flows = {f for f, c in direct.items() if c >= 1}
     indirect_flows = {f for f, c in indirect.items() if c >= 1}

@@ -40,13 +40,13 @@ def main() -> None:
     report = CulpritReport(
         victim_enq_ns=victim.enq_timestamp,
         victim_deq_ns=victim.deq_timestamp,
-        direct=run.pq.async_query(interval),
-        indirect=run.pq.async_query(
-            QueryInterval(regime_start, victim.enq_timestamp)
-        )
+        direct=run.pq.query(interval=interval).estimate,
+        indirect=run.pq.query(
+            interval=QueryInterval(regime_start, victim.enq_timestamp)
+        ).estimate
         if victim.enq_timestamp > regime_start
-        else run.pq.async_query(interval),
-        original=run.pq.original_culprits(victim.enq_timestamp),
+        else run.pq.query(interval=interval).estimate,
+        original=run.pq.query(at_ns=victim.enq_timestamp).estimate,
     )
     print("\n=== PrintQueue diagnosis ===")
     print(report.summary(top=3))

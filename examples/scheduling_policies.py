@@ -68,9 +68,9 @@ def main() -> None:
         f"(its own queue depth at enqueue: {victim.enq_qdepth})."
     )
 
-    estimate = pq.async_query(
-        QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
-    )
+    estimate = pq.query(
+        interval=QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    ).estimate
     high_share = sum(estimate[f] for f in high) / max(estimate.total, 1)
     print(f"Direct culprits: {estimate.total:.0f} packets, "
           f"{100 * high_share:.0f}% from high-priority flows "
@@ -83,7 +83,7 @@ def main() -> None:
 
     print("\nPer-class standing queues at the victim's enqueue (queue monitor):")
     for label, classes in (("high-priority (class 0)", [0]), ("low-priority (class 1)", [1])):
-        est = pq.original_culprits_by_class(victim.enq_timestamp, classes=classes)
+        est = pq.query(at_ns=victim.enq_timestamp, classes=classes).estimate
         top = ", ".join(f"{f} x{c:.0f}" for f, c in est.top(2)) or "(empty)"
         print(f"  {label}: {est.total:.0f} standing packets — {top}")
 

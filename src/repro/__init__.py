@@ -12,10 +12,12 @@ Quickstart::
 
     run = simulate_workload("ws", duration_ns=20_000_000, load=1.2)
     victim = max(run.records, key=lambda r: r.queuing_delay)
-    estimate = run.pq.async_query(
-        QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    result = run.pq.query(
+        interval=QueryInterval.for_victim(
+            victim.enq_timestamp, victim.deq_timestamp
+        )
     )
-    for flow, count in estimate.top(5):
+    for flow, count in result.top(5):
         print(flow, count)
 """
 
@@ -30,9 +32,12 @@ from repro.core import (
     PrintQueueConfig,
     PrintQueuePort,
     QueryInterval,
+    QueryResult,
     QueueMonitor,
     TimeWindowSet,
 )
+from repro.engine import IngestPipeline, ParallelSweep, SweepCell
+from repro.errors import QueryError
 from repro.experiments import simulate_workload
 from repro.switch import FlowKey, Packet, Switch
 from repro.traffic import PoissonWorkload, Trace, WorkloadConfig
@@ -52,6 +57,11 @@ __all__ = [
     "ClassedQueueMonitor",
     "FlowEstimate",
     "QueryInterval",
+    "QueryResult",
+    "QueryError",
+    "IngestPipeline",
+    "ParallelSweep",
+    "SweepCell",
     "FlowKey",
     "Packet",
     "Switch",

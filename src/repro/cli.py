@@ -77,6 +77,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         load=args.load,
         config=config,
         seed=args.seed,
+        engine=args.engine,
     )
     _report(run, args.victims)
     return 0
@@ -193,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--load", type=float, default=1.2)
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--victims", type=int, default=1)
+    run.add_argument(
+        "--engine",
+        choices=["batched", "scalar"],
+        default="batched",
+        help="ingest engine: vectorised batches or the scalar reference",
+    )
     _add_config_args(run)
     run.set_defaults(func=cmd_run)
 

@@ -20,7 +20,12 @@ from repro.core.filtering import FilteredWindow, filter_windows
 from repro.core.queuemonitor import QueueMonitor, QueueMonitorSnapshot
 from repro.core.queries import CulpritReport, FlowEstimate, QueryInterval
 from repro.core.analysis import AnalysisProgram, TimeWindowSnapshot
-from repro.core.printqueue import PrintQueue, PrintQueuePort
+from repro.core.printqueue import (
+    DataPlaneQueryResult,
+    PrintQueue,
+    PrintQueuePort,
+    QueryResult,
+)
 from repro.core.taxonomy import CulpritTaxonomy
 from repro.core.diagnosis import Diagnoser
 from repro.core.multiqueue import ClassedQueueMonitor
@@ -43,6 +48,8 @@ __all__ = [
     "TimeWindowSnapshot",
     "PrintQueue",
     "PrintQueuePort",
+    "QueryResult",
+    "DataPlaneQueryResult",
     "CulpritTaxonomy",
     "Diagnoser",
     "ClassedQueueMonitor",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.coefficient import coefficients
@@ -81,8 +82,11 @@ class AnalysisProgram:
     ) -> None:
         self.config = config
         self.coefficients = coefficients(config, d_ns)
+        # partial() rather than a lambda so whole experiment runs stay
+        # picklable (the engine's process-pool sweep ships them between
+        # workers).
         self.tw_banks: BankedStructure[TimeWindowSet] = BankedStructure(
-            lambda: TimeWindowSet(config)
+            partial(TimeWindowSet, config)
         )
         self.queue_monitor = QueueMonitor(config.qm_levels, config.qm_granularity)
         self.tw_snapshots: List[TimeWindowSnapshot] = []
@@ -108,6 +112,14 @@ class AnalysisProgram:
     def on_dequeue(self, flow, deq_timestamp_ns: int) -> None:
         """Per-packet egress update of the active time-window bank."""
         self.tw_banks.active.update(flow, deq_timestamp_ns)
+
+    def on_dequeue_batch(self, flows, deq_timestamps_ns) -> None:
+        """Array-at-a-time egress update (the batched ingest engine).
+
+        The caller guarantees no poll boundary falls inside the batch, so
+        all packets land in the same active bank.
+        """
+        self.tw_banks.active.absorb_batch(flows, deq_timestamps_ns)
 
     # -- checkpointing (Section 6.2) --------------------------------------
 

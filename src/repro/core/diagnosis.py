@@ -82,24 +82,26 @@ class Diagnoser:
         direct_interval = QueryInterval.for_victim(enq_timestamp, deq_timestamp)
         direct: Optional[FlowEstimate] = None
         if use_data_plane_query:
-            result = self.pq.data_plane_query_interval(deq_timestamp, direct_interval)
-            if result is not None and result.estimate.total > 0:
+            result = self.pq.query(
+                interval=direct_interval, mode="data_plane", at_ns=deq_timestamp
+            )
+            if result.accepted and result.estimate.total > 0:
                 direct = result.estimate
             # Fall through when the trigger was rejected or the special
             # registers no longer cover the interval (an on-demand read
             # is only fresh at the victim's actual dequeue instant).
         if direct is None:
-            direct = self.pq.async_query(direct_interval)
+            direct = self.pq.query(interval=direct_interval).estimate
 
         regime_start = self.estimate_regime_start(enq_timestamp)
         if regime_start < enq_timestamp:
-            indirect = self.pq.async_query(
-                QueryInterval(regime_start, enq_timestamp)
-            )
+            indirect = self.pq.query(
+                interval=QueryInterval(regime_start, enq_timestamp)
+            ).estimate
         else:
             indirect = FlowEstimate()
 
-        original = self.pq.original_culprits(enq_timestamp)
+        original = self.pq.query(at_ns=enq_timestamp).estimate
         return CulpritReport(
             victim_enq_ns=enq_timestamp,
             victim_deq_ns=deq_timestamp,

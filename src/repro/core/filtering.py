@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.config import PrintQueueConfig
 from repro.core.timewindow import EMPTY, TimeWindow
 from repro.switch.packet import FlowKey
@@ -80,23 +82,22 @@ def filter_windows(
         window = windows[i]
         ref_index = tts & mask
         ref_cycle = tts >> k
-        cells: List[Tuple[int, FlowKey]] = []
         cycle_ids = window.cycle_ids
         flows = window.flows
         # Collect the previous cycle's tail first so `cells` comes out
-        # sorted by TTS (older entries have strictly smaller TTS).
+        # sorted by TTS (older entries have strictly smaller TTS).  The
+        # per-cell scans are vectorised; only survivors touch Python.
+        cyc = np.array(cycle_ids, dtype=np.int64)
         prev_cycle = ref_cycle - 1
+        prev_base = prev_cycle << k
+        ref_base = ref_cycle << k
+        cells: List[Tuple[int, FlowKey]] = []
         if prev_cycle >= 0:
-            for j in range(ref_index + 1, 1 << k):
-                if cycle_ids[j] == prev_cycle:
-                    flow = flows[j]
-                    assert flow is not None
-                    cells.append(((prev_cycle << k) | j, flow))
-        for j in range(ref_index + 1):
-            if cycle_ids[j] == ref_cycle:
-                flow = flows[j]
-                assert flow is not None
-                cells.append(((ref_cycle << k) | j, flow))
+            tail = np.flatnonzero(cyc[ref_index + 1 :] == prev_cycle)
+            tail += ref_index + 1
+            cells.extend([(prev_base | j, flows[j]) for j in tail.tolist()])
+        head = np.flatnonzero(cyc[: ref_index + 1] == ref_cycle)
+        cells.extend([(ref_base | j, flows[j]) for j in head.tolist()])
         out.append(FilteredWindow(i, config.shift(i), cells, tts))
         # Reference for the next (older, more compressed) window: the most
         # recently passed cell is one full window period back.

@@ -14,8 +14,11 @@ aggregate SRAM accounting.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.analysis import AnalysisProgram, TimeWindowSnapshot
 from repro.core.config import PrintQueueConfig
@@ -58,6 +61,45 @@ class DataPlaneQueryResult:
     interval: QueryInterval
     estimate: FlowEstimate
     snapshot: TimeWindowSnapshot
+
+
+@dataclass
+class QueryResult:
+    """The single result type of :meth:`PrintQueuePort.query`.
+
+    Attributes
+    ----------
+    kind:
+        ``"time_windows"`` for interval queries, ``"queue_monitor"`` for
+        original-culprit (point-in-time) queries.
+    mode:
+        ``"async"`` or ``"data_plane"`` for time-window queries; ``None``
+        for queue-monitor queries.
+    estimate:
+        Per-flow culprit contributions (empty for a rejected data-plane
+        trigger).
+    interval / at_ns / classes:
+        Echo of the query inputs (``at_ns`` is also the resolved read
+        instant of a data-plane query).
+    snapshot:
+        The frozen time-window bank an accepted data-plane query ran on.
+    accepted:
+        False when a data-plane trigger was rejected because a previous
+        on-demand read still held the special registers.
+    """
+
+    kind: str
+    mode: Optional[str]
+    estimate: FlowEstimate
+    interval: Optional[QueryInterval] = None
+    at_ns: Optional[int] = None
+    classes: Optional[Tuple[int, ...]] = None
+    snapshot: Optional[TimeWindowSnapshot] = None
+    accepted: bool = True
+
+    def top(self, n: int):
+        """The n largest culprit flows (delegates to the estimate)."""
+        return self.estimate.top(n)
 
 
 class PrintQueuePort:
@@ -126,7 +168,7 @@ class PrintQueuePort:
                 )
         self.packets_seen += 1
         if self.trigger is not None and self.trigger(packet):
-            self.data_plane_query(packet)
+            self._dp_query_packet(packet)
 
     # -- event-stream interface (used by the offline fast-path driver) ------
 
@@ -142,7 +184,45 @@ class PrintQueuePort:
         self.analysis.queue_monitor.on_dequeue(flow, depth_after)
         self.packets_seen += 1
 
+    def process_batch(
+        self,
+        is_enqueue,
+        flows,
+        times_ns,
+        depth_after,
+    ) -> None:
+        """Batched equivalent of ``process_enqueue``/``process_dequeue``.
+
+        The caller (:class:`repro.engine.IngestPipeline`) guarantees that
+        no poll boundary falls strictly inside the batch, so the whole
+        batch lands in the same active bank and the same monitor epoch;
+        polls due at or before the first event fire here, exactly as the
+        scalar path would have fired them.
+        """
+        n = len(times_ns)
+        if n == 0:
+            return
+        self._poll_if_due(int(times_ns[0]))
+        self.analysis.queue_monitor.apply_batch(is_enqueue, flows, depth_after)
+        deq = ~is_enqueue
+        num_deq = int(deq.sum())
+        if num_deq:
+            if num_deq == n:
+                self.analysis.on_dequeue_batch(flows, times_ns)
+            else:
+                try:
+                    deq_flows = flows[deq]
+                except TypeError:
+                    deq_flows = [f for f, d in zip(flows, deq) if d]
+                self.analysis.on_dequeue_batch(deq_flows, times_ns[deq])
+            self.packets_seen += num_deq
+
     # -- polling -------------------------------------------------------------
+
+    @property
+    def next_poll_boundary_ns(self) -> int:
+        """The next instant at which a (qm or full) poll becomes due."""
+        return min(self._next_qm_poll_ns, self._next_poll_ns)
 
     def _poll_if_due(self, now_ns: int) -> None:
         while now_ns >= self._next_qm_poll_ns:
@@ -169,12 +249,90 @@ class PrintQueuePort:
 
     # -- queries -------------------------------------------------------------
 
-    def data_plane_query(self, packet: Packet) -> Optional[DataPlaneQueryResult]:
+    def query(
+        self,
+        *,
+        interval: Optional[QueryInterval] = None,
+        mode: str = "async",
+        at_ns: Optional[int] = None,
+        classes: Optional[Iterable[int]] = None,
+    ) -> QueryResult:
+        """The unified query entrypoint (keyword-only).
+
+        Two query families share this surface:
+
+        * **Time-window queries** — pass ``interval=``.  ``mode="async"``
+          runs over the periodic snapshots; ``mode="data_plane"`` performs
+          an on-demand register read at ``at_ns`` (default: the interval's
+          last covered instant) and queries the frozen bank.  A rejected
+          trigger (a previous read still draining) returns a result with
+          ``accepted=False`` and an empty estimate.
+        * **Queue-monitor queries** — pass ``at_ns=`` without an interval
+          for the original culprits standing at that instant; ``classes=``
+          restricts the walk to specific classes of service (requires a
+          port created with ``num_classes``).
+        """
+        if mode not in ("async", "data_plane"):
+            raise QueryError(f"unknown query mode {mode!r}")
+        if interval is None:
+            if at_ns is None:
+                raise QueryError(
+                    "query() needs interval= (time windows) or at_ns= "
+                    "(queue monitor)"
+                )
+            if classes is not None:
+                classes = tuple(classes)
+                estimate = self._original_culprits_by_class(at_ns, classes)
+            else:
+                estimate = self._original_culprits(at_ns)
+            return QueryResult(
+                kind="queue_monitor",
+                mode=None,
+                estimate=estimate,
+                at_ns=at_ns,
+                classes=classes,
+            )
+        if classes is not None:
+            raise QueryError("classes= applies to queue-monitor (at_ns=) queries")
+        if mode == "async":
+            if at_ns is not None:
+                raise QueryError(
+                    "at_ns= applies to data_plane or queue-monitor queries"
+                )
+            return QueryResult(
+                kind="time_windows",
+                mode="async",
+                estimate=self._async_query(interval),
+                interval=interval,
+            )
+        read_at = at_ns if at_ns is not None else interval.end_ns - 1
+        result = self._dp_query_interval(read_at, interval)
+        if result is None:
+            return QueryResult(
+                kind="time_windows",
+                mode="data_plane",
+                estimate=FlowEstimate(),
+                interval=interval,
+                at_ns=read_at,
+                accepted=False,
+            )
+        return QueryResult(
+            kind="time_windows",
+            mode="data_plane",
+            estimate=result.estimate,
+            interval=interval,
+            at_ns=read_at,
+            snapshot=result.snapshot,
+        )
+
+    # -- query implementations (shared by query() and the legacy shims) ------
+
+    def _dp_query_packet(self, packet: Packet) -> Optional[DataPlaneQueryResult]:
         """On-demand read + query for a victim packet, at its dequeue."""
         interval = QueryInterval.for_victim(packet.enq_timestamp, packet.deq_timestamp)
-        return self.data_plane_query_interval(packet.deq_timestamp, interval)
+        return self._dp_query_interval(packet.deq_timestamp, interval)
 
-    def data_plane_query_interval(
+    def _dp_query_interval(
         self, now_ns: int, interval: QueryInterval
     ) -> Optional[DataPlaneQueryResult]:
         """On-demand read at ``now_ns`` + query over ``interval``.
@@ -194,18 +352,18 @@ class PrintQueuePort:
         self.dp_results.append(result)
         return result
 
-    def async_query(self, interval: QueryInterval) -> FlowEstimate:
+    def _async_query(self, interval: QueryInterval) -> FlowEstimate:
         """Asynchronous (control-plane) query over the periodic snapshots."""
         periodic = [
             s for s in self.analysis.tw_snapshots if s.source == "periodic"
         ]
         return self.analysis.query_time_windows(interval, snapshots=periodic)
 
-    def original_culprits(self, time_ns: int) -> FlowEstimate:
+    def _original_culprits(self, time_ns: int) -> FlowEstimate:
         """Per-flow original-culprit contributions at ``time_ns``."""
         return self.analysis.original_culprits(time_ns)
 
-    def original_culprits_by_class(
+    def _original_culprits_by_class(
         self, time_ns: int, classes: Optional[Iterable[int]] = None
     ) -> FlowEstimate:
         """Original culprits restricted to specific classes of service.
@@ -222,6 +380,52 @@ class PrintQueuePort:
             self._classed_snapshots, key=lambda ts: abs(ts[0] - time_ns)
         )
         return self.classed_monitor.original_culprits(snapshots, classes)
+
+    # -- deprecated query surface (thin shims over query()) ------------------
+
+    @staticmethod
+    def _warn_deprecated(old: str, new: str) -> None:
+        warnings.warn(
+            f"PrintQueuePort.{old} is deprecated; use PrintQueuePort.{new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def data_plane_query(self, packet: Packet) -> Optional[DataPlaneQueryResult]:
+        """Deprecated: use ``query(interval=..., mode="data_plane")``."""
+        self._warn_deprecated(
+            "data_plane_query(packet)", 'query(interval=..., mode="data_plane")'
+        )
+        return self._dp_query_packet(packet)
+
+    def data_plane_query_interval(
+        self, now_ns: int, interval: QueryInterval
+    ) -> Optional[DataPlaneQueryResult]:
+        """Deprecated: use ``query(interval=..., mode="data_plane", at_ns=...)``."""
+        self._warn_deprecated(
+            "data_plane_query_interval()",
+            'query(interval=..., mode="data_plane", at_ns=...)',
+        )
+        return self._dp_query_interval(now_ns, interval)
+
+    def async_query(self, interval: QueryInterval) -> FlowEstimate:
+        """Deprecated: use ``query(interval=...)``."""
+        self._warn_deprecated("async_query()", "query(interval=...)")
+        return self._async_query(interval)
+
+    def original_culprits(self, time_ns: int) -> FlowEstimate:
+        """Deprecated: use ``query(at_ns=...)``."""
+        self._warn_deprecated("original_culprits()", "query(at_ns=...)")
+        return self._original_culprits(time_ns)
+
+    def original_culprits_by_class(
+        self, time_ns: int, classes: Optional[Iterable[int]] = None
+    ) -> FlowEstimate:
+        """Deprecated: use ``query(at_ns=..., classes=...)``."""
+        self._warn_deprecated(
+            "original_culprits_by_class()", "query(at_ns=..., classes=...)"
+        )
+        return self._original_culprits_by_class(time_ns, classes)
 
 
 class PrintQueue:
@@ -274,7 +478,12 @@ class PrintQueue:
 
     def on_packet_dequeued(self, packet: Packet) -> None:
         """Routing shim for externally driven pipelines."""
-        pq = self.ports.get(packet.egress_spec if packet.egress_spec is not None else -1)
+        if packet.egress_spec is None:
+            # No egress decision recorded: never route via a sentinel port
+            # id that could collide with a real port.
+            self.ignored_packets += 1
+            return
+        pq = self.ports.get(packet.egress_spec)
         if pq is None:
             self.ignored_packets += 1
             return

@@ -17,7 +17,9 @@ packets whose arrivals raised the queue to each still-standing level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.switch.packet import FlowKey
 
@@ -127,6 +129,51 @@ class QueueMonitor:
         self.dec_seq[level] = self._seq
         self.dec_flow[level] = flow
         self.top = level
+
+    def apply_batch(
+        self,
+        is_enqueue: "np.ndarray",
+        flows: Sequence[FlowKey],
+        depth_after_units: "np.ndarray",
+    ) -> None:
+        """Vectorised replay of a mixed enqueue/dequeue event stream.
+
+        Exactly equivalent to calling :meth:`on_enqueue` /
+        :meth:`on_dequeue` once per event in order: sequence numbers are
+        assigned by event position, each half-entry keeps the last event
+        that landed on its level, and the stack top follows the final
+        event.
+        """
+        is_enqueue = np.asarray(is_enqueue, dtype=bool)
+        depth = np.asarray(depth_after_units, dtype=np.int64)
+        n = len(depth)
+        if n == 0:
+            return
+        raw_level = depth // self.granularity
+        self.overflows += int(np.count_nonzero(raw_level >= self.levels))
+        level = np.maximum(0, np.minimum(raw_level, self.levels - 1))
+        base_seq = self._seq
+        self._seq += n
+
+        # One stable sort of (level, side) keys; the last event of each
+        # group is the write that survives, and its sequence number is
+        # just its event position offset from the pre-batch counter.
+        key = (level << 1) | ~is_enqueue
+        order = np.argsort(key, kind="stable")
+        s_key = key[order]
+        diff = np.flatnonzero(s_key[1:] != s_key[:-1])
+        ends = np.empty(len(diff) + 1, dtype=np.int64)
+        ends[:-1] = diff
+        ends[-1] = n - 1
+        for kk, pos in zip(s_key[ends].tolist(), order[ends].tolist()):
+            level_i = kk >> 1
+            if kk & 1:
+                self.dec_seq[level_i] = base_seq + 1 + pos
+                self.dec_flow[level_i] = flows[pos]
+            else:
+                self.inc_seq[level_i] = base_seq + 1 + pos
+                self.inc_flow[level_i] = flows[pos]
+        self.top = int(level[-1])
 
     def snapshot(self, time_ns: int) -> QueueMonitorSnapshot:
         """Atomically copy the register state (a frozen control-plane read)."""

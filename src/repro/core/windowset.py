@@ -10,7 +10,9 @@ is dropped.  Passing recurses through all T windows, shifting the TTS by
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.config import PrintQueueConfig
 from repro.core.timewindow import EMPTY, TimeWindow
@@ -63,6 +65,132 @@ class TimeWindowSet:
                     self.drops += 1
                 break
         return depth
+
+    def absorb_batch(
+        self,
+        flows: Sequence[FlowKey],
+        deq_timestamps_ns: "np.ndarray",
+    ) -> int:
+        """Vectorised Algorithm 1 over a batch of dequeued packets.
+
+        Exactly equivalent — cell for cell and counter for counter — to
+        calling :meth:`update` once per packet in batch order.  The key
+        observation making array-at-a-time replay possible: direct inserts
+        only ever hit window 0, and window ``i+1`` only receives records
+        *passed* from window ``i``, so the windows can be processed level
+        by level.  Within one window, writes are grouped per cell index (a
+        stable sort preserves batch order inside each group) and the
+        collision/pass rule is evaluated on adjacent pairs of each group
+        plus the group head against the pre-batch cell contents.
+
+        A pass always evicts a record whose cycle ID is exactly one less
+        than the evictor's, so the passed TTS is a monotone function of
+        the evicting TTS; re-sorting pass events by the evictor's batch
+        position therefore reproduces the order in which the scalar loop
+        would have inserted them into the next window.
+
+        Returns the number of packets absorbed.
+        """
+        cfg = self.config
+        k = cfg.k
+        alpha = cfg.alpha
+        tts = np.asarray(deq_timestamps_ns, dtype=np.int64) >> cfg.m0
+        n = len(tts)
+        if n == 0:
+            return 0
+        if len(flows) != n:
+            raise ValueError("flows and deq_timestamps_ns must have equal length")
+        self.updates += n
+
+        # Flow identity travels through the levels as an int64 source id:
+        # id < n is a batch position, id >= n indexes `evicted` (a record
+        # displaced from some window along the way).  Objects are touched
+        # only at the per-cell writes, never in the array math.
+        src = np.arange(n, dtype=np.int64)
+        evicted: List[FlowKey] = []
+
+        passes = 0
+        drops = 0
+        for level in range(cfg.T):
+            if len(tts) == 0:
+                break
+            window = self.windows[level]
+            index = tts & window.mask
+            cycle = tts >> k
+            # Group writes per cell; stable sort keeps batch order inside
+            # each group.
+            perm = np.argsort(index, kind="stable")
+            s_index = index[perm]
+            s_cycle = cycle[perm]
+            m = len(perm)
+            diff = np.flatnonzero(s_index[1:] != s_index[:-1])
+            starts = np.empty(len(diff) + 1, dtype=np.int64)
+            starts[0] = 0
+            starts[1:] = diff + 1
+            ends = np.empty_like(starts)
+            ends[:-1] = diff
+            ends[-1] = m - 1
+
+            # Group heads collide with the pre-batch cell contents.
+            head_index = s_index[starts]
+            cycle_ids = window.cycle_ids
+            wflows = window.flows
+            old_cycles = np.fromiter(
+                (cycle_ids[i] for i in head_index.tolist()),
+                dtype=np.int64,
+                count=len(head_index),
+            )
+            occupied = old_cycles != EMPTY
+            head_pass = occupied & (s_cycle[starts] - old_cycles == 1)
+            head_drop = occupied & ~head_pass
+            # Adjacent writes to the same cell collide with each other.
+            same = s_index[1:] == s_index[:-1]
+            mid_pass = same & (s_cycle[1:] - s_cycle[:-1] == 1)
+            mid_drop = same & ~mid_pass
+            passes += int(np.count_nonzero(head_pass)) + int(
+                np.count_nonzero(mid_pass)
+            )
+            drops += int(np.count_nonzero(head_drop)) + int(
+                np.count_nonzero(mid_drop)
+            )
+
+            if level + 1 < cfg.T:
+                # Assemble the pass stream for the next window, ordered by
+                # the evicting write's batch position (= scalar insert
+                # order).  Evicted flows must be read before this window's
+                # final state is written below; they join the source-id
+                # space past the batch ids.
+                hp = np.flatnonzero(head_pass)
+                head_ev_pos = perm[starts[hp]]
+                head_ev_tts = (old_cycles[hp] << k) | head_index[hp]
+                head_ev_src = n + len(evicted) + np.arange(len(hp), dtype=np.int64)
+                evicted.extend(wflows[i] for i in head_index[hp].tolist())
+                mp = np.flatnonzero(mid_pass)
+                mid_ev_pos = perm[mp + 1]
+                mid_ev_tts = (s_cycle[mp] << k) | s_index[mp]
+                mid_ev_src = src[perm[mp]]
+                ev_pos = np.concatenate([head_ev_pos, mid_ev_pos])
+                ev_tts = np.concatenate([head_ev_tts, mid_ev_tts]) >> alpha
+                ev_src = np.concatenate([head_ev_src, mid_ev_src])
+                order = np.argsort(ev_pos, kind="stable")
+            else:
+                order = None
+
+            # The last write of each group is this window's final state.
+            final_cycle = s_cycle[ends].tolist()
+            final_src = src[perm[ends]].tolist()
+            for cell_i, cyc, sid in zip(head_index.tolist(), final_cycle, final_src):
+                cycle_ids[cell_i] = cyc
+                wflows[cell_i] = flows[sid] if sid < n else evicted[sid - n]
+
+            if order is None:
+                break
+            tts = ev_tts[order]
+            src = ev_src[order]
+
+        self.passes += passes
+        self.drops += drops
+        return n
 
     def snapshot(self) -> List[TimeWindow]:
         """Frozen copies of all windows (a full register read)."""

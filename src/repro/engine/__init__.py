@@ -1,0 +1,25 @@
+"""The batched ingest engine and the parallel experiment fabric.
+
+``repro.engine`` is the performance layer between the vectorised FIFO
+fast path and PrintQueue's measurement structures:
+
+* :class:`~repro.engine.ingest.IngestPipeline` slices a merged
+  enqueue/dequeue event stream into poll-boundary-aligned batches and
+  drives a :class:`~repro.core.printqueue.PrintQueuePort` through the
+  array-at-a-time ``absorb_batch`` / ``apply_batch`` path — producing
+  bit-identical snapshots and estimates to the scalar reference loop.
+* :class:`~repro.engine.parallel.ParallelSweep` fans independent
+  (workload, config, port) experiment cells across a process pool with
+  per-cell result caching, so figure-style sweeps scale with cores.
+"""
+
+from repro.engine.ingest import IngestPipeline
+from repro.engine.parallel import CellResult, ParallelSweep, ResultCache, SweepCell
+
+__all__ = [
+    "IngestPipeline",
+    "ParallelSweep",
+    "ResultCache",
+    "SweepCell",
+    "CellResult",
+]

@@ -1,0 +1,168 @@
+"""Poll-boundary-aligned batched ingest (the tentpole fast path).
+
+The scalar reference driver replays a dequeue log one event at a time:
+every enqueue/dequeue crosses the Python call boundary into
+``process_enqueue`` / ``process_dequeue``, which dominates wall-clock on
+million-packet traces.  :class:`IngestPipeline` replays the *same* merged
+event stream in slices:
+
+1. merge the enqueue and dequeue sides into one time-ordered stream
+   (vectorised, :func:`repro.switch.fastpath.merge_event_streams`);
+2. cut the stream at every poll boundary (queue-monitor cadence, set
+   period) and at every data-plane trigger, so that within one slice no
+   control-plane action can occur;
+3. feed each slice to :meth:`PrintQueuePort.process_batch`, which updates
+   the queue monitor via ``apply_batch`` and the active time-window bank
+   via ``absorb_batch`` — both array-at-a-time.
+
+Because slices never straddle a poll boundary and triggers still fire at
+their exact dequeue instants, the resulting snapshots, counters, and
+query results are bit-identical to the scalar path (the equivalence suite
+asserts this record for record).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.baselines.interval import FixedIntervalEstimator
+from repro.core.printqueue import DataPlaneQueryResult, PrintQueuePort
+from repro.core.queries import QueryInterval
+from repro.switch.fastpath import merge_event_streams
+from repro.switch.telemetry import DequeueRecord
+
+
+class _GatheredFlows:
+    """Lazy ``base[idx[i]]`` view over the per-record flow array.
+
+    The batch kernels only ever look up the handful of flows that survive
+    a batch (per touched cell / level), so materialising a per-event
+    object array would be wasted work.  Boolean/array indexing narrows the
+    view; integer indexing resolves the actual flow.
+    """
+
+    __slots__ = ("base", "idx")
+
+    def __init__(self, base: np.ndarray, idx: np.ndarray) -> None:
+        self.base = base
+        self.idx = idx
+
+    def __len__(self) -> int:
+        return len(self.idx)
+
+    def __getitem__(self, i):
+        if isinstance(i, (np.ndarray, slice)):
+            return _GatheredFlows(self.base, self.idx[i])
+        return self.base[self.idx[i]]
+
+
+class IngestPipeline:
+    """Drive one port through the batched ingest path.
+
+    Parameters
+    ----------
+    pq:
+        The per-port PrintQueue instance to feed.
+    records:
+        The dequeue log, in dequeue order (as produced by
+        :func:`repro.experiments.runner.run_trace_through_fifo`).
+    dp_trigger_indices:
+        Record positions at whose dequeue instant an on-demand
+        read+query fires.
+    baselines:
+        Fixed-interval baseline estimators fed every dequeue (these stay
+        scalar; they are only used by the comparison benches).
+    """
+
+    def __init__(
+        self,
+        pq: PrintQueuePort,
+        records: Sequence[DequeueRecord],
+        dp_trigger_indices: Optional[Set[int]] = None,
+        baselines: Optional[Iterable[FixedIntervalEstimator]] = None,
+    ) -> None:
+        self.pq = pq
+        self.records = records
+        self.triggers = set(dp_trigger_indices or ())
+        self.baselines = list(baselines or [])
+        self.batches_processed = 0
+
+    def run(self) -> Dict[int, DataPlaneQueryResult]:
+        """Replay the whole log; returns completed on-demand queries."""
+        records = self.records
+        pq = self.pq
+        n = len(records)
+        dp_results: Dict[int, DataPlaneQueryResult] = {}
+        if n == 0:
+            return dp_results
+
+        enq_ts = np.array([r.enq_timestamp for r in records], dtype=np.int64)
+        deq_ts = np.array([r.deq_timestamp for r in records], dtype=np.int64)
+        flows = np.empty(n, dtype=object)
+        flows[:] = [r.flow for r in records]
+
+        stream = merge_event_streams(enq_ts, deq_ts)
+        times = stream.time_ns
+        is_enq = stream.is_enqueue
+        rec_idx = stream.record_index
+        depth = stream.depth_after
+        ev_flows = _GatheredFlows(flows, rec_idx)
+        num_events = len(times)
+
+        # Merged positions at which a data-plane trigger fires (after the
+        # dequeue event at that position is processed).
+        if self.triggers:
+            trig_sorted = np.fromiter(
+                sorted(self.triggers), dtype=np.int64, count=len(self.triggers)
+            )
+            trig_pos = np.flatnonzero(
+                ~is_enq & np.isin(rec_idx, trig_sorted)
+            )
+        else:
+            trig_pos = np.empty(0, dtype=np.int64)
+
+        cur = 0
+        tp = 0
+        while cur < num_events:
+            boundary = pq.next_poll_boundary_ns
+            if times[cur] >= boundary:
+                # Fire every poll due before this event, exactly as the
+                # scalar path's per-event _poll_if_due would.
+                pq._poll_if_due(int(times[cur]))
+                continue
+            end = int(np.searchsorted(times, boundary, side="left"))
+            while tp < len(trig_pos) and trig_pos[tp] < cur:
+                tp += 1
+            fire_trigger = False
+            if tp < len(trig_pos) and trig_pos[tp] < end:
+                end = int(trig_pos[tp]) + 1
+                fire_trigger = True
+            sl = slice(cur, end)
+            pq.process_batch(
+                is_enq[sl], ev_flows[sl], times[sl], depth[sl]
+            )
+            self.batches_processed += 1
+            if self.baselines:
+                for pos in np.flatnonzero(~is_enq[sl]):
+                    record = records[int(rec_idx[cur + pos])]
+                    for baseline in self.baselines:
+                        baseline.update(record.flow, record.deq_timestamp)
+            if fire_trigger:
+                d = int(rec_idx[end - 1])
+                record = records[d]
+                interval = QueryInterval.for_victim(
+                    record.enq_timestamp, record.deq_timestamp
+                )
+                result = pq._dp_query_interval(record.deq_timestamp, interval)
+                if result is not None:
+                    dp_results[d] = result
+                tp += 1
+            cur = end
+
+        end_ns = records[-1].deq_timestamp + 1
+        pq.finish(end_ns)
+        for baseline in self.baselines:
+            baseline.finish()
+        return dp_results

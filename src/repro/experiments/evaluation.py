@@ -40,7 +40,7 @@ def evaluate_async_queries(
     scores = []
     for index in victim_indices:
         record = records[index]
-        estimate = pq.async_query(victim_interval(record))
+        estimate = pq.query(interval=victim_interval(record)).estimate
         truth = ground_truth_direct(taxonomy, record)
         scores.append(precision_recall(estimate, truth))
     return scores

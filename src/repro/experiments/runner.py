@@ -5,7 +5,12 @@ the vectorised FIFO fast path; the resulting dequeue records (sorted by
 time) are replayed as a merged enqueue/dequeue event stream into
 PrintQueue's per-port pipeline, with periodic polls at every set-period
 boundary and optional data-plane triggers at chosen victims' dequeues.
-The event-driven :class:`~repro.switch.switchsim.Switch` path stays
+
+Replay defaults to the batched ingest engine
+(:class:`~repro.engine.IngestPipeline`), which is bit-identical to the
+scalar reference loop kept here as
+:func:`drive_printqueue_scalar` (the equivalence suite asserts it).  The
+event-driven :class:`~repro.switch.switchsim.Switch` path stays
 available for non-FIFO schedulers and is validated against this one.
 """
 
@@ -79,6 +84,7 @@ def drive_printqueue(
     pq: PrintQueuePort,
     dp_trigger_indices: Optional[Set[int]] = None,
     baselines: Optional[Iterable[FixedIntervalEstimator]] = None,
+    engine: str = "batched",
 ) -> Dict[int, DataPlaneQueryResult]:
     """Replay a dequeue log as a merged enqueue/dequeue event stream.
 
@@ -86,6 +92,34 @@ def drive_printqueue(
     whose dequeue instant an on-demand read+query fires, emulating a
     data-plane trigger for exactly those victims.  Baseline estimators,
     if given, are fed every dequeue too.
+
+    ``engine`` selects ``"batched"`` (the default: poll-boundary-aligned
+    array batches via :class:`repro.engine.IngestPipeline`) or
+    ``"scalar"`` (the per-event reference loop).  Both produce identical
+    snapshots and query results.
+    """
+    if engine == "batched":
+        from repro.engine.ingest import IngestPipeline
+
+        return IngestPipeline(
+            pq, records, dp_trigger_indices=dp_trigger_indices, baselines=baselines
+        ).run()
+    if engine != "scalar":
+        raise ValueError(f"unknown ingest engine {engine!r}")
+    return drive_printqueue_scalar(records, pq, dp_trigger_indices, baselines)
+
+
+def drive_printqueue_scalar(
+    records: Sequence[DequeueRecord],
+    pq: PrintQueuePort,
+    dp_trigger_indices: Optional[Set[int]] = None,
+    baselines: Optional[Iterable[FixedIntervalEstimator]] = None,
+) -> Dict[int, DataPlaneQueryResult]:
+    """The per-event reference implementation of :func:`drive_printqueue`.
+
+    Kept scalar on purpose: the batched engine's equivalence suite replays
+    the same log through both paths and asserts record-for-record equal
+    snapshots and estimates.
     """
     triggers = dp_trigger_indices or set()
     dp_results: Dict[int, DataPlaneQueryResult] = {}
@@ -122,7 +156,7 @@ def drive_printqueue(
                 interval = QueryInterval.for_victim(
                     record.enq_timestamp, record.deq_timestamp
                 )
-                result = pq.data_plane_query_interval(record.deq_timestamp, interval)
+                result = pq._dp_query_interval(record.deq_timestamp, interval)
                 if result is not None:
                     dp_results[d] = result
             d += 1
@@ -144,13 +178,15 @@ def simulate_workload(
     dp_trigger_indices: Optional[Set[int]] = None,
     baselines: Optional[Iterable[FixedIntervalEstimator]] = None,
     trace: Optional[Trace] = None,
+    engine: str = "batched",
 ) -> ExperimentRun:
     """End-to-end run: generate (or take) a trace, queue it, measure it.
 
     ``workload`` is one of ``ws`` / ``dm`` / ``uw`` (ignored when a
     ``trace`` is passed).  The PrintQueue coefficient ``z`` is derived
     from the measured mean packet interval, matching the paper's
-    line-rate-forwarding assumption during congestion.
+    line-rate-forwarding assumption during congestion.  ``engine``
+    selects the ingest path (see :func:`drive_printqueue`).
     """
     if trace is None:
         distribution = distribution_by_name(workload)
@@ -171,7 +207,9 @@ def simulate_workload(
     # realistic read-cost model (trigger rejection under PCIe pressure) is
     # exercised by the query-throughput micro-benchmark instead.
     pq = PrintQueuePort(cfg, d_ns=d_ns, model_dp_read_cost=False)
-    dp_results = drive_printqueue(records, pq, dp_trigger_indices, baselines)
+    dp_results = drive_printqueue(
+        records, pq, dp_trigger_indices, baselines, engine=engine
+    )
     taxonomy = CulpritTaxonomy(records)
     return ExperimentRun(
         trace=trace,

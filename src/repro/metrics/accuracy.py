@@ -53,8 +53,10 @@ def precision_recall(estimate, truth) -> AccuracyScore:
         true_count = tru.get(flow, 0.0)
         if true_count:
             tp += min(est_count, true_count)
-    precision = tp / est_total if est_total > 0 else 1.0
-    recall = tp / tru_total if tru_total > 0 else 1.0
+    # Clamp: tp is mathematically <= each total, but summing the per-flow
+    # minima in a different order than the totals can overshoot by an ulp.
+    precision = min(1.0, tp / est_total) if est_total > 0 else 1.0
+    recall = min(1.0, tp / tru_total) if tru_total > 0 else 1.0
     return AccuracyScore(precision, recall)
 
 
@@ -83,8 +85,8 @@ def topk_precision_recall(estimate, truth, k: int) -> AccuracyScore:
     tp_recall = sum(
         min(est.get(flow, 0.0), count) for flow, count in top_tru.items()
     )
-    precision = tp_precision / est_total if est_total > 0 else 1.0
-    recall = tp_recall / tru_total if tru_total > 0 else 1.0
+    precision = min(1.0, tp_precision / est_total) if est_total > 0 else 1.0
+    recall = min(1.0, tp_recall / tru_total) if tru_total > 0 else 1.0
     return AccuracyScore(precision, recall)
 
 

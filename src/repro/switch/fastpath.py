@@ -23,6 +23,73 @@ from repro.units import PS_PER_NS
 
 
 @dataclass
+class MergedEventStream:
+    """A dequeue log merged into one time-ordered enqueue/dequeue stream.
+
+    Event ``j`` refers to record ``record_index[j]``; ``is_enqueue[j]``
+    says which side, ``time_ns[j]`` when it happened, and
+    ``depth_after[j]`` the queue depth (in packets) right after the event
+    — the exact values the scalar driver would have passed to
+    ``process_enqueue`` / ``process_dequeue``.
+    """
+
+    time_ns: np.ndarray  # int64 ns
+    is_enqueue: np.ndarray  # bool
+    record_index: np.ndarray  # int64 indices into the record log
+    depth_after: np.ndarray  # int64 packets
+
+
+def merge_event_streams(
+    enq_timestamp: np.ndarray, deq_timestamp: np.ndarray
+) -> MergedEventStream:
+    """Merge a dequeue-ordered record log into one event stream.
+
+    Enqueues are ordered by enqueue timestamp (ties by record position),
+    dequeues keep the log order, and an enqueue wins a tie against a
+    dequeue at the same instant — the same discipline as the scalar
+    event loop in :func:`repro.experiments.runner.drive_printqueue_scalar`.
+    """
+    enq_timestamp = np.asarray(enq_timestamp, dtype=np.int64)
+    deq_timestamp = np.asarray(deq_timestamp, dtype=np.int64)
+    if enq_timestamp.shape != deq_timestamp.shape or enq_timestamp.ndim != 1:
+        raise ValueError("expected matching 1-D timestamp arrays")
+    n = len(enq_timestamp)
+    if n and np.any(enq_timestamp[1:] < enq_timestamp[:-1]):
+        enq_order = np.argsort(enq_timestamp, kind="stable")
+        enq_sorted = enq_timestamp[enq_order]
+    else:
+        # FIFO logs arrive enqueue-sorted already (dequeue order equals
+        # enqueue order), so the sort usually costs one comparison pass.
+        enq_order = np.arange(n, dtype=np.int64)
+        enq_sorted = enq_timestamp
+    if n and np.any(deq_timestamp[1:] < deq_timestamp[:-1]):
+        raise ValueError("dequeue log must be in dequeue order")
+    ranks = np.arange(n, dtype=np.int64)
+    # Merge the two sorted streams by rank arithmetic: an event's merged
+    # position is its own rank plus the count of other-stream events that
+    # precede it.  side="left"/"right" encode the tie rule (an enqueue
+    # wins a tie against a dequeue at the same instant).
+    pos_enq = ranks + np.searchsorted(deq_timestamp, enq_sorted, side="left")
+    pos_deq = ranks + np.searchsorted(enq_sorted, deq_timestamp, side="right")
+    times = np.empty(2 * n, dtype=np.int64)
+    is_enqueue = np.empty(2 * n, dtype=bool)
+    record_index = np.empty(2 * n, dtype=np.int64)
+    times[pos_enq] = enq_sorted
+    times[pos_deq] = deq_timestamp
+    is_enqueue[pos_enq] = True
+    is_enqueue[pos_deq] = False
+    record_index[pos_enq] = enq_order
+    record_index[pos_deq] = ranks
+    depth_after = np.cumsum(np.where(is_enqueue, 1, -1))
+    return MergedEventStream(
+        time_ns=times,
+        is_enqueue=is_enqueue,
+        record_index=record_index,
+        depth_after=depth_after,
+    )
+
+
+@dataclass
 class FifoResult:
     """Arrays describing one FIFO pass; all times are integer nanoseconds.
 

@@ -62,6 +62,9 @@ PUBLIC_MODULES = [
     "repro.metrics.accuracy",
     "repro.metrics.flowstats",
     "repro.metrics.overhead",
+    "repro.engine",
+    "repro.engine.ingest",
+    "repro.engine.parallel",
     "repro.experiments",
     "repro.experiments.evaluation",
     "repro.experiments.figures",

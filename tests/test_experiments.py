@@ -52,11 +52,31 @@ class TestRunner:
             original(flow, t, depth_after)
 
         pq.process_enqueue = spy
-        drive_printqueue(records, pq)
+        drive_printqueue(records, pq, engine="scalar")
         # Replayed depth-after at each enqueue == recorded depth + 1.
         by_enq = sorted(records, key=lambda r: r.enq_timestamp)
         expected = [r.enq_qdepth + 1 for r in by_enq]
         assert seen_depths == expected
+
+    def test_batched_drive_sees_same_depths(self):
+        """The batched engine's merged stream replays identical depths."""
+        trace = microburst_scenario(burst_packets_per_flow=30)
+        records, _ = run_trace_through_fifo(trace)
+        pq = PrintQueuePort(small_config(), model_dp_read_cost=False)
+
+        seen = []
+        original = pq.process_batch
+
+        def spy(is_enq, flows, times, depths):
+            seen.extend(
+                int(d) for e, d in zip(is_enq, depths) if e
+            )
+            original(is_enq, flows, times, depths)
+
+        pq.process_batch = spy
+        drive_printqueue(records, pq, engine="batched")
+        by_enq = sorted(records, key=lambda r: r.enq_timestamp)
+        assert seen == [r.enq_qdepth + 1 for r in by_enq]
 
     def test_simulate_workload_end_to_end(self):
         run = simulate_workload(
