@@ -21,6 +21,8 @@ from common import SCALE, print_table
 from repro.core.config import PrintQueueConfig
 from repro.core.printqueue import PrintQueuePort
 from repro.experiments.runner import drive_printqueue, run_trace_through_fifo
+from repro.obs.metrics import Metrics
+from repro.obs.report import RunReport
 from repro.traffic.distributions import distribution_by_name
 from repro.traffic.generator import PoissonWorkload, WorkloadConfig
 
@@ -64,15 +66,21 @@ def _ingest_counters(pq: PrintQueuePort):
 
 
 def _time_engine(records, config, engine, repeats):
+    # Metrics stay attached while timing: the speedup floors below double
+    # as the observability layer's overhead budget.
     best = float("inf")
     counters = None
+    view = None
     for _ in range(repeats):
-        pq = PrintQueuePort(config, d_ns=100.0, model_dp_read_cost=False)
+        pq = PrintQueuePort(
+            config, d_ns=100.0, model_dp_read_cost=False, metrics=Metrics()
+        )
         start = time.perf_counter()
         drive_printqueue(records, pq, engine=engine)
         best = min(best, time.perf_counter() - start)
         counters = _ingest_counters(pq)
-    return best, counters
+        view = RunReport.from_port(pq).deterministic_view()
+    return best, counters, view
 
 
 def test_micro_ingest_speedup():
@@ -82,10 +90,16 @@ def test_micro_ingest_speedup():
     rows = []
     speedups = {}
     for name, config in CONFIGS.items():
-        scalar_s, scalar_counters = _time_engine(records, config, "scalar", repeats)
-        batched_s, batched_counters = _time_engine(records, config, "batched", repeats)
-        # Both engines must leave identical instrumentation behind.
+        scalar_s, scalar_counters, scalar_view = _time_engine(
+            records, config, "scalar", repeats
+        )
+        batched_s, batched_counters, batched_view = _time_engine(
+            records, config, "batched", repeats
+        )
+        # Both engines must leave identical instrumentation behind — the
+        # quick counter tuple and the full RunReport deterministic view.
         assert batched_counters == scalar_counters
+        assert batched_view == scalar_view
         speedup = scalar_s / batched_s
         speedups[name] = speedup
         rows.append(

@@ -28,6 +28,7 @@ from repro.experiments.evaluation import (
 )
 from repro.experiments.runner import ExperimentRun, simulate_workload
 from repro.experiments.sampling import DEPTH_BANDS, band_label, sample_victims_by_band
+from repro.obs.metrics import Metrics
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
 
@@ -127,7 +128,9 @@ def get_run(
             seed=seed,
             dp_trigger_indices=dp_triggers,
             baselines=baselines,
+            metrics=Metrics(),
         )
+        save_run_report(workload, run)
         return run, baselines
 
     return _run_cache.get_or(key, compute)
@@ -151,6 +154,21 @@ def all_victim_indices(victims: Dict) -> Set[int]:
 
 #: JSON results written next to the benches; EXPERIMENTS.md references it.
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.json")
+
+#: Per-workload RunReports written alongside results.json (observability
+#: counters for the run each bench table was computed from).
+REPORTS_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def save_run_report(name: str, run: ExperimentRun) -> Optional[str]:
+    """Best-effort: save the run's RunReport as reports/<name>.json."""
+    try:
+        os.makedirs(REPORTS_DIR, exist_ok=True)
+        path = os.path.join(REPORTS_DIR, f"{name}.json")
+        run.report().save(path)
+        return path
+    except OSError:
+        return None
 
 
 def _result_store():

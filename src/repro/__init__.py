@@ -17,7 +17,7 @@ Quickstart::
             victim.enq_timestamp, victim.deq_timestamp
         )
     )
-    for flow, count in result.top(5):
+    for flow, count in result.estimate.top(5):
         print(flow, count)
 """
 
@@ -39,6 +39,7 @@ from repro.core import (
 from repro.engine import IngestPipeline, ParallelSweep, SweepCell
 from repro.errors import QueryError
 from repro.experiments import simulate_workload
+from repro.obs import Metrics, RunReport
 from repro.switch import FlowKey, Packet, Switch
 from repro.traffic import PoissonWorkload, Trace, WorkloadConfig
 
@@ -60,7 +61,9 @@ __all__ = [
     "QueryResult",
     "QueryError",
     "IngestPipeline",
+    "Metrics",
     "ParallelSweep",
+    "RunReport",
     "SweepCell",
     "FlowKey",
     "Packet",

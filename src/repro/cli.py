@@ -9,6 +9,10 @@ scenario
     Same, for the named scenarios (microburst / incast / burst-case-study).
 overhead
     Print the SRAM and control-plane bandwidth of a configuration.
+stats
+    Run a workload (or a saved .pqtrace) and print the RunReport —
+    collision/pass rates per window level, stale-filter and
+    queue-monitor counters — as a summary, JSON, or Prometheus text.
 trace
     Generate a workload and save it as a .pqtrace file (or inspect one).
 """
@@ -30,6 +34,7 @@ from repro.metrics.overhead import (
     sram_utilization,
     time_windows_sram_bytes,
 )
+from repro.obs.metrics import Metrics
 from repro.traffic import pcaplike
 from repro.traffic.scenarios import (
     incast_scenario,
@@ -68,6 +73,14 @@ def _build_trace(args: argparse.Namespace):
     raise SystemExit(f"unknown scenario {args.scenario!r}")
 
 
+def _maybe_write_report(run, args: argparse.Namespace) -> None:
+    """Save the run's RunReport when ``--metrics-out`` was given."""
+    out = getattr(args, "metrics_out", None)
+    if out:
+        run.report().save(out)
+        print(f"metrics: wrote RunReport to {out}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Handle `repro run`: simulate a workload and diagnose victims."""
     config = _config_from(args)
@@ -78,8 +91,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         config=config,
         seed=args.seed,
         engine=args.engine,
+        metrics=Metrics() if args.metrics_out else None,
     )
     _report(run, args.victims)
+    _maybe_write_report(run, args)
     return 0
 
 
@@ -87,13 +102,48 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     """Handle `repro scenario`: run a named scenario and diagnose."""
     config = _config_from(args)
     trace = _build_trace(args)
-    run = simulate_workload("unused", 1, config=config, trace=trace, seed=args.seed)
+    run = simulate_workload(
+        "unused",
+        1,
+        config=config,
+        trace=trace,
+        seed=args.seed,
+        metrics=Metrics() if args.metrics_out else None,
+    )
     if args.plot:
         times = [r.enq_timestamp for r in run.records]
         depths = [r.enq_qdepth for r in run.records]
         print("queue depth over time:")
         print(timeline(times, depths))
     _report(run, args.victims)
+    _maybe_write_report(run, args)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Handle `repro stats`: run a workload and print its RunReport."""
+    config = _config_from(args)
+    trace = pcaplike.read_trace(args.trace) if args.trace else None
+    run = simulate_workload(
+        args.workload,
+        duration_ns=int(args.duration_ms * 1e6),
+        load=args.load,
+        config=config,
+        seed=args.seed,
+        trace=trace,
+        engine=args.engine,
+        metrics=Metrics(),
+    )
+    report = run.report()
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "prom":
+        print(report.to_prometheus(), end="")
+    else:
+        print(report.summary())
+    if args.metrics_out:
+        report.save(args.metrics_out)
+        print(f"metrics: wrote RunReport to {args.metrics_out}", file=sys.stderr)
     return 0
 
 
@@ -200,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help="ingest engine: vectorised batches or the scalar reference",
     )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="save a JSON RunReport of the run to PATH",
+    )
     _add_config_args(run)
     run.set_defaults(func=cmd_run)
 
@@ -210,8 +266,48 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=1)
     scenario.add_argument("--victims", type=int, default=1)
     scenario.add_argument("--plot", action="store_true")
+    scenario.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="save a JSON RunReport of the run to PATH",
+    )
     _add_config_args(scenario)
     scenario.set_defaults(func=cmd_scenario)
+
+    stats = sub.add_parser(
+        "stats", help="run a workload and print its observability RunReport"
+    )
+    stats.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="optional .pqtrace file to replay (default: generate --workload)",
+    )
+    stats.add_argument("--workload", choices=["ws", "dm", "uw"], default="ws")
+    stats.add_argument("--duration-ms", type=float, default=40.0)
+    stats.add_argument("--load", type=float, default=1.2)
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument(
+        "--engine",
+        choices=["batched", "scalar"],
+        default="batched",
+        help="ingest engine (reports are counter-identical across engines)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["summary", "json", "prom"],
+        default="summary",
+        help="output format: human summary, JSON, or Prometheus text",
+    )
+    stats.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also save the JSON RunReport to PATH",
+    )
+    _add_config_args(stats)
+    stats.set_defaults(func=cmd_stats)
 
     overhead = sub.add_parser("overhead", help="SRAM / bandwidth of a config")
     overhead.add_argument("--ports", type=int, default=1)

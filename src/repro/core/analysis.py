@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.coefficient import coefficients
 from repro.core.config import PrintQueueConfig
-from repro.core.filtering import FilteredWindow, filter_windows
+from repro.core.filtering import FilteredWindow, FilterStats, filter_windows
 from repro.core.queries import FlowEstimate, QueryInterval
 from repro.core.queuemonitor import QueueMonitor, QueueMonitorSnapshot
 from repro.core.registers import BankedStructure
@@ -106,6 +106,8 @@ class AnalysisProgram:
         self._dp_lock_until_ns = 0
         self._active_since_ns = 0
         self.queries_executed = 0
+        #: Algorithm-3 scan/retain totals across every poll (repro.obs).
+        self.filter_stats = FilterStats()
 
     # -- data-plane side -------------------------------------------------
 
@@ -128,7 +130,9 @@ class AnalysisProgram:
         frozen = self.tw_banks.periodic_flip()
         snapshot = TimeWindowSnapshot(
             read_time_ns=now_ns,
-            windows=filter_windows(frozen.snapshot(), self.config),
+            windows=filter_windows(
+                frozen.snapshot(), self.config, stats=self.filter_stats
+            ),
             source="periodic",
             valid_from_ns=self._active_since_ns,
         )
@@ -168,7 +172,11 @@ class AnalysisProgram:
         if not self.model_dp_read_cost:
             snapshot = TimeWindowSnapshot(
                 read_time_ns=now_ns,
-                windows=filter_windows(self.tw_banks.active.snapshot(), self.config),
+                windows=filter_windows(
+                    self.tw_banks.active.snapshot(),
+                    self.config,
+                    stats=self.filter_stats,
+                ),
                 source="data-plane",
                 valid_from_ns=self._active_since_ns,
             )
@@ -182,7 +190,9 @@ class AnalysisProgram:
             return None
         snapshot = TimeWindowSnapshot(
             read_time_ns=now_ns,
-            windows=filter_windows(frozen.snapshot(), self.config),
+            windows=filter_windows(
+                frozen.snapshot(), self.config, stats=self.filter_stats
+            ),
             source="data-plane",
             valid_from_ns=self._active_since_ns,
         )

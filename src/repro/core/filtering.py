@@ -26,6 +26,25 @@ from repro.switch.packet import FlowKey
 
 
 @dataclass
+class FilterStats:
+    """Running totals over Algorithm-3 filter passes (repro.obs).
+
+    One instance accumulates across every poll of a run: ``cells_scanned``
+    counts occupied cells in the frozen reads (registers are never
+    cleared, so this includes stale leftovers), ``cells_retained`` counts
+    the cells that survive the filter.
+    """
+
+    cells_scanned: int = 0
+    cells_retained: int = 0
+
+    @property
+    def cells_discarded(self) -> int:
+        """Stale cells the filter removed."""
+        return self.cells_scanned - self.cells_retained
+
+
+@dataclass
 class FilteredWindow:
     """The live contents of one window after Algorithm 3.
 
@@ -62,8 +81,13 @@ class FilteredWindow:
 def filter_windows(
     windows: Sequence[TimeWindow],
     config: PrintQueueConfig,
+    stats: Optional[FilterStats] = None,
 ) -> List[FilteredWindow]:
-    """Apply Algorithm 3 to a snapshot of all T windows."""
+    """Apply Algorithm 3 to a snapshot of all T windows.
+
+    ``stats``, when given, accumulates scanned/retained cell counts for
+    this pass (the per-poll stale-filter observability counters).
+    """
     if len(windows) != config.T:
         raise ValueError(f"expected {config.T} windows, got {len(windows)}")
     k = config.k
@@ -88,6 +112,8 @@ def filter_windows(
         # sorted by TTS (older entries have strictly smaller TTS).  The
         # per-cell scans are vectorised; only survivors touch Python.
         cyc = np.array(cycle_ids, dtype=np.int64)
+        if stats is not None:
+            stats.cells_scanned += int(np.count_nonzero(cyc != EMPTY))
         prev_cycle = ref_cycle - 1
         prev_base = prev_cycle << k
         ref_base = ref_cycle << k
@@ -98,6 +124,8 @@ def filter_windows(
             cells.extend([(prev_base | j, flows[j]) for j in tail.tolist()])
         head = np.flatnonzero(cyc[: ref_index + 1] == ref_cycle)
         cells.extend([(ref_base | j, flows[j]) for j in head.tolist()])
+        if stats is not None:
+            stats.cells_retained += len(cells)
         out.append(FilteredWindow(i, config.shift(i), cells, tts))
         # Reference for the next (older, more compressed) window: the most
         # recently passed cell is one full window period back.

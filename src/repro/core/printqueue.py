@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.core.multiqueue import ClassedQueueMonitor
 from repro.core.queries import FlowEstimate, QueryInterval
 from repro.core.queuemonitor import QueueMonitorSnapshot
 from repro.errors import ConfigError, QueryError
+from repro.obs.metrics import Metrics
 from repro.switch.packet import Packet
 from repro.switch.port import EgressPort
 
@@ -113,12 +115,25 @@ class PrintQueuePort:
         model_dp_read_cost: bool = True,
         units_of: Optional[Callable[[Packet], int]] = None,
         num_classes: Optional[int] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.config = config
         self.analysis = AnalysisProgram(
             config, d_ns=d_ns, model_dp_read_cost=model_dp_read_cost
         )
         self.trigger = trigger
+        #: optional repro.obs registry.  The structure counters are plain
+        #: integers and always on; attaching a registry additionally
+        #: records query latencies, ingest timings, and a poll-boundary
+        #: counter timeline.  Collection never mutates structure state, so
+        #: diagnosis results are bit-identical with or without it.
+        self.metrics = metrics
+        if metrics is not None:
+            self._obs_apply_ns = metrics.histogram("pq_ingest_apply_ns")
+            self._obs_absorb_ns = metrics.histogram("pq_ingest_absorb_ns")
+        else:
+            self._obs_apply_ns = None
+            self._obs_absorb_ns = None
         #: optional per-packet depth-unit accounting (e.g. buffer cells);
         #: defaults to one unit per packet, matching EgressQueue's default.
         self.units_of = units_of
@@ -203,7 +218,13 @@ class PrintQueuePort:
         if n == 0:
             return
         self._poll_if_due(int(times_ns[0]))
+        timing = self._obs_apply_ns is not None
+        if timing:
+            t0 = perf_counter_ns()
         self.analysis.queue_monitor.apply_batch(is_enqueue, flows, depth_after)
+        if timing:
+            t1 = perf_counter_ns()
+            self._obs_apply_ns.observe(t1 - t0)
         deq = ~is_enqueue
         num_deq = int(deq.sum())
         if num_deq:
@@ -216,6 +237,8 @@ class PrintQueuePort:
                     deq_flows = [f for f, d in zip(flows, deq) if d]
                 self.analysis.on_dequeue_batch(deq_flows, times_ns[deq])
             self.packets_seen += num_deq
+            if timing:
+                self._obs_absorb_ns.observe(perf_counter_ns() - t1)
 
     # -- polling -------------------------------------------------------------
 
@@ -240,12 +263,38 @@ class PrintQueuePort:
             self._next_qm_poll_ns += self._qm_period_ns
         while now_ns >= self._next_poll_ns:
             self.analysis.periodic_poll(self._next_poll_ns)
+            if self.metrics is not None:
+                self._sample_metrics(self._next_poll_ns)
             self._next_poll_ns += self.config.set_period_ns
+
+    def _sample_metrics(self, now_ns: int) -> None:
+        """Record a poll-boundary snapshot of the key structure counters.
+
+        The sampled values are deterministic functions of the event
+        stream up to ``now_ns``, so the timeline is identical between the
+        scalar and batched ingest engines.
+        """
+        banks = self.analysis.tw_banks.banks
+        monitor = self.analysis.queue_monitor
+        self.metrics.sample(
+            now_ns,
+            {
+                "packets_seen": self.packets_seen,
+                "tw_updates": sum(b.updates for b in banks),
+                "tw_passes": sum(b.passes for b in banks),
+                "tw_drops": sum(b.drops for b in banks),
+                "qm_pushes": monitor.pushes,
+                "qm_drains": monitor.drains,
+                "qm_high_water": monitor.high_water,
+            },
+        )
 
     def finish(self, now_ns: int) -> None:
         """Final poll at end of run so no data is left unread."""
         self._poll_if_due(now_ns)
         self.analysis.periodic_poll(now_ns)
+        if self.metrics is not None:
+            self._sample_metrics(now_ns)
 
     # -- queries -------------------------------------------------------------
 
@@ -271,7 +320,41 @@ class PrintQueuePort:
           for the original culprits standing at that instant; ``classes=``
           restricts the walk to specific classes of service (requires a
           port created with ``num_classes``).
+
+        With a :class:`~repro.obs.metrics.Metrics` registry attached the
+        call also records its latency (``pq_query_latency_ns``) and tallies
+        per kind/mode plus data-plane rejections; argument errors raise
+        before any tally is recorded.
         """
+        m = self.metrics
+        if m is None:
+            return self._query_impl(
+                interval=interval, mode=mode, at_ns=at_ns, classes=classes
+            )
+        start = perf_counter_ns()
+        result = self._query_impl(
+            interval=interval, mode=mode, at_ns=at_ns, classes=classes
+        )
+        elapsed = perf_counter_ns() - start
+        m.histogram("pq_query_latency_ns", kind=result.kind).observe(elapsed)
+        m.counter(
+            "pq_queries_total", kind=result.kind, mode=result.mode or "none"
+        ).inc()
+        if result.accepted:
+            m.counter("pq_queries_accepted_total").inc()
+        else:
+            m.counter("pq_queries_rejected_total").inc()
+        return result
+
+    def _query_impl(
+        self,
+        *,
+        interval: Optional[QueryInterval],
+        mode: str,
+        at_ns: Optional[int],
+        classes: Optional[Iterable[int]],
+    ) -> QueryResult:
+        """query() minus instrumentation (validation + dispatch)."""
         if mode not in ("async", "data_plane"):
             raise QueryError(f"unknown query mode {mode!r}")
         if interval is None:
@@ -382,19 +465,19 @@ class PrintQueuePort:
         return self.classed_monitor.original_culprits(snapshots, classes)
 
     # -- deprecated query surface (thin shims over query()) ------------------
-
-    @staticmethod
-    def _warn_deprecated(old: str, new: str) -> None:
-        warnings.warn(
-            f"PrintQueuePort.{old} is deprecated; use PrintQueuePort.{new}",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+    #
+    # Each shim calls warnings.warn itself with stacklevel=2 so the
+    # warning is attributed to the *caller's* line, and each message names
+    # the exact replacement keyword arguments (tests pin both).
 
     def data_plane_query(self, packet: Packet) -> Optional[DataPlaneQueryResult]:
         """Deprecated: use ``query(interval=..., mode="data_plane")``."""
-        self._warn_deprecated(
-            "data_plane_query(packet)", 'query(interval=..., mode="data_plane")'
+        warnings.warn(
+            "PrintQueuePort.data_plane_query(packet) is deprecated; use "
+            "PrintQueuePort.query(interval=QueryInterval.for_victim(...), "
+            'mode="data_plane") instead',
+            DeprecationWarning,
+            stacklevel=2,
         )
         return self._dp_query_packet(packet)
 
@@ -402,28 +485,45 @@ class PrintQueuePort:
         self, now_ns: int, interval: QueryInterval
     ) -> Optional[DataPlaneQueryResult]:
         """Deprecated: use ``query(interval=..., mode="data_plane", at_ns=...)``."""
-        self._warn_deprecated(
-            "data_plane_query_interval()",
-            'query(interval=..., mode="data_plane", at_ns=...)',
+        warnings.warn(
+            "PrintQueuePort.data_plane_query_interval(now_ns, interval) is "
+            "deprecated; use PrintQueuePort.query(interval=..., "
+            'mode="data_plane", at_ns=...) instead',
+            DeprecationWarning,
+            stacklevel=2,
         )
         return self._dp_query_interval(now_ns, interval)
 
     def async_query(self, interval: QueryInterval) -> FlowEstimate:
         """Deprecated: use ``query(interval=...)``."""
-        self._warn_deprecated("async_query()", "query(interval=...)")
+        warnings.warn(
+            "PrintQueuePort.async_query(interval) is deprecated; use "
+            "PrintQueuePort.query(interval=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._async_query(interval)
 
     def original_culprits(self, time_ns: int) -> FlowEstimate:
         """Deprecated: use ``query(at_ns=...)``."""
-        self._warn_deprecated("original_culprits()", "query(at_ns=...)")
+        warnings.warn(
+            "PrintQueuePort.original_culprits(time_ns) is deprecated; use "
+            "PrintQueuePort.query(at_ns=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._original_culprits(time_ns)
 
     def original_culprits_by_class(
         self, time_ns: int, classes: Optional[Iterable[int]] = None
     ) -> FlowEstimate:
         """Deprecated: use ``query(at_ns=..., classes=...)``."""
-        self._warn_deprecated(
-            "original_culprits_by_class()", "query(at_ns=..., classes=...)"
+        warnings.warn(
+            "PrintQueuePort.original_culprits_by_class(time_ns, classes) is "
+            "deprecated; use PrintQueuePort.query(at_ns=..., classes=...) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
         return self._original_culprits_by_class(time_ns, classes)
 
@@ -437,6 +537,7 @@ class PrintQueue:
         port_ids: Iterable[int],
         d_ns: Optional[float] = None,
         trigger: Optional[TriggerPolicy] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         ids = list(port_ids)
         if not ids:
@@ -445,8 +546,12 @@ class PrintQueue:
             raise ConfigError(f"duplicate port ids: {ids}")
         self.config = config
         self.port_ids = ids
+        #: one shared repro.obs registry across all ports (per-port
+        #: structure counters stay separable via RunReport.from_port).
+        self.metrics = metrics
         self.ports: Dict[int, PrintQueuePort] = {
-            pid: PrintQueuePort(config, d_ns=d_ns, trigger=trigger) for pid in ids
+            pid: PrintQueuePort(config, d_ns=d_ns, trigger=trigger, metrics=metrics)
+            for pid in ids
         }
         self.ignored_packets = 0
 

@@ -90,6 +90,9 @@ class QueueMonitor:
         "dec_seq",
         "dec_flow",
         "overflows",
+        "pushes",
+        "drains",
+        "high_water",
     )
 
     def __init__(self, levels: int, granularity: int = 1) -> None:
@@ -106,6 +109,13 @@ class QueueMonitor:
         self.dec_seq: List[int] = [_UNSET] * levels
         self.dec_flow: List[Optional[FlowKey]] = [None] * levels
         self.overflows = 0
+        # Observability (repro.obs): stack churn.  ``pushes``/``drains``
+        # count the rise/drain sides of the event stream; ``high_water``
+        # is the tallest level the stack top ever reached.  apply_batch
+        # maintains identical values.
+        self.pushes = 0
+        self.drains = 0
+        self.high_water = 0
 
     def _level_of(self, depth_units: int) -> int:
         level = depth_units // self.granularity
@@ -121,6 +131,9 @@ class QueueMonitor:
         self.inc_seq[level] = self._seq
         self.inc_flow[level] = flow
         self.top = level
+        self.pushes += 1
+        if level > self.high_water:
+            self.high_water = level
 
     def on_dequeue(self, flow: FlowKey, depth_after_units: int) -> None:
         """A packet left, lowering the queue depth to ``depth_after_units``."""
@@ -129,6 +142,9 @@ class QueueMonitor:
         self.dec_seq[level] = self._seq
         self.dec_flow[level] = flow
         self.top = level
+        self.drains += 1
+        if level > self.high_water:
+            self.high_water = level
 
     def apply_batch(
         self,
@@ -152,6 +168,12 @@ class QueueMonitor:
         raw_level = depth // self.granularity
         self.overflows += int(np.count_nonzero(raw_level >= self.levels))
         level = np.maximum(0, np.minimum(raw_level, self.levels - 1))
+        num_pushes = int(np.count_nonzero(is_enqueue))
+        self.pushes += num_pushes
+        self.drains += n - num_pushes
+        peak = int(level.max())
+        if peak > self.high_water:
+            self.high_water = peak
         base_seq = self._seq
         self._seq += n
 
@@ -193,3 +215,6 @@ class QueueMonitor:
         self.dec_seq = [_UNSET] * self.levels
         self.dec_flow = [None] * self.levels
         self.overflows = 0
+        self.pushes = 0
+        self.drains = 0
+        self.high_water = 0

@@ -22,7 +22,16 @@ from repro.switch.packet import FlowKey
 class TimeWindowSet:
     """T time windows plus the Algorithm-1 update procedure."""
 
-    __slots__ = ("config", "windows", "updates", "passes", "drops")
+    __slots__ = (
+        "config",
+        "windows",
+        "updates",
+        "passes",
+        "drops",
+        "level_inserts",
+        "level_passes",
+        "level_drops",
+    )
 
     def __init__(self, config: PrintQueueConfig) -> None:
         self.config = config
@@ -31,6 +40,14 @@ class TimeWindowSet:
         self.updates = 0
         self.passes = 0
         self.drops = 0
+        # Per-window-level observability (repro.obs): writes landing on
+        # window i, records evicted from window i that passed onward, and
+        # records evicted from window i that were dropped.  Collisions at
+        # level i = level_passes[i] + level_drops[i].  Maintained with
+        # identical semantics by update() and absorb_batch().
+        self.level_inserts = [0] * config.T
+        self.level_passes = [0] * config.T
+        self.level_drops = [0] * config.T
 
     def update(self, flow: FlowKey, deq_timestamp_ns: int) -> int:
         """Algorithm 1: insert one dequeued packet.
@@ -53,6 +70,7 @@ class TimeWindowSet:
             window.cycle_ids[index] = new_cycle
             window.flows[index] = flow
             depth += 1
+            self.level_inserts[i] += 1
             if old_cycle != EMPTY and new_cycle - old_cycle == 1:
                 # Pass the evicted record onward: reconstruct its TTS at
                 # this window's granularity and compress by alpha bits.
@@ -60,9 +78,11 @@ class TimeWindowSet:
                 flow = old_flow
                 tts = ((old_cycle << k) | index) >> alpha
                 self.passes += 1
+                self.level_passes[i] += 1
             else:
                 if old_cycle != EMPTY:
                     self.drops += 1
+                    self.level_drops[i] += 1
                 break
         return depth
 
@@ -115,6 +135,7 @@ class TimeWindowSet:
             if len(tts) == 0:
                 break
             window = self.windows[level]
+            self.level_inserts[level] += len(tts)
             index = tts & window.mask
             cycle = tts >> k
             # Group writes per cell; stable sort keeps batch order inside
@@ -147,12 +168,16 @@ class TimeWindowSet:
             same = s_index[1:] == s_index[:-1]
             mid_pass = same & (s_cycle[1:] - s_cycle[:-1] == 1)
             mid_drop = same & ~mid_pass
-            passes += int(np.count_nonzero(head_pass)) + int(
+            level_pass = int(np.count_nonzero(head_pass)) + int(
                 np.count_nonzero(mid_pass)
             )
-            drops += int(np.count_nonzero(head_drop)) + int(
+            level_drop = int(np.count_nonzero(head_drop)) + int(
                 np.count_nonzero(mid_drop)
             )
+            passes += level_pass
+            drops += level_drop
+            self.level_passes[level] += level_pass
+            self.level_drops[level] += level_drop
 
             if level + 1 < cfg.T:
                 # Assemble the pass stream for the next window, ordered by

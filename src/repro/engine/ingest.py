@@ -88,6 +88,16 @@ class IngestPipeline:
         self.triggers = set(dp_trigger_indices or ())
         self.baselines = list(baselines or [])
         self.batches_processed = 0
+        # repro.obs: batch-size distribution and batch tally, published
+        # into the port's registry when one is attached (apply/absorb
+        # timings are recorded inside PrintQueuePort.process_batch).
+        metrics = pq.metrics
+        if metrics is not None:
+            self._obs_batch_events = metrics.histogram("pq_ingest_batch_events")
+            self._obs_batches = metrics.counter("pq_ingest_batches_total")
+        else:
+            self._obs_batch_events = None
+            self._obs_batches = None
 
     def run(self) -> Dict[int, DataPlaneQueryResult]:
         """Replay the whole log; returns completed on-demand queries."""
@@ -144,6 +154,9 @@ class IngestPipeline:
                 is_enq[sl], ev_flows[sl], times[sl], depth[sl]
             )
             self.batches_processed += 1
+            if self._obs_batches is not None:
+                self._obs_batches.inc()
+                self._obs_batch_events.observe(end - cur)
             if self.baselines:
                 for pos in np.flatnonzero(~is_enq[sl]):
                     record = records[int(rec_idx[cur + pos])]

@@ -27,6 +27,8 @@ from repro.core.config import PrintQueueConfig
 from repro.core.printqueue import DataPlaneQueryResult, PrintQueuePort
 from repro.core.queries import QueryInterval
 from repro.core.taxonomy import CulpritTaxonomy
+from repro.obs.metrics import Metrics
+from repro.obs.report import RunReport
 from repro.switch.fastpath import fifo_timestamps
 from repro.switch.packet import FlowKey
 from repro.switch.telemetry import DequeueRecord
@@ -46,6 +48,7 @@ class ExperimentRun:
     taxonomy: CulpritTaxonomy
     drops: int = 0
     dp_results: Dict[int, DataPlaneQueryResult] = field(default_factory=dict)
+    metrics: Optional[Metrics] = None
 
     @property
     def mean_packet_interval_ns(self) -> float:
@@ -54,6 +57,15 @@ class ExperimentRun:
             return float("inf")
         span = self.records[-1].deq_timestamp - self.records[0].deq_timestamp
         return span / (len(self.records) - 1)
+
+    def report(self) -> RunReport:
+        """Build a :class:`~repro.obs.report.RunReport` for this run."""
+        return RunReport.from_port(
+            self.pq,
+            metrics=self.metrics,
+            num_records=len(self.records),
+            drops=self.drops,
+        )
 
 
 def run_trace_through_fifo(
@@ -179,6 +191,7 @@ def simulate_workload(
     baselines: Optional[Iterable[FixedIntervalEstimator]] = None,
     trace: Optional[Trace] = None,
     engine: str = "batched",
+    metrics: Optional[Metrics] = None,
 ) -> ExperimentRun:
     """End-to-end run: generate (or take) a trace, queue it, measure it.
 
@@ -186,7 +199,10 @@ def simulate_workload(
     ``trace`` is passed).  The PrintQueue coefficient ``z`` is derived
     from the measured mean packet interval, matching the paper's
     line-rate-forwarding assumption during congestion.  ``engine``
-    selects the ingest path (see :func:`drive_printqueue`).
+    selects the ingest path (see :func:`drive_printqueue`).  Passing a
+    ``metrics`` registry attaches timing/tally instrumentation to the
+    port; structure-level counters are collected either way via
+    :meth:`ExperimentRun.report`.
     """
     if trace is None:
         distribution = distribution_by_name(workload)
@@ -206,7 +222,9 @@ def simulate_workload(
     # Instant on-demand reads: every sampled victim gets a DQ result.  The
     # realistic read-cost model (trigger rejection under PCIe pressure) is
     # exercised by the query-throughput micro-benchmark instead.
-    pq = PrintQueuePort(cfg, d_ns=d_ns, model_dp_read_cost=False)
+    pq = PrintQueuePort(
+        cfg, d_ns=d_ns, model_dp_read_cost=False, metrics=metrics
+    )
     dp_results = drive_printqueue(
         records, pq, dp_trigger_indices, baselines, engine=engine
     )
@@ -218,4 +236,5 @@ def simulate_workload(
         taxonomy=taxonomy,
         drops=drops,
         dp_results=dp_results,
+        metrics=metrics,
     )

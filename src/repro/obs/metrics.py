@@ -1,0 +1,225 @@
+"""Near-zero-overhead metric instruments and the :class:`Metrics` registry.
+
+The hot structures (:class:`~repro.core.windowset.TimeWindowSet`,
+:class:`~repro.core.queuemonitor.QueueMonitor`, the register banks) keep
+their event counts as plain integer attributes, updated inline — that is
+the data-plane half, cheap enough to stay on unconditionally, and the
+reason the scalar and batched ingest paths can assert counter-for-counter
+equality.  This module is the control-plane half: a registry of named
+instruments that the instrumentation points *publish into* (query
+latencies, batch sizes, ingest timings) or that collectors *pull* the
+structure counters into at read time.
+
+Three instrument kinds, mirroring the usual exposition conventions:
+
+* :class:`Counter` — a monotonically increasing integer.
+* :class:`Gauge` — a point-in-time value (may go up or down).
+* :class:`Histogram` — fixed log₂ buckets: an observation ``v`` lands in
+  bucket ``v.bit_length()``, i.e. bucket ``b`` covers ``[2^(b-1), 2^b)``
+  (bucket 0 holds zero/negative observations).  Fixed buckets keep
+  ``observe`` allocation-free and make histograms mergeable across runs.
+
+Instruments are identified by ``(name, labels)``; the registry
+get-or-creates on access, so instrumentation points simply ask for what
+they need.  :meth:`Metrics.to_prometheus` renders the whole registry in
+the text exposition format; :meth:`Metrics.snapshot` returns a plain
+JSON-ready dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "MAX_LOG2_BUCKETS"]
+
+#: Histogram bucket count: bucket 63 absorbs anything >= 2^62, far beyond
+#: any nanosecond latency or batch size this codebase can produce.
+MAX_LOG2_BUCKETS = 64
+
+#: (name, sorted (key, value) label pairs) — the registry key.
+_InstrumentKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value; ``set`` overwrites, ``set_max`` keeps peaks."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed log₂-bucket histogram of non-negative observations.
+
+    Bucket ``b`` counts observations whose integer part has bit length
+    ``b``: bucket 0 is exactly zero, bucket 1 is ``[1, 2)``, bucket 2 is
+    ``[2, 4)``, …, so bucket upper bounds are ``2^b - 1``.  ``sum`` and
+    ``count`` are tracked exactly, so means stay precise even though the
+    distribution is quantised.
+    """
+
+    __slots__ = ("counts", "count", "sum")
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * MAX_LOG2_BUCKETS
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value: int) -> None:
+        v = int(value)
+        bucket = v.bit_length() if v > 0 else 0
+        if bucket >= MAX_LOG2_BUCKETS:
+            bucket = MAX_LOG2_BUCKETS - 1
+        self.counts[bucket] += 1
+        self.count += 1
+        self.sum += v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        """``(upper_bound, count)`` for every occupied bucket, ascending."""
+        return [
+            ((1 << b) - 1, c) for b, c in enumerate(self.counts) if c
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": {str(ub): c for ub, c in self.nonzero_buckets()},
+        }
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(pairs: Tuple[Tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class Metrics:
+    """A registry of named instruments with get-or-create access.
+
+    One registry is owned per run surface (a :class:`PrintQueuePort`, a
+    :class:`~repro.switch.switchsim.Switch`) and every instrumentation
+    point publishes into it.  ``sample`` additionally records a named
+    point-in-time snapshot (the poll-boundary timeline that
+    :class:`~repro.obs.report.RunReport` serialises).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[_InstrumentKey, Any] = {}
+        #: poll-boundary timeline: (time_ns, {counter name: value}).
+        self.samples: List[Tuple[int, Dict[str, int]]] = []
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Tuple[_InstrumentKey, Any]]:
+        return iter(sorted(self._instruments.items()))
+
+    def _get(self, cls, name: str, labels: Dict[str, Any]):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def sample(self, time_ns: int, values: Dict[str, int]) -> None:
+        """Record one poll-boundary snapshot of key counters."""
+        self.samples.append((time_ns, values))
+
+    def find(self, name: str, **labels: Any) -> Optional[Any]:
+        """The instrument registered under (name, labels), if any."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    # -- exposition ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dict: ``{name{labels}: value-or-histogram-dict}``."""
+        out: Dict[str, Any] = {}
+        for (name, pairs), instrument in self:
+            out[name + _render_labels(pairs)] = instrument.snapshot()
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus-style text exposition of every instrument."""
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+        for (name, pairs), instrument in self:
+            if name not in seen_types:
+                seen_types[name] = instrument.kind
+                lines.append(f"# TYPE {name} {instrument.kind}")
+            labels = _render_labels(pairs)
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for upper, count in instrument.nonzero_buckets():
+                    cumulative += count
+                    le = dict(pairs, le=str(upper))
+                    lines.append(
+                        f"{name}_bucket{_render_labels(_label_key(le))}"
+                        f" {cumulative}"
+                    )
+                inf = dict(pairs, le="+Inf")
+                lines.append(
+                    f"{name}_bucket{_render_labels(_label_key(inf))}"
+                    f" {instrument.count}"
+                )
+                lines.append(f"{name}_sum{labels} {instrument.sum}")
+                lines.append(f"{name}_count{labels} {instrument.count}")
+            else:
+                lines.append(f"{name}{labels} {instrument.snapshot()}")
+        return "\n".join(lines) + ("\n" if lines else "")

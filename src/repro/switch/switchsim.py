@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.metrics import Metrics
 from repro.switch.events import EventQueue
 from repro.switch.packet import Packet
 from repro.switch.port import EgressPort
@@ -51,6 +52,7 @@ class Switch:
         self,
         ports: Iterable[EgressPort],
         classifier: Optional[Callable[[Packet], int]] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.ports: Dict[int, EgressPort] = {}
         for port in ports:
@@ -62,6 +64,9 @@ class Switch:
         self.classifier = classifier
         self.events = EventQueue()
         self.stats = SwitchStats()
+        #: repro.obs registry owned by the switch; run() publishes the
+        #: aggregate rx/tx/drop gauges into it after every drive.
+        self.metrics = metrics if metrics is not None else Metrics()
 
     @classmethod
     def single_port(
@@ -115,7 +120,18 @@ class Switch:
         self.stats.per_port_tx = {
             pid: p.tx_packets for pid, p in self.ports.items()
         }
+        self._publish_metrics()
         return self.stats
+
+    def _publish_metrics(self) -> None:
+        m = self.metrics
+        m.gauge("switch_rx_packets").set(self.stats.rx_packets)
+        m.gauge("switch_tx_packets").set(self.stats.tx_packets)
+        m.gauge("switch_tx_bytes").set(self.stats.tx_bytes)
+        m.gauge("switch_drops").set(self.stats.drops)
+        m.gauge("switch_last_event_ns").set(self.stats.last_event_ns)
+        for pid, tx in self.stats.per_port_tx.items():
+            m.gauge("switch_port_tx_packets", port=str(pid)).set(tx)
 
     def run_trace(self, packets: Iterable[Packet]) -> SwitchStats:
         """Inject an entire trace then run it to completion."""

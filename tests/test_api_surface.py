@@ -65,6 +65,9 @@ PUBLIC_MODULES = [
     "repro.engine",
     "repro.engine.ingest",
     "repro.engine.parallel",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.report",
     "repro.experiments",
     "repro.experiments.evaluation",
     "repro.experiments.figures",

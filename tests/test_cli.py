@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.report import RunReport
 
 
 class TestParser:
@@ -101,6 +104,82 @@ class TestAdviseCommand:
         out = capsys.readouterr().out
         assert "qm-overflow" in out
         assert "horizon-spans-snapshots" in out
+
+
+class TestStatsCommand:
+    ARGS = ["--workload", "ws", "--duration-ms", "2", "--k", "10"]
+
+    def test_summary_format(self, capsys):
+        assert main(["stats", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "time windows" in out
+        assert "queue monitor" in out
+
+    def test_json_counters_identical_across_engines(self, capsys):
+        reports = {}
+        for engine in ("scalar", "batched"):
+            code = main(
+                ["stats", *self.ARGS, "--format", "json", "--engine", engine]
+            )
+            assert code == 0
+            reports[engine] = json.loads(capsys.readouterr().out)
+        # Window-level collision/pass counters must not depend on the
+        # ingest engine (only the timing metrics may differ).
+        assert (
+            reports["scalar"]["time_windows"] == reports["batched"]["time_windows"]
+        )
+        assert reports["scalar"]["queue_monitor"] == reports["batched"]["queue_monitor"]
+        assert reports["scalar"]["filter"] == reports["batched"]["filter"]
+
+    def test_prometheus_format(self, capsys):
+        assert main(["stats", *self.ARGS, "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE pq_tw_inserts_total counter" in out
+        assert 'pq_tw_inserts_total{level="0"}' in out
+
+    def test_metrics_out_writes_loadable_report(self, tmp_path, capsys):
+        path = str(tmp_path / "report.json")
+        assert main(["stats", *self.ARGS, "--metrics-out", path]) == 0
+        report = RunReport.load(path)
+        assert report.section("packets")["seen"] > 0
+
+    def test_replays_saved_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.pqtrace")
+        assert main(["trace", trace_path, "--duration-ms", "2"]) == 0
+        capsys.readouterr()
+        assert main(["stats", trace_path, "--k", "10"]) == 0
+        assert "packets seen" in capsys.readouterr().out
+
+
+class TestMetricsOutFlag:
+    def test_run_metrics_out(self, tmp_path, capsys):
+        path = str(tmp_path / "run-report.json")
+        code = main(
+            [
+                "run",
+                "--workload",
+                "ws",
+                "--duration-ms",
+                "2",
+                "--k",
+                "10",
+                "--metrics-out",
+                path,
+            ]
+        )
+        assert code == 0
+        assert "wrote RunReport" in capsys.readouterr().out
+        report = RunReport.load(path)
+        # The attached registry's poll samples are serialised too.
+        assert report.section("metrics") is not None
+
+    def test_scenario_metrics_out(self, tmp_path, capsys):
+        path = str(tmp_path / "scenario-report.json")
+        code = main(
+            ["scenario", "microburst", "--k", "10", "--metrics-out", path]
+        )
+        assert code == 0
+        assert RunReport.load(path).section("packets")["seen"] > 0
 
 
 class TestTraceCommand:

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's documentation (CI docs job).
+
+Walks the top-level ``*.md`` files plus everything under ``docs/`` and
+verifies that
+
+* relative links (``[text](path)`` and ``[text](path#anchor)``) resolve
+  to files that exist in the repository;
+* intra-document anchors (``[text](#section)``) match a heading in the
+  same file (GitHub slug rules: lowercase, spaces to dashes, punctuation
+  stripped);
+* no link target is an absolute filesystem path.
+
+External ``http(s)://`` links are only syntax-checked (CI must not
+depend on the network).  Exit code 0 means every link resolved.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images' leading "!" is unnecessary: image
+#: targets must resolve too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def doc_files() -> List[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    docs_dir = REPO_ROOT / "docs"
+    if docs_dir.is_dir():
+        files.extend(sorted(docs_dir.rglob("*.md")))
+    return files
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, punctuation out, spaces to dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # linked headings
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(text: str) -> set:
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path) -> List[str]:
+    errors: List[str] = []
+    raw = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", raw)  # links inside code blocks are examples
+    own_anchors = anchors_of(raw)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("/"):
+            errors.append(f"{path.relative_to(REPO_ROOT)}: absolute path {target!r}")
+            continue
+        dest, _, anchor = target.partition("#")
+        if not dest:
+            if anchor and github_slug(anchor) not in own_anchors and anchor not in own_anchors:
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken anchor #{anchor}"
+                )
+            continue
+        resolved = (path.parent / dest).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link {target!r}"
+            )
+            continue
+        if anchor and resolved.suffix == ".md":
+            dest_anchors = anchors_of(resolved.read_text(encoding="utf-8"))
+            if github_slug(anchor) not in dest_anchors and anchor not in dest_anchors:
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken anchor "
+                    f"{target!r} (no such heading in {dest})"
+                )
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    all_errors: List[str] = []
+    checked_links = 0
+    for path in files:
+        text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+        checked_links += len(LINK_RE.findall(text))
+        all_errors.extend(check_file(path))
+    print(f"checked {len(files)} files, {checked_links} links")
+    if all_errors:
+        for error in all_errors:
+            print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    print("all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
