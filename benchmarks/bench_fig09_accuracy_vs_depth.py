@@ -33,9 +33,21 @@ def run_fig9(workload: str):
     clean, _ = get_run(workload)
     triggered, _ = get_run(workload, dp_triggers=all_victim_indices(victims))
     rows = []
+    spot_checked = False
     for band, indices in victims.items():
         if not indices:
             continue
+        # AQ victims go through the batched columnar plan; spot-check one
+        # band's subsample against the scalar reference loop (identical
+        # per-victim scores, not just close).
+        if not spot_checked:
+            spot = list(indices)[:5]
+            assert evaluate_async_queries(
+                clean.pq, clean.taxonomy, clean.records, spot, batch=True
+            ) == evaluate_async_queries(
+                clean.pq, clean.taxonomy, clean.records, spot, batch=False
+            )
+            spot_checked = True
         aq = summarize_scores(
             evaluate_async_queries(clean.pq, clean.taxonomy, clean.records, indices)
         )

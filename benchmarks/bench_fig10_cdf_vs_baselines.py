@@ -42,12 +42,23 @@ def run_fig10():
     run, baselines = get_run("uw", with_baselines=True)
     hashpipe, flowradar = baselines
     out = {}
+    spot_checked = False
     for band_name, bands in OCCUPANCY_BANDS.items():
         indices = sorted(
             i for band in bands for i in victims.get(tuple(band), [])
         )
         if not indices:
             continue
+        # PrintQueue scores come from the batched columnar plan; assert a
+        # subsample matches the scalar loop exactly before trusting it.
+        if not spot_checked:
+            spot = indices[:5]
+            assert evaluate_async_queries(
+                run.pq, run.taxonomy, run.records, spot, batch=True
+            ) == evaluate_async_queries(
+                run.pq, run.taxonomy, run.records, spot, batch=False
+            )
+            spot_checked = True
         out[band_name] = {
             "PrintQueue": evaluate_async_queries(
                 run.pq, run.taxonomy, run.records, indices

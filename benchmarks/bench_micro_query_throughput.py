@@ -2,6 +2,10 @@
 
 * Query throughput: the paper's Python analysis front end executes
   ~100 queries/second; this bench measures ours on comparable state.
+* Batch query speedup: 1000 victims answered by one
+  ``pq.query(intervals=...)`` call over the compiled columnar plan vs
+  the one-query-at-a-time scalar loop; results asserted identical and
+  the speedup recorded in ``benchmarks/BENCH_query.json``.
 * Data-plane update rate: per-packet cost of the Algorithm-1 pipeline.
 * On-demand read rejection: with the PCIe read-cost model enabled,
   closely spaced data-plane triggers are rejected while the special
@@ -9,17 +13,30 @@
   about initiating data-plane queries".
 """
 
+import json
+import os
 import random
+import time
 
 import pytest
 
-from common import get_run, get_victims, all_victim_indices
+from common import SCALE, get_run, get_victims, all_victim_indices, print_table
 from repro.core.analysis import AnalysisProgram
 from repro.core.config import PrintQueueConfig
 from repro.core.queries import QueryInterval
 from repro.switch.packet import FlowKey
 
 CONFIG = PrintQueueConfig(m0=6, k=12, alpha=2, T=4, min_packet_bytes=64)
+
+#: Batch-vs-scalar acceptance floors: the columnar plan must answer a
+#: 1000-victim batch at least 5x faster than the scalar loop at full
+#: scale; scaled-down smoke runs keep a lower floor (fewer snapshots to
+#: amortise the compile over).
+BATCH_VICTIMS = 1000
+BATCH_FULL_SCALE_FLOOR = 5.0
+BATCH_SMOKE_FLOOR = 2.0
+
+BENCH_QUERY_PATH = os.path.join(os.path.dirname(__file__), "BENCH_query.json")
 
 
 def test_query_throughput(benchmark):
@@ -42,6 +59,85 @@ def test_query_throughput(benchmark):
     print(f"\nanalysis program query rate: {qps:.0f} queries/s "
           "(paper's front end: ~100/s)")
     assert qps > 20
+
+
+def _invalidate_plan(analysis):
+    """Force the next batch query to recompile (fresh-poll conditions)."""
+    analysis._snapshots_version += 1
+    analysis._plan = None
+    analysis._plan_key = None
+    for snapshot in analysis.tw_snapshots:
+        if hasattr(snapshot, "_columnar_cache"):
+            del snapshot._columnar_cache
+
+
+def test_query_batch_speedup():
+    """1000-victim batch vs the scalar loop: identical results, >=5x."""
+    run, _ = get_run("uw")
+    records = run.records
+    rng = random.Random(13)
+    indices = [rng.randrange(len(records)) for _ in range(BATCH_VICTIMS)]
+    intervals = [
+        QueryInterval.for_victim(records[i].enq_timestamp, records[i].deq_timestamp)
+        for i in indices
+    ]
+    full_scale = SCALE >= 1.0
+    rounds = 3
+
+    scalar_s = float("inf")
+    scalar_estimates = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        estimates = [run.pq.query(interval=iv).estimate for iv in intervals]
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+        scalar_estimates = estimates
+
+    batch_s = float("inf")
+    batch_estimates = None
+    for _ in range(rounds):
+        # Each round pays the full compile, as after a fresh poll; the
+        # measured speedup is the honest cold-plan number.
+        _invalidate_plan(run.pq.analysis)
+        start = time.perf_counter()
+        result = run.pq.query(intervals=intervals)
+        batch_s = min(batch_s, time.perf_counter() - start)
+        batch_estimates = result.estimates
+
+    for i, (s, b) in enumerate(zip(scalar_estimates, batch_estimates)):
+        assert s.as_dict() == b.as_dict(), f"batch result diverged at victim {i}"
+
+    speedup = scalar_s / batch_s
+    record = {
+        "scale": SCALE,
+        "victims": BATCH_VICTIMS,
+        "snapshots": len(run.pq.analysis.tw_snapshots),
+        "scalar_s": round(scalar_s, 6),
+        "batch_s": round(batch_s, 6),
+        "speedup": round(speedup, 2),
+        "scalar_qps": round(BATCH_VICTIMS / scalar_s, 1),
+        "batch_qps": round(BATCH_VICTIMS / batch_s, 1),
+    }
+    with open(BENCH_QUERY_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print_table(
+        "Micro: columnar batch query engine vs scalar loop",
+        ["victims", "snapshots", "scalar", "batch", "speedup"],
+        [
+            (
+                BATCH_VICTIMS,
+                record["snapshots"],
+                f"{scalar_s:.3f}s",
+                f"{batch_s:.3f}s",
+                f"{speedup:.2f}x",
+            )
+        ],
+    )
+    floor = BATCH_FULL_SCALE_FLOOR if full_scale else BATCH_SMOKE_FLOOR
+    assert speedup >= floor, (
+        f"batch query speedup {speedup:.2f}x below the {floor:.1f}x floor "
+        f"({'full' if full_scale else 'smoke'} scale)"
+    )
 
 
 def test_data_plane_update_rate(benchmark):

@@ -23,6 +23,7 @@ Quickstart::
 
 from repro.core import (
     AnalysisProgram,
+    BatchQueryResult,
     ClassedQueueMonitor,
     CulpritReport,
     CulpritTaxonomy,
@@ -36,7 +37,12 @@ from repro.core import (
     QueueMonitor,
     TimeWindowSet,
 )
-from repro.engine import IngestPipeline, ParallelSweep, SweepCell
+from repro.engine import (
+    CompiledQueryPlan,
+    IngestPipeline,
+    ParallelSweep,
+    SweepCell,
+)
 from repro.errors import QueryError
 from repro.experiments import simulate_workload
 from repro.obs import Metrics, RunReport
@@ -59,7 +65,9 @@ __all__ = [
     "FlowEstimate",
     "QueryInterval",
     "QueryResult",
+    "BatchQueryResult",
     "QueryError",
+    "CompiledQueryPlan",
     "IngestPipeline",
     "Metrics",
     "ParallelSweep",

@@ -134,6 +134,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
         engine=args.engine,
         metrics=Metrics(),
     )
+    if args.queries > 0 and run.records:
+        from repro.core.queries import QueryInterval
+
+        victims = sorted(run.records, key=lambda r: -r.queuing_delay)
+        victims = victims[: args.queries]
+        run.pq.query(
+            intervals=[
+                QueryInterval.for_victim(v.enq_timestamp, v.deq_timestamp)
+                for v in victims
+            ]
+        )
     report = run.report()
     if args.format == "json":
         print(report.to_json())
@@ -299,6 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["summary", "json", "prom"],
         default="summary",
         help="output format: human summary, JSON, or Prometheus text",
+    )
+    stats.add_argument(
+        "--queries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="batch-query the N worst victims before reporting, so the "
+        "report includes query/plan-cache activity",
     )
     stats.add_argument(
         "--metrics-out",

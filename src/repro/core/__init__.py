@@ -21,6 +21,7 @@ from repro.core.queuemonitor import QueueMonitor, QueueMonitorSnapshot
 from repro.core.queries import CulpritReport, FlowEstimate, QueryInterval
 from repro.core.analysis import AnalysisProgram, TimeWindowSnapshot
 from repro.core.printqueue import (
+    BatchQueryResult,
     DataPlaneQueryResult,
     PrintQueue,
     PrintQueuePort,
@@ -49,6 +50,7 @@ __all__ = [
     "PrintQueue",
     "PrintQueuePort",
     "QueryResult",
+    "BatchQueryResult",
     "DataPlaneQueryResult",
     "CulpritTaxonomy",
     "Diagnoser",

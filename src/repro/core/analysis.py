@@ -24,7 +24,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from operator import attrgetter
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.coefficient import coefficients
 from repro.core.config import PrintQueueConfig
@@ -68,6 +69,33 @@ class TimeWindowSnapshot:
         return start, end
 
 
+def newest_first(
+    snapshots: Sequence[TimeWindowSnapshot], presorted: bool = False
+) -> Iterator[TimeWindowSnapshot]:
+    """Yield snapshots newest read time first, oldest last.
+
+    Snapshots sharing a read time are yielded in their *original* order —
+    the tie behaviour of the historical ``sorted(..., reverse=True)``
+    (stable sort) walk, which both the scalar query path and the compiled
+    plan must reproduce identically.  With ``presorted`` the input is
+    already ascending by read time (the snapshot store's invariant) and
+    the walk is O(n) with no comparison sort.
+    """
+    if not presorted:
+        yield from sorted(
+            snapshots, key=lambda s: s.read_time_ns, reverse=True
+        )
+        return
+    i = len(snapshots)
+    while i > 0:
+        j = i - 1
+        t = snapshots[j].read_time_ns
+        while j > 0 and snapshots[j - 1].read_time_ns == t:
+            j -= 1
+        yield from snapshots[j:i]
+        i = j
+
+
 class AnalysisProgram:
     """Per-port control-plane logic: polling, snapshot store, queries."""
 
@@ -108,6 +136,18 @@ class AnalysisProgram:
         self.queries_executed = 0
         #: Algorithm-3 scan/retain totals across every poll (repro.obs).
         self.filter_stats = FilterStats()
+        #: snapshot-store version, bumped on every store/eviction; the
+        #: compiled-plan cache key, so any poll or bank flip that lands a
+        #: new snapshot invalidates the plan.
+        self._snapshots_version = 0
+        self._plan = None
+        self._plan_key: Optional[Tuple] = None
+        #: compiled-plan cache accounting (always-on repro.obs counters).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.snapshot_compile_hits = 0
+        self.snapshot_compile_misses = 0
+        self.batch_queries = 0
 
     # -- data-plane side -------------------------------------------------
 
@@ -210,9 +250,17 @@ class AnalysisProgram:
         return snapshot
 
     def _store(self, snapshot: TimeWindowSnapshot) -> None:
-        self.tw_snapshots.append(snapshot)
-        if len(self.tw_snapshots) > self.max_snapshots:
-            self.tw_snapshots.pop(0)
+        # Keep the store ascending by read time at insert (appends are the
+        # common case: polls and triggers arrive in time order), so the
+        # query path never re-sorts per call.
+        snaps = self.tw_snapshots
+        if snaps and snapshot.read_time_ns < snaps[-1].read_time_ns:
+            bisect.insort(snaps, snapshot, key=attrgetter("read_time_ns"))
+        else:
+            snaps.append(snapshot)
+        if len(snaps) > self.max_snapshots:
+            snaps.pop(0)
+        self._snapshots_version += 1
 
     # -- time-window queries (Section 6.3) ---------------------------------
 
@@ -227,6 +275,7 @@ class AnalysisProgram:
         snapshot (and, within it, the single window) covering that piece.
         """
         self.queries_executed += 1
+        presorted = snapshots is None
         if snapshots is None:
             snapshots = self.tw_snapshots
         if not snapshots:
@@ -234,10 +283,10 @@ class AnalysisProgram:
         estimate = FlowEstimate()
         remaining = [(interval.start_ns, interval.end_ns)]
         # Newest snapshots first: recency bias means the newest covering
-        # snapshot has the least-compressed view of any time point.
-        for snapshot in sorted(
-            snapshots, key=lambda s: s.read_time_ns, reverse=True
-        ):
+        # snapshot has the least-compressed view of any time point.  The
+        # internal store is kept ascending at insert, so this walk is
+        # sort-free; caller-provided sequences are sorted as before.
+        for snapshot in newest_first(snapshots, presorted=presorted):
             if not remaining:
                 break
             remaining = self._accumulate_snapshot(
@@ -255,6 +304,98 @@ class AnalysisProgram:
             snapshot, [(interval.start_ns, interval.end_ns)], estimate
         )
         return estimate
+
+    # -- compiled (columnar) query path ------------------------------------
+
+    def compiled_plan(self, source: Optional[str] = None):
+        """The columnar query plan over the stored snapshots (cached).
+
+        The cache key is the snapshot-store version plus everything the
+        compilation depends on, so the plan is rebuilt exactly when a
+        poll, an on-demand read, or an eviction changes the store — and
+        rebuilds recompile only snapshots not seen before (per-snapshot
+        compilations are memoised on the snapshots themselves).
+
+        ``source`` restricts the plan to snapshots of one origin
+        (``"periodic"`` for the asynchronous query path).
+        """
+        from repro.engine.queryplan import CompiledQueryPlan, PlanBuildStats
+
+        key = (
+            self._snapshots_version,
+            source,
+            self.apply_coefficients,
+            tuple(self.coefficients),
+        )
+        if self._plan is not None and self._plan_key == key:
+            self.plan_cache_hits += 1
+            return self._plan
+        snaps = (
+            self.tw_snapshots
+            if source is None
+            else [s for s in self.tw_snapshots if s.source == source]
+        )
+        if not snaps:
+            raise QueryError("no snapshots available; did the poller run?")
+        stats = PlanBuildStats()
+        # A filtered subset of the ascending store is still ascending.
+        plan = CompiledQueryPlan.build(
+            list(newest_first(snaps, presorted=True)),
+            self.config.k,
+            self.coefficients,
+            self.apply_coefficients,
+            stats=stats,
+        )
+        self.plan_cache_misses += 1
+        self.snapshot_compile_hits += stats.snapshot_hits
+        self.snapshot_compile_misses += stats.snapshot_misses
+        self._plan = plan
+        self._plan_key = key
+        return plan
+
+    def query_time_windows_batch(
+        self,
+        intervals: Sequence[QueryInterval],
+        snapshots: Optional[Sequence[TimeWindowSnapshot]] = None,
+        source: Optional[str] = None,
+        latency_observer: Optional[Callable[[int], None]] = None,
+    ) -> List[FlowEstimate]:
+        """Batched, columnar equivalent of :meth:`query_time_windows`.
+
+        Answers every interval against one compiled snapshot plan,
+        amortising snapshot ordering, compilation, and coefficient lookup
+        across the whole batch.  Results are numerically identical to
+        calling :meth:`query_time_windows` once per interval — the same
+        ``FlowEstimate`` contents and the same piece attribution (the
+        equivalence suite asserts exact equality).
+
+        ``snapshots`` queries an explicit snapshot set (compiled ad hoc,
+        bypassing the plan cache); otherwise the cached plan over the
+        store is used, restricted to ``source`` when given.
+        ``latency_observer`` receives each victim's wall-clock
+        nanoseconds (the per-victim latency histogram hook).
+        """
+        from repro.engine.queryplan import CompiledQueryPlan
+
+        intervals = list(intervals)
+        self.batch_queries += 1
+        self.queries_executed += len(intervals)
+        if not intervals:
+            return []
+        if snapshots is not None:
+            if not snapshots:
+                raise QueryError("no snapshots available; did the poller run?")
+            plan = CompiledQueryPlan.build(
+                list(newest_first(snapshots)),
+                self.config.k,
+                self.coefficients,
+                self.apply_coefficients,
+            )
+        else:
+            plan = self.compiled_plan(source=source)
+        return plan.query_batch(
+            intervals, self.fractional_cells, latency_observer
+        )
 
     def _accumulate_snapshot(
         self,

@@ -15,7 +15,7 @@ The reference TTS of window ``i+1`` is derived from window ``i``'s as
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -61,6 +61,13 @@ class FilteredWindow:
     reference_tts:
         The TTS anchoring this window (latest cell for window 0, derived
         for deeper windows).  None when the whole set was empty.
+    tts_array / cell_flows:
+        The same retained cells in columnar form — a sorted ``int64``
+        TTS array and the aligned flow sequence — consumed by the
+        compiled query plan (:mod:`repro.engine.queryplan`) without
+        re-walking the tuple list.  Windows constructed by hand may
+        leave them ``None``; the compiler then derives them from
+        ``cells``.
     """
 
     window_index: int
@@ -68,6 +75,8 @@ class FilteredWindow:
     #: retained cells sorted by TTS (so interval queries can bisect)
     cells: List[Tuple[int, FlowKey]]
     reference_tts: Optional[int]
+    tts_array: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    cell_flows: Optional[List[FlowKey]] = field(default=None, repr=False, compare=False)
 
     def coverage_ns(self, k: int) -> Optional[Tuple[int, int]]:
         """Absolute [start, end) time range this window can speak for."""
@@ -97,7 +106,15 @@ def filter_windows(
     if latest is None:
         # Entire structure is empty; nothing survives.
         return [
-            FilteredWindow(i, config.shift(i), [], None) for i in range(config.T)
+            FilteredWindow(
+                i,
+                config.shift(i),
+                [],
+                None,
+                tts_array=np.empty(0, dtype=np.int64),
+                cell_flows=[],
+            )
+            for i in range(config.T)
         ]
 
     tts = latest.tts(k)
@@ -117,16 +134,38 @@ def filter_windows(
         prev_cycle = ref_cycle - 1
         prev_base = prev_cycle << k
         ref_base = ref_cycle << k
-        cells: List[Tuple[int, FlowKey]] = []
+        # Survivors come out columnar (sorted TTS array + aligned flow
+        # list) for the compiled query plan; the tuple list view is
+        # derived from the same arrays, so both stay consistent.
         if prev_cycle >= 0:
             tail = np.flatnonzero(cyc[ref_index + 1 :] == prev_cycle)
             tail += ref_index + 1
-            cells.extend([(prev_base | j, flows[j]) for j in tail.tolist()])
+        else:
+            tail = np.empty(0, dtype=np.intp)
         head = np.flatnonzero(cyc[: ref_index + 1] == ref_cycle)
-        cells.extend([(ref_base | j, flows[j]) for j in head.tolist()])
+        tts_array = np.concatenate(
+            (
+                tail.astype(np.int64) + np.int64(prev_base),
+                head.astype(np.int64) + np.int64(ref_base),
+            )
+        )
+        cell_flows: List[FlowKey] = [flows[j] for j in tail.tolist()]
+        cell_flows.extend(flows[j] for j in head.tolist())
+        cells: List[Tuple[int, FlowKey]] = list(
+            zip(tts_array.tolist(), cell_flows)
+        )
         if stats is not None:
             stats.cells_retained += len(cells)
-        out.append(FilteredWindow(i, config.shift(i), cells, tts))
+        out.append(
+            FilteredWindow(
+                i,
+                config.shift(i),
+                cells,
+                tts,
+                tts_array=tts_array,
+                cell_flows=cell_flows,
+            )
+        )
         # Reference for the next (older, more compressed) window: the most
         # recently passed cell is one full window period back.
         tts = (tts - (1 << k)) >> config.alpha

@@ -104,6 +104,40 @@ class QueryResult:
         return self.estimate.top(n)
 
 
+@dataclass
+class BatchQueryResult:
+    """The result of a batched multi-victim time-window query.
+
+    Returned by ``PrintQueuePort.query(intervals=[...])``.  ``estimates``
+    is position-aligned with ``intervals``; indexing or iterating yields
+    per-victim :class:`QueryResult` views, so downstream code written
+    against the single-query surface works per victim unchanged.
+    """
+
+    kind: str
+    mode: str
+    intervals: List[QueryInterval]
+    estimates: List[FlowEstimate]
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __getitem__(self, i: int) -> QueryResult:
+        return QueryResult(
+            kind=self.kind,
+            mode=self.mode,
+            estimate=self.estimates[i],
+            interval=self.intervals[i],
+        )
+
+    def __iter__(self):
+        return iter(self.results())
+
+    def results(self) -> List[QueryResult]:
+        """Per-victim :class:`QueryResult` views, in input order."""
+        return [self[i] for i in range(len(self.estimates))]
+
+
 class PrintQueuePort:
     """PrintQueue instance for a single egress port."""
 
@@ -302,13 +336,14 @@ class PrintQueuePort:
         self,
         *,
         interval: Optional[QueryInterval] = None,
+        intervals: Optional[Iterable[QueryInterval]] = None,
         mode: str = "async",
         at_ns: Optional[int] = None,
         classes: Optional[Iterable[int]] = None,
-    ) -> QueryResult:
+    ):
         """The unified query entrypoint (keyword-only).
 
-        Two query families share this surface:
+        Three query families share this surface:
 
         * **Time-window queries** — pass ``interval=``.  ``mode="async"``
           runs over the periodic snapshots; ``mode="data_plane"`` performs
@@ -316,6 +351,14 @@ class PrintQueuePort:
           last covered instant) and queries the frozen bank.  A rejected
           trigger (a previous read still draining) returns a result with
           ``accepted=False`` and an empty estimate.
+        * **Batched time-window queries** — pass ``intervals=`` (a
+          sequence of ``QueryInterval``) for the multi-victim columnar
+          path: one compiled snapshot plan answers every victim,
+          amortising sorting/compilation/coefficient lookup across the
+          batch.  Returns a :class:`BatchQueryResult` whose per-victim
+          estimates are numerically identical to ``mode="async"`` single
+          queries.  Only ``mode="async"`` is supported (an on-demand read
+          mutates register banks, so batching it makes no sense).
         * **Queue-monitor queries** — pass ``at_ns=`` without an interval
           for the original culprits standing at that instant; ``classes=``
           restricts the walk to specific classes of service (requires a
@@ -323,19 +366,40 @@ class PrintQueuePort:
 
         With a :class:`~repro.obs.metrics.Metrics` registry attached the
         call also records its latency (``pq_query_latency_ns``) and tallies
-        per kind/mode plus data-plane rejections; argument errors raise
-        before any tally is recorded.
+        per kind/mode plus data-plane rejections; batch calls additionally
+        record ``pq_batch_queries_total``, the ``pq_batch_size`` histogram,
+        and a per-victim ``pq_query_victim_latency_ns`` histogram.
+        Argument errors raise before any tally is recorded.
         """
         m = self.metrics
         if m is None:
             return self._query_impl(
-                interval=interval, mode=mode, at_ns=at_ns, classes=classes
+                interval=interval,
+                intervals=intervals,
+                mode=mode,
+                at_ns=at_ns,
+                classes=classes,
             )
         start = perf_counter_ns()
         result = self._query_impl(
-            interval=interval, mode=mode, at_ns=at_ns, classes=classes
+            interval=interval,
+            intervals=intervals,
+            mode=mode,
+            at_ns=at_ns,
+            classes=classes,
         )
         elapsed = perf_counter_ns() - start
+        if isinstance(result, BatchQueryResult):
+            m.histogram(
+                "pq_query_latency_ns", kind="time_windows_batch"
+            ).observe(elapsed)
+            m.counter("pq_batch_queries_total").inc()
+            m.histogram("pq_batch_size").observe(len(result))
+            m.counter(
+                "pq_queries_total", kind=result.kind, mode=result.mode
+            ).inc(len(result))
+            m.counter("pq_queries_accepted_total").inc(len(result))
+            return result
         m.histogram("pq_query_latency_ns", kind=result.kind).observe(elapsed)
         m.counter(
             "pq_queries_total", kind=result.kind, mode=result.mode or "none"
@@ -353,10 +417,34 @@ class PrintQueuePort:
         mode: str,
         at_ns: Optional[int],
         classes: Optional[Iterable[int]],
-    ) -> QueryResult:
+        intervals: Optional[Iterable[QueryInterval]] = None,
+    ):
         """query() minus instrumentation (validation + dispatch)."""
         if mode not in ("async", "data_plane"):
             raise QueryError(f"unknown query mode {mode!r}")
+        if intervals is not None:
+            if interval is not None:
+                raise QueryError(
+                    "pass either interval= (single) or intervals= (batch), "
+                    "not both"
+                )
+            if mode != "async":
+                raise QueryError(
+                    'intervals= batch queries support only mode="async"'
+                )
+            if at_ns is not None:
+                raise QueryError("at_ns= does not apply to batch queries")
+            if classes is not None:
+                raise QueryError(
+                    "classes= applies to queue-monitor (at_ns=) queries"
+                )
+            batch = list(intervals)
+            return BatchQueryResult(
+                kind="time_windows",
+                mode="async",
+                intervals=batch,
+                estimates=self._async_query_batch(batch),
+            )
         if interval is None:
             if at_ns is None:
                 raise QueryError(
@@ -441,6 +529,19 @@ class PrintQueuePort:
             s for s in self.analysis.tw_snapshots if s.source == "periodic"
         ]
         return self.analysis.query_time_windows(interval, snapshots=periodic)
+
+    def _async_query_batch(
+        self, intervals: List[QueryInterval]
+    ) -> List[FlowEstimate]:
+        """Batched asynchronous queries via the compiled columnar plan."""
+        observer = None
+        if self.metrics is not None:
+            observer = self.metrics.histogram(
+                "pq_query_victim_latency_ns"
+            ).observe
+        return self.analysis.query_time_windows_batch(
+            intervals, source="periodic", latency_observer=observer
+        )
 
     def _original_culprits(self, time_ns: int) -> FlowEstimate:
         """Per-flow original-culprit contributions at ``time_ns``."""

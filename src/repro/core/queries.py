@@ -16,6 +16,15 @@ from repro.errors import QueryError
 from repro.switch.packet import FlowKey
 
 
+def flow_order_key(flow: FlowKey) -> Tuple[int, int, int, int, int]:
+    """Deterministic secondary sort key for ranked per-flow outputs.
+
+    Count ties must resolve identically no matter which code path (scalar
+    walk, columnar batch, parallel sweep) produced the estimate.
+    """
+    return flow.sort_key()
+
+
 @dataclass(frozen=True)
 class QueryInterval:
     """A closed-open time interval ``[start_ns, end_ns)``."""
@@ -87,8 +96,14 @@ class FlowEstimate:
         return sum(self._counts.values())
 
     def top(self, n: int) -> List[Tuple[FlowKey, float]]:
-        """The n largest flows by estimated contribution."""
-        return sorted(self._counts.items(), key=lambda kv: (-kv[1], str(kv[0])))[:n]
+        """The n largest flows by estimated contribution.
+
+        Ties break on the numeric 5-tuple (not its string form), so the
+        ranking is deterministic and identical across query paths.
+        """
+        return sorted(
+            self._counts.items(), key=lambda kv: (-kv[1], flow_order_key(kv[0]))
+        )[:n]
 
     def __repr__(self) -> str:
         return f"FlowEstimate({len(self._counts)} flows, total={self.total:.1f})"

@@ -8,13 +8,26 @@ fast path and PrintQueue's measurement structures:
   drives a :class:`~repro.core.printqueue.PrintQueuePort` through the
   array-at-a-time ``absorb_batch`` / ``apply_batch`` path — producing
   bit-identical snapshots and estimates to the scalar reference loop.
+* :class:`~repro.engine.queryplan.CompiledQueryPlan` is the same
+  treatment for the query side: snapshots compile once into columnar
+  (TTS array + interned flow index) form and batched multi-victim
+  queries run as ``searchsorted`` slices with in-order per-flow
+  accumulation — numerically identical to the scalar reference walk.
 * :class:`~repro.engine.parallel.ParallelSweep` fans independent
   (workload, config, port) experiment cells across a process pool with
-  per-cell result caching, so figure-style sweeps scale with cores.
+  per-cell result caching, so figure-style sweeps scale with cores;
+  victim scoring inside each cell goes through the batch query API.
 """
 
 from repro.engine.ingest import IngestPipeline
 from repro.engine.parallel import CellResult, ParallelSweep, ResultCache, SweepCell
+from repro.engine.queryplan import (
+    CompiledQueryPlan,
+    CompiledSnapshot,
+    CompiledWindow,
+    PlanBuildStats,
+    compile_snapshot,
+)
 
 __all__ = [
     "IngestPipeline",
@@ -22,4 +35,9 @@ __all__ = [
     "ResultCache",
     "SweepCell",
     "CellResult",
+    "CompiledQueryPlan",
+    "CompiledSnapshot",
+    "CompiledWindow",
+    "PlanBuildStats",
+    "compile_snapshot",
 ]

@@ -57,6 +57,12 @@ class CellResult:
 def evaluate_cell(cell: SweepCell) -> CellResult:
     """Simulate one cell and score asynchronous queries per depth band.
 
+    Every sampled victim across all bands is scored in a single batched
+    ``pq.query(intervals=...)`` pass (one snapshot compile instead of one
+    per band), then the per-band summaries are sliced from the shared
+    score map.  Per-victim scores are order-independent, so the numbers
+    match the old band-by-band scalar loops exactly.
+
     Module-level (not a closure) so a process pool can pickle it by
     reference; imports are local to keep worker start-up lazy.
     """
@@ -74,19 +80,17 @@ def evaluate_cell(cell: SweepCell) -> CellResult:
         seed=cell.seed,
     )
     victims = sample_victims_by_band(run.records, per_band=cell.victims_per_band)
+    union = sorted({i for indices in victims.values() for i in indices})
+    scores = evaluate_async_queries(run.pq, run.taxonomy, run.records, union)
+    by_index = dict(zip(union, scores))
     per_band: Dict[str, Dict[str, float]] = {}
-    all_indices: List[int] = []
     for band, indices in victims.items():
         if not indices:
             continue
-        scores = evaluate_async_queries(run.pq, run.taxonomy, run.records, indices)
-        per_band[band_label(band)] = summarize_scores(scores)
-        all_indices.extend(indices)
-    accuracy = summarize_scores(
-        evaluate_async_queries(
-            run.pq, run.taxonomy, run.records, sorted(set(all_indices))
+        per_band[band_label(band)] = summarize_scores(
+            [by_index[i] for i in indices]
         )
-    )
+    accuracy = summarize_scores(scores)
     return CellResult(
         cell=cell,
         accuracy=accuracy,

@@ -35,13 +35,29 @@ def evaluate_async_queries(
     taxonomy: CulpritTaxonomy,
     records: Sequence[DequeueRecord],
     victim_indices: Sequence[int],
+    batch: bool = True,
 ) -> List[AccuracyScore]:
-    """Score asynchronous (periodic-snapshot) queries for the victims."""
+    """Score asynchronous (periodic-snapshot) queries for the victims.
+
+    ``batch=True`` (the default) answers all victims in one
+    ``pq.query(intervals=...)`` call over the compiled columnar plan;
+    ``batch=False`` keeps the original one-query-per-victim scalar loop.
+    The two paths return identical estimates, so scores are unchanged —
+    only the snapshot sort/compile/coefficient work is amortised.
+    """
+    indices = list(victim_indices)
+    if not indices:
+        return []
+    if batch:
+        intervals = [victim_interval(records[i]) for i in indices]
+        estimates = [r.estimate for r in pq.query(intervals=intervals)]
+    else:
+        estimates = [
+            pq.query(interval=victim_interval(records[i])).estimate for i in indices
+        ]
     scores = []
-    for index in victim_indices:
-        record = records[index]
-        estimate = pq.query(interval=victim_interval(record)).estimate
-        truth = ground_truth_direct(taxonomy, record)
+    for index, estimate in zip(indices, estimates):
+        truth = ground_truth_direct(taxonomy, records[index])
         scores.append(precision_recall(estimate, truth))
     return scores
 

@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
-from repro.core.queries import FlowEstimate
+from repro.core.queries import FlowEstimate, flow_order_key
 from repro.switch.packet import FlowKey
 
 
@@ -71,11 +71,14 @@ def topk_precision_recall(estimate, truth, k: int) -> AccuracyScore:
         raise ValueError(f"k must be positive, got {k}")
     est = _as_mapping(estimate)
     tru = _as_mapping(truth)
+    # Ties at the k-th rank break on the numeric 5-tuple, so the cut is
+    # deterministic regardless of dict insertion order (which differs
+    # between the scalar and columnar query paths).
     top_est = dict(
-        sorted(est.items(), key=lambda kv: -kv[1])[:k]
+        sorted(est.items(), key=lambda kv: (-kv[1], flow_order_key(kv[0])))[:k]
     )
     top_tru = dict(
-        sorted(tru.items(), key=lambda kv: -kv[1])[:k]
+        sorted(tru.items(), key=lambda kv: (-kv[1], flow_order_key(kv[0])))[:k]
     )
     est_total = sum(top_est.values())
     tru_total = sum(top_tru.values())

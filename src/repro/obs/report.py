@@ -119,6 +119,11 @@ def collect_port_counters(pq) -> Dict[str, Any]:
         "queries": {
             "executed": analysis.queries_executed,
             "tw_snapshots": len(analysis.tw_snapshots),
+            "batches": analysis.batch_queries,
+            "plan_cache_hits": analysis.plan_cache_hits,
+            "plan_cache_misses": analysis.plan_cache_misses,
+            "snapshot_compile_hits": analysis.snapshot_compile_hits,
+            "snapshot_compile_misses": analysis.snapshot_compile_misses,
         },
     }
 
@@ -227,6 +232,20 @@ class RunReport:
         registry.gauge("pq_qm_top").set(qm["top"])
         queries = self.data["queries"]
         registry.counter("pq_queries_executed_total").inc(queries["executed"])
+        # .get(): reports saved before the columnar engine lack these keys.
+        registry.counter("pq_query_batches_total").inc(queries.get("batches", 0))
+        registry.counter("pq_plan_cache_hits_total").inc(
+            queries.get("plan_cache_hits", 0)
+        )
+        registry.counter("pq_plan_cache_misses_total").inc(
+            queries.get("plan_cache_misses", 0)
+        )
+        registry.counter("pq_snapshot_compile_hits_total").inc(
+            queries.get("snapshot_compile_hits", 0)
+        )
+        registry.counter("pq_snapshot_compile_misses_total").inc(
+            queries.get("snapshot_compile_misses", 0)
+        )
         registry.counter("pq_packets_seen_total").inc(
             self.data["packets"]["seen"]
         )
@@ -264,8 +283,17 @@ class RunReport:
             f"queue monitor: pushes={qm['pushes']} drains={qm['drains']} "
             f"high-water={qm['high_water']} overflows={qm['overflows']}"
         )
+        queries = self.data["queries"]
         lines.append(
-            f"queries executed: {self.data['queries']['executed']}; "
-            f"snapshots stored: {self.data['queries']['tw_snapshots']}"
+            f"queries executed: {queries['executed']}; "
+            f"snapshots stored: {queries['tw_snapshots']}"
         )
+        if queries.get("batches"):
+            lines.append(
+                f"batch queries: {queries['batches']}; "
+                f"plan cache {queries.get('plan_cache_hits', 0)} hits / "
+                f"{queries.get('plan_cache_misses', 0)} misses; "
+                f"snapshot compiles {queries.get('snapshot_compile_misses', 0)} "
+                f"({queries.get('snapshot_compile_hits', 0)} reused)"
+            )
         return "\n".join(lines)

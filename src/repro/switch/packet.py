@@ -10,7 +10,7 @@ register storage and for XOR-based baselines (FlowRadar), which
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 PROTO_TCP = 6
 PROTO_UDP = 17
@@ -65,6 +65,15 @@ class FlowKey:
     ) -> "FlowKey":
         """Build a key from dotted-quad address strings."""
         return cls(_parse_ipv4(src_ip), _parse_ipv4(dst_ip), src_port, dst_port, proto)
+
+    def sort_key(self) -> Tuple[int, int, int, int, int]:
+        """Total order over 5-tuples, for deterministic tie-breaking.
+
+        String-formatting a key gives a lexicographic order that differs
+        from the numeric one ("10." < "2."); ranked outputs sort ties on
+        this tuple instead so results are stable across runs and paths.
+        """
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
 
     def to_bytes(self) -> bytes:
         """Canonical 13-byte wire encoding of the 5-tuple."""

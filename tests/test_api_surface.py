@@ -65,6 +65,7 @@ PUBLIC_MODULES = [
     "repro.engine",
     "repro.engine.ingest",
     "repro.engine.parallel",
+    "repro.engine.queryplan",
     "repro.obs",
     "repro.obs.metrics",
     "repro.obs.report",

@@ -1,0 +1,279 @@
+"""The columnar batch query engine: exact equivalence + cache behaviour.
+
+The compiled plan is only allowed to be *faster* than the scalar
+reference walk — every test here asserts exact equality of the resulting
+``FlowEstimate`` contents (same flows, bit-identical floats), not
+approximate closeness, with fractional cells both on and off.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BatchQueryResult, QueryError, QueryInterval, QueryResult
+from repro.core.analysis import AnalysisProgram, newest_first
+from repro.core.config import PrintQueueConfig
+from repro.core.queries import FlowEstimate
+from repro.engine.queryplan import PlanBuildStats, compile_snapshot
+from repro.experiments.runner import simulate_workload
+from repro.switch.packet import FlowKey
+
+CONFIG = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+
+FLOWS = [
+    FlowKey.from_strings("10.0.0.%d" % (i + 1), "10.1.0.1", 5000 + i, 80)
+    for i in range(6)
+]
+
+
+@pytest.fixture(scope="module")
+def run():
+    return simulate_workload(
+        "ws", duration_ns=1_500_000, load=1.3, config=CONFIG, seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def victim_intervals(run):
+    victims = sorted(run.records, key=lambda r: r.queuing_delay, reverse=True)
+    return [
+        QueryInterval.for_victim(v.enq_timestamp, v.deq_timestamp)
+        for v in victims[:40]
+    ]
+
+
+def scalar_estimates(analysis, intervals):
+    return [analysis.query_time_windows(iv) for iv in intervals]
+
+
+# ---------------------------------------------------------------------------
+# exact equivalence, fractional cells on and off
+
+
+@pytest.mark.parametrize("fractional", [False, True])
+def test_batch_matches_scalar_exactly(run, victim_intervals, fractional):
+    analysis = run.pq.analysis
+    old = analysis.fractional_cells
+    analysis.fractional_cells = fractional
+    try:
+        scalar = scalar_estimates(analysis, victim_intervals)
+        batch = analysis.query_time_windows_batch(victim_intervals)
+        assert len(batch) == len(scalar)
+        for i, (s, b) in enumerate(zip(scalar, batch)):
+            # Bit-identical floats AND identical dict iteration order
+            # (first-touch), so downstream in-order reductions agree too.
+            assert list(s.items()) == list(b.items()), f"victim {i} diverged"
+    finally:
+        analysis.fractional_cells = old
+
+
+def test_explicit_snapshots_batch_matches_scalar(run, victim_intervals):
+    analysis = run.pq.analysis
+    subset = analysis.tw_snapshots[: max(1, len(analysis.tw_snapshots) // 2)]
+    scalar = [
+        analysis.query_time_windows(iv, snapshots=subset)
+        for iv in victim_intervals[:10]
+    ]
+    batch = analysis.query_time_windows_batch(
+        victim_intervals[:10], snapshots=subset
+    )
+    for s, b in zip(scalar, batch):
+        assert s.as_dict() == b.as_dict()
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_random_intervals_match_scalar(data):
+    """Property: any interval batch over any small stream matches scalar."""
+    config = PrintQueueConfig(m0=2, k=5, alpha=1, T=3)
+    analysis = AnalysisProgram(config, d_ns=6.0)
+    n = data.draw(st.integers(20, 200))
+    gaps = data.draw(st.lists(st.integers(1, 12), min_size=n, max_size=n))
+    flow_ids = data.draw(
+        st.lists(st.integers(0, len(FLOWS) - 1), min_size=n, max_size=n)
+    )
+    times = np.cumsum(gaps).tolist()
+    for t, f in zip(times, flow_ids):
+        analysis.on_dequeue(FLOWS[f], t)
+    end = times[-1] + 1
+    analysis.periodic_poll(end)
+    num = data.draw(st.integers(1, 8))
+    intervals = []
+    for _ in range(num):
+        a = data.draw(st.integers(0, end - 1))
+        b = data.draw(st.integers(a + 1, end + 50))
+        intervals.append(QueryInterval(a, b))
+    analysis.fractional_cells = data.draw(st.booleans())
+    scalar = scalar_estimates(analysis, intervals)
+    batch = analysis.query_time_windows_batch(intervals)
+    for s, b in zip(scalar, batch):
+        assert s.as_dict() == b.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# the port-level batch API
+
+
+def test_port_batch_query_round_trip(run, victim_intervals):
+    intervals = victim_intervals[:7]
+    result = run.pq.query(intervals=intervals)
+    assert isinstance(result, BatchQueryResult)
+    assert result.kind == "time_windows" and result.mode == "async"
+    assert len(result) == 7
+    assert result.intervals == list(intervals)
+    # Indexing yields per-victim QueryResults aligned with the input.
+    third = result[2]
+    assert isinstance(third, QueryResult)
+    assert third.interval == intervals[2]
+    assert third.estimate is result.estimates[2]
+    # Iteration and results() agree with indexing.
+    assert [r.interval for r in result] == list(intervals)
+    assert len(list(result.results())) == 7
+    # Position-aligned with the scalar path.
+    for iv, est in zip(intervals, result.estimates):
+        assert run.pq.query(interval=iv).estimate.as_dict() == est.as_dict()
+
+
+def test_port_batch_query_empty(run):
+    result = run.pq.query(intervals=[])
+    assert isinstance(result, BatchQueryResult)
+    assert len(result) == 0 and list(result) == []
+
+
+def test_port_batch_query_validation(run, victim_intervals):
+    iv = victim_intervals[0]
+    with pytest.raises(QueryError, match="not both"):
+        run.pq.query(interval=iv, intervals=[iv])
+    with pytest.raises(QueryError, match="async"):
+        run.pq.query(intervals=[iv], mode="data_plane")
+    with pytest.raises(QueryError, match="at_ns"):
+        run.pq.query(intervals=[iv], at_ns=5)
+    with pytest.raises(QueryError):
+        run.pq.query(intervals=[iv], classes=[0])
+
+
+def test_batch_query_without_snapshots_raises():
+    analysis = AnalysisProgram(CONFIG, d_ns=1200.0)
+    with pytest.raises(QueryError, match="poller"):
+        analysis.query_time_windows_batch([QueryInterval(0, 100)])
+    with pytest.raises(QueryError, match="poller"):
+        analysis.query_time_windows_batch([QueryInterval(0, 100)], snapshots=[])
+
+
+# ---------------------------------------------------------------------------
+# plan cache lifecycle: hit on repeat, miss after poll / dp read
+
+
+def fresh_analysis():
+    analysis = AnalysisProgram(CONFIG, d_ns=100.0, model_dp_read_cost=False)
+    t = 0
+    for i in range(4000):
+        analysis.on_dequeue(FLOWS[i % len(FLOWS)], t)
+        t += 100
+    analysis.periodic_poll(t)
+    return analysis, t
+
+
+def test_plan_cache_hit_on_repeated_queries():
+    analysis, t = fresh_analysis()
+    iv = [QueryInterval(t // 4, t // 2)]
+    analysis.query_time_windows_batch(iv)
+    misses = analysis.plan_cache_misses
+    hits = analysis.plan_cache_hits
+    analysis.query_time_windows_batch(iv)
+    analysis.query_time_windows_batch(iv)
+    assert analysis.plan_cache_misses == misses
+    assert analysis.plan_cache_hits == hits + 2
+
+
+def test_plan_cache_invalidated_by_periodic_poll():
+    analysis, t = fresh_analysis()
+    iv = [QueryInterval(t // 4, t // 2)]
+    analysis.query_time_windows_batch(iv)
+    misses = analysis.plan_cache_misses
+    compile_misses = analysis.snapshot_compile_misses
+    # A new poll stores a snapshot (and flips banks): the plan must
+    # rebuild, but only the snapshot it has not seen compiles fresh.
+    analysis.on_dequeue(FLOWS[0], t)
+    analysis.periodic_poll(t + 100)
+    analysis.query_time_windows_batch(iv)
+    assert analysis.plan_cache_misses == misses + 1
+    assert analysis.snapshot_compile_misses == compile_misses + 1
+    assert analysis.snapshot_compile_hits > 0
+
+
+def test_plan_cache_invalidated_by_dp_read():
+    analysis, t = fresh_analysis()
+    iv = [QueryInterval(t // 4, t // 2)]
+    analysis.query_time_windows_batch(iv)
+    misses = analysis.plan_cache_misses
+    snapshot = analysis.dp_read(t + 50)
+    assert snapshot is not None
+    # The async plan uses only periodic snapshots, but the store changed:
+    # the version-keyed cache must not serve the stale plan object.
+    analysis.query_time_windows_batch(iv, source="periodic")
+    assert analysis.plan_cache_misses == misses + 1
+
+
+def test_snapshot_compilation_is_memoised():
+    analysis, t = fresh_analysis()
+    snapshot = analysis.tw_snapshots[-1]
+    stats = PlanBuildStats()
+    first = compile_snapshot(
+        snapshot, CONFIG.k, analysis.coefficients, stats=stats
+    )
+    second = compile_snapshot(
+        snapshot, CONFIG.k, analysis.coefficients, stats=stats
+    )
+    assert second is first
+    assert stats.snapshot_misses == 1 and stats.snapshot_hits == 1
+    # A different compilation key recompiles rather than serving stale.
+    uncoeff = compile_snapshot(
+        snapshot, CONFIG.k, analysis.coefficients, apply_coefficients=False
+    )
+    assert uncoeff is not first
+
+
+def test_batch_counters_flow_into_report():
+    analysis, t = fresh_analysis()
+    iv = [QueryInterval(t // 4, t // 2), QueryInterval(t // 2, t - 1)]
+    analysis.query_time_windows_batch(iv)
+    analysis.query_time_windows_batch(iv)
+    assert analysis.batch_queries == 2
+    assert analysis.queries_executed >= 4
+
+
+# ---------------------------------------------------------------------------
+# the ordering satellites
+
+
+def test_store_keeps_snapshots_in_read_time_order(run):
+    times = [s.read_time_ns for s in run.pq.analysis.tw_snapshots]
+    assert times == sorted(times)
+
+
+def test_newest_first_presorted_matches_stable_sort():
+    class Snap:
+        def __init__(self, read_time_ns, tag):
+            self.read_time_ns = read_time_ns
+            self.tag = tag
+
+    # Equal read times: the stable sort keeps insertion order within a
+    # tie group; the presorted walk must reproduce that exactly.
+    snaps = [Snap(t, i) for i, t in enumerate([1, 5, 5, 5, 9, 9, 12])]
+    reference = sorted(snaps, key=lambda s: s.read_time_ns, reverse=True)
+    walked = list(newest_first(snaps, presorted=True))
+    assert [(s.read_time_ns, s.tag) for s in walked] == [
+        (s.read_time_ns, s.tag) for s in reference
+    ]
+
+
+def test_top_ties_break_on_numeric_flow_key():
+    # String order would put 10.0.0.10 before 10.0.0.2; numeric order
+    # must not.
+    low = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5000, 80)
+    high = FlowKey.from_strings("10.0.0.10", "10.1.0.1", 5000, 80)
+    est = FlowEstimate({high: 3.0, low: 3.0})
+    assert est.top(2) == [(low, 3.0), (high, 3.0)]
+    assert low.sort_key() < high.sort_key()
