@@ -45,6 +45,14 @@ from repro.engine import (
 )
 from repro.errors import QueryError
 from repro.experiments import simulate_workload
+from repro.faults import (
+    CoverageReport,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.faults import profile as fault_profile
+from repro.faults import profile_names as fault_profile_names
 from repro.obs import Metrics, RunReport
 from repro.switch import FlowKey, Packet, Switch
 from repro.traffic import PoissonWorkload, Trace, WorkloadConfig
@@ -67,6 +75,12 @@ __all__ = [
     "QueryResult",
     "BatchQueryResult",
     "QueryError",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "CoverageReport",
+    "fault_profile",
+    "fault_profile_names",
     "CompiledQueryPlan",
     "IngestPipeline",
     "Metrics",

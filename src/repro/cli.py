@@ -15,6 +15,9 @@ stats
     queue-monitor counters — as a summary, JSON, or Prometheus text.
 trace
     Generate a workload and save it as a .pqtrace file (or inspect one).
+faults
+    List the built-in fault-injection profiles (``--faults`` on run/stats
+    runs the control plane under one of them).
 """
 
 from __future__ import annotations
@@ -41,6 +44,39 @@ from repro.traffic.scenarios import (
     microburst_scenario,
     udp_burst_case_study,
 )
+
+
+def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.faults import profile_names
+
+    parser.add_argument(
+        "--faults",
+        choices=profile_names(),
+        default=None,
+        metavar="PROFILE",
+        help="run the control plane under a seeded fault-injection "
+        "profile (see `repro faults list`); default: perfect channel",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-seed the fault profile's RNG (independent of the "
+        "workload --seed); default: the profile's own seed",
+    )
+
+
+def _resolve_faults(args: argparse.Namespace):
+    """The --faults/--fault-seed pair as a FaultPlan (or None)."""
+    if args.faults is None:
+        return None
+    from repro.faults import profile
+
+    plan = profile(args.faults)
+    if args.fault_seed is not None:
+        plan = plan.with_seed(args.fault_seed)
+    return plan
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -92,8 +128,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         metrics=Metrics() if args.metrics_out else None,
+        faults=_resolve_faults(args),
     )
     _report(run, args.victims)
+    _maybe_print_faults(run)
     _maybe_write_report(run, args)
     return 0
 
@@ -133,6 +171,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         trace=trace,
         engine=args.engine,
         metrics=Metrics(),
+        faults=_resolve_faults(args),
     )
     if args.queries > 0 and run.records:
         from repro.core.queries import QueryInterval
@@ -155,6 +194,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if args.metrics_out:
         report.save(args.metrics_out)
         print(f"metrics: wrote RunReport to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _maybe_print_faults(run) -> None:
+    """One-line digest of injection + resilience on a fault-injected run."""
+    pq = run.pq
+    poller = getattr(pq, "_poller", None)
+    if poller is None:
+        return
+    injected = sum(pq.faults.injected.values())
+    log = poller.log
+    print(
+        f"faults ({pq.faults.plan.name}, seed {pq.faults.plan.seed}): "
+        f"{injected} injected; lost polls={log.lost_polls} "
+        f"delayed={log.delayed_polls} retries={log.retries} "
+        f"recovered={log.reads_recovered} "
+        f"quarantined cells={log.quarantined_cells}"
+    )
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Handle `repro faults`: describe the built-in fault profiles."""
+    from repro.faults import PROFILES, profile_names
+
+    for name in profile_names():
+        print(PROFILES[name].describe())
     return 0
 
 
@@ -267,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="save a JSON RunReport of the run to PATH",
     )
+    _add_faults_arg(run)
     _add_config_args(run)
     run.set_defaults(func=cmd_run)
 
@@ -325,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also save the JSON RunReport to PATH",
     )
+    _add_faults_arg(stats)
     _add_config_args(stats)
     stats.set_defaults(func=cmd_stats)
 
@@ -346,6 +413,18 @@ def build_parser() -> argparse.ArgumentParser:
     advise_cmd.add_argument("--horizon-ms", type=float, default=None)
     _add_config_args(advise_cmd)
     advise_cmd.set_defaults(func=cmd_advise)
+
+    faults = sub.add_parser(
+        "faults", help="describe the built-in fault-injection profiles"
+    )
+    faults.add_argument(
+        "action",
+        nargs="?",
+        choices=["list"],
+        default="list",
+        help="what to do (only `list` for now)",
+    )
+    faults.set_defaults(func=cmd_faults)
 
     trace = sub.add_parser("trace", help="generate or inspect .pqtrace files")
     trace.add_argument("path")

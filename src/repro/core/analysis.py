@@ -168,11 +168,26 @@ class AnalysisProgram:
     def periodic_poll(self, now_ns: int) -> TimeWindowSnapshot:
         """Flip banks and read the frozen copy; also snapshot the monitor."""
         frozen = self.tw_banks.periodic_flip()
-        snapshot = TimeWindowSnapshot(
-            read_time_ns=now_ns,
-            windows=filter_windows(
+        return self.store_periodic_snapshot(
+            now_ns,
+            filter_windows(
                 frozen.snapshot(), self.config, stats=self.filter_stats
             ),
+        )
+
+    def store_periodic_snapshot(
+        self, now_ns: int, windows: List[FilteredWindow]
+    ) -> TimeWindowSnapshot:
+        """Store an already-filtered periodic read (+ monitor snapshot).
+
+        The tail half of :meth:`periodic_poll`, split out so the
+        resilient read path (:mod:`repro.faults`) can validate or
+        quarantine the filtered windows between the bank flip and the
+        store while keeping byte-identical store semantics.
+        """
+        snapshot = TimeWindowSnapshot(
+            read_time_ns=now_ns,
+            windows=windows,
             source="periodic",
             valid_from_ns=self._active_since_ns,
         )
@@ -182,6 +197,23 @@ class AnalysisProgram:
         if len(self.qm_snapshots) > self.max_snapshots:
             self.qm_snapshots.pop(0)
         return snapshot
+
+    def quarantine_snapshot_windows(
+        self, snapshot: TimeWindowSnapshot, windows: List[FilteredWindow]
+    ) -> None:
+        """Replace a snapshot's windows after validation quarantined cells.
+
+        Used by the resilient on-demand read path when a stored snapshot
+        turns out to hold torn/corrupt cells: the replacement drops the
+        snapshot's per-snapshot columnar memo and bumps the store
+        version, so the compiled-plan cache (keyed on that version)
+        rebuilds without the quarantined cells instead of serving stale
+        compiled state.
+        """
+        snapshot.windows = windows
+        if hasattr(snapshot, "_columnar_cache"):
+            del snapshot._columnar_cache
+        self._snapshots_version += 1
 
     def qm_poll(self, now_ns: int) -> QueueMonitorSnapshot:
         """Snapshot only the queue monitor (its own, finer cadence).

@@ -27,6 +27,9 @@ from repro.core.multiqueue import ClassedQueueMonitor
 from repro.core.queries import FlowEstimate, QueryInterval
 from repro.core.queuemonitor import QueueMonitorSnapshot
 from repro.errors import ConfigError, QueryError
+from repro.faults.injector import FaultInjector, as_injector
+from repro.faults.plan import FaultPlan, profile
+from repro.faults.resilience import CoverageReport, ResilientPoller, RetryPolicy
 from repro.obs.metrics import Metrics
 from repro.switch.packet import Packet
 from repro.switch.port import EgressPort
@@ -88,6 +91,13 @@ class QueryResult:
     accepted:
         False when a data-plane trigger was rejected because a previous
         on-demand read still held the special registers.
+    degraded / coverage:
+        Set only when fault injection is active on the port: ``degraded``
+        is True when measurement loss (lost polls, quarantined cells,
+        lost monitor snapshots) overlaps this query, and ``coverage`` is
+        the :class:`~repro.faults.CoverageReport` naming exactly what
+        was missing.  A fault-free port always reports
+        ``degraded=False, coverage=None``.
     """
 
     kind: str
@@ -98,6 +108,8 @@ class QueryResult:
     classes: Optional[Tuple[int, ...]] = None
     snapshot: Optional[TimeWindowSnapshot] = None
     accepted: bool = True
+    degraded: bool = False
+    coverage: Optional[CoverageReport] = None
 
     def top(self, n: int):
         """The n largest culprit flows (delegates to the estimate)."""
@@ -118,16 +130,29 @@ class BatchQueryResult:
     mode: str
     intervals: List[QueryInterval]
     estimates: List[FlowEstimate]
+    #: position-aligned per-victim coverage reports; None on a fault-free
+    #: port (so the fault-free result object is unchanged bit for bit).
+    coverages: Optional[List[CoverageReport]] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any victim's interval overlaps measurement loss."""
+        if not self.coverages:
+            return False
+        return any(c.degraded for c in self.coverages)
 
     def __len__(self) -> int:
         return len(self.estimates)
 
     def __getitem__(self, i: int) -> QueryResult:
+        coverage = self.coverages[i] if self.coverages else None
         return QueryResult(
             kind=self.kind,
             mode=self.mode,
             estimate=self.estimates[i],
             interval=self.intervals[i],
+            degraded=coverage.degraded if coverage is not None else False,
+            coverage=coverage,
         )
 
     def __iter__(self):
@@ -150,6 +175,9 @@ class PrintQueuePort:
         units_of: Optional[Callable[[Packet], int]] = None,
         num_classes: Optional[int] = None,
         metrics: Optional[Metrics] = None,
+        faults: Optional[object] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        faults_strict: bool = False,
     ) -> None:
         self.config = config
         self.analysis = AnalysisProgram(
@@ -186,6 +214,24 @@ class PrintQueuePort:
         self._qm_period_ns = config.effective_qm_poll_period_ns
         self._next_qm_poll_ns = self._qm_period_ns
         self.packets_seen = 0
+        #: fault injection (repro.faults): off by default.  ``faults``
+        #: accepts a profile name, a FaultPlan, or a FaultInjector; when
+        #: set, every poll and on-demand read goes through the resilient
+        #: path (retry + validation + quarantine) and query results
+        #: carry degraded/coverage info.  When None, none of that code
+        #: runs — outputs are bit-identical to a build without it.
+        self.faults: Optional[FaultInjector] = None
+        self._poller: Optional[ResilientPoller] = None
+        if faults is not None:
+            injector = as_injector(faults, metrics=metrics)
+            self.faults = injector
+            self._poller = ResilientPoller(
+                self,
+                injector,
+                retry_policy=retry_policy,
+                metrics=metrics,
+                strict=faults_strict,
+            )
 
     # -- data-path hooks (attach to an EgressPort) --------------------------
 
@@ -278,10 +324,23 @@ class PrintQueuePort:
 
     @property
     def next_poll_boundary_ns(self) -> int:
-        """The next instant at which a (qm or full) poll becomes due."""
-        return min(self._next_qm_poll_ns, self._next_poll_ns)
+        """The next instant at which a (qm or full) poll becomes due.
+
+        Under fault injection a delayed poll's late fire time also
+        bounds the boundary, so the batched ingest engine re-slices at
+        the catch-up instant exactly as the scalar path fires it.
+        """
+        boundary = min(self._next_qm_poll_ns, self._next_poll_ns)
+        if self._poller is not None:
+            pending = self._poller.pending_full_ns
+            if pending is not None and pending < boundary:
+                boundary = pending
+        return boundary
 
     def _poll_if_due(self, now_ns: int) -> None:
+        if self._poller is not None:
+            self._poll_if_due_resilient(now_ns)
+            return
         while now_ns >= self._next_qm_poll_ns:
             # Skip the standalone read when a full poll lands at the same
             # instant (the full poll snapshots the monitor itself).
@@ -299,6 +358,44 @@ class PrintQueuePort:
             self.analysis.periodic_poll(self._next_poll_ns)
             if self.metrics is not None:
                 self._sample_metrics(self._next_poll_ns)
+            self._next_poll_ns += self.config.set_period_ns
+
+    def _poll_if_due_resilient(self, now_ns: int) -> None:
+        """The fault-aware twin of :meth:`_poll_if_due`.
+
+        Fires the same polls at the same logical instants (standalone
+        monitor reads first at a shared instant, exactly like the
+        perfect-channel loop), but routes each through the
+        :class:`~repro.faults.ResilientPoller` and additionally fires a
+        delayed poll at its catch-up time.  Both ingest engines call
+        this at identical points, so injected faults and their handling
+        are engine-independent.
+        """
+        poller = self._poller
+        while True:
+            next_qm = self._next_qm_poll_ns
+            next_full = self._next_poll_ns
+            t = min(next_qm, next_full)
+            pending = poller.pending_full_ns
+            if pending is not None and pending < t:
+                t = pending
+            if now_ns < t:
+                return
+            if pending is not None and t == pending:
+                poller.fire_pending()
+                continue
+            if t == next_qm:
+                if next_qm != next_full:
+                    poller.poll_qm(next_qm)
+                if self.classed_monitor is not None:
+                    self._classed_snapshots.append(
+                        (next_qm, self.classed_monitor.snapshot(next_qm))
+                    )
+                self._next_qm_poll_ns += self._qm_period_ns
+                continue
+            poller.poll_full(next_full)
+            if self.metrics is not None:
+                self._sample_metrics(next_full)
             self._next_poll_ns += self.config.set_period_ns
 
     def _sample_metrics(self, now_ns: int) -> None:
@@ -324,9 +421,19 @@ class PrintQueuePort:
         )
 
     def finish(self, now_ns: int) -> None:
-        """Final poll at end of run so no data is left unread."""
+        """Final poll at end of run so no data is left unread.
+
+        The closing read is operator-driven (a deliberate flush, not a
+        raced periodic poll), so it is never fault-injected; a delayed
+        poll still pending at this point is subsumed by it — its bank
+        never flipped, so the flush reads everything it would have.
+        """
         self._poll_if_due(now_ns)
+        if self._poller is not None:
+            self._poller.finalize(now_ns)
         self.analysis.periodic_poll(now_ns)
+        if self._poller is not None and self.analysis.qm_snapshots:
+            self._poller.note_stored_qm(self.analysis.qm_snapshots[-1])
         if self.metrics is not None:
             self._sample_metrics(now_ns)
 
@@ -399,6 +506,10 @@ class PrintQueuePort:
                 "pq_queries_total", kind=result.kind, mode=result.mode
             ).inc(len(result))
             m.counter("pq_queries_accepted_total").inc(len(result))
+            if result.coverages:
+                n_degraded = sum(1 for c in result.coverages if c.degraded)
+                if n_degraded:
+                    m.counter("pq_queries_degraded_total").inc(n_degraded)
             return result
         m.histogram("pq_query_latency_ns", kind=result.kind).observe(elapsed)
         m.counter(
@@ -408,6 +519,8 @@ class PrintQueuePort:
             m.counter("pq_queries_accepted_total").inc()
         else:
             m.counter("pq_queries_rejected_total").inc()
+        if result.degraded:
+            m.counter("pq_queries_degraded_total").inc()
         return result
 
     def _query_impl(
@@ -439,11 +552,18 @@ class PrintQueuePort:
                     "classes= applies to queue-monitor (at_ns=) queries"
                 )
             batch = list(intervals)
+            coverages = None
+            if self._poller is not None:
+                log = self._poller.log
+                coverages = [
+                    log.coverage_for(iv.start_ns, iv.end_ns) for iv in batch
+                ]
             return BatchQueryResult(
                 kind="time_windows",
                 mode="async",
                 intervals=batch,
                 estimates=self._async_query_batch(batch),
+                coverages=coverages,
             )
         if interval is None:
             if at_ns is None:
@@ -451,17 +571,25 @@ class PrintQueuePort:
                     "query() needs interval= (time windows) or at_ns= "
                     "(queue monitor)"
                 )
+            coverage = None
             if classes is not None:
                 classes = tuple(classes)
                 estimate = self._original_culprits_by_class(at_ns, classes)
             else:
                 estimate = self._original_culprits(at_ns)
+                if self._poller is not None:
+                    used = self.analysis.query_queue_monitor(at_ns)
+                    coverage = self._poller.log.qm_coverage_for(
+                        at_ns, used.time_ns
+                    )
             return QueryResult(
                 kind="queue_monitor",
                 mode=None,
                 estimate=estimate,
                 at_ns=at_ns,
                 classes=classes,
+                degraded=coverage.degraded if coverage is not None else False,
+                coverage=coverage,
             )
         if classes is not None:
             raise QueryError("classes= applies to queue-monitor (at_ns=) queries")
@@ -470,15 +598,38 @@ class PrintQueuePort:
                 raise QueryError(
                     "at_ns= applies to data_plane or queue-monitor queries"
                 )
+            coverage = None
+            if self._poller is not None:
+                coverage = self._poller.log.coverage_for(
+                    interval.start_ns, interval.end_ns
+                )
             return QueryResult(
                 kind="time_windows",
                 mode="async",
                 estimate=self._async_query(interval),
                 interval=interval,
+                degraded=coverage.degraded if coverage is not None else False,
+                coverage=coverage,
             )
         read_at = at_ns if at_ns is not None else interval.end_ns - 1
+        dp_failures_before = (
+            self._poller.log.dp_read_failures if self._poller is not None else 0
+        )
         result = self._dp_query_interval(read_at, interval)
         if result is None:
+            # Either the cost model rejected the trigger (not degraded —
+            # the operator can simply re-trigger later) or, under fault
+            # injection, every read attempt failed at the RPC layer.
+            coverage = None
+            degraded = False
+            if (
+                self._poller is not None
+                and self._poller.log.dp_read_failures > dp_failures_before
+            ):
+                degraded = True
+                coverage = self._poller.log.dp_coverage_for(
+                    read_at, interval.start_ns, interval.end_ns
+                )
             return QueryResult(
                 kind="time_windows",
                 mode="data_plane",
@@ -486,6 +637,13 @@ class PrintQueuePort:
                 interval=interval,
                 at_ns=read_at,
                 accepted=False,
+                degraded=degraded,
+                coverage=coverage,
+            )
+        coverage = None
+        if self._poller is not None:
+            coverage = self._poller.log.dp_coverage_for(
+                read_at, interval.start_ns, interval.end_ns
             )
         return QueryResult(
             kind="time_windows",
@@ -494,6 +652,8 @@ class PrintQueuePort:
             interval=interval,
             at_ns=read_at,
             snapshot=result.snapshot,
+            degraded=coverage.degraded if coverage is not None else False,
+            coverage=coverage,
         )
 
     # -- query implementations (shared by query() and the legacy shims) ------
@@ -509,15 +669,23 @@ class PrintQueuePort:
         """On-demand read at ``now_ns`` + query over ``interval``.
 
         Returns None when the trigger is rejected (a previous read still
-        holds the special registers under the hardware cost model).
+        holds the special registers under the hardware cost model), or —
+        under fault injection — when every read attempt failed at the
+        RPC layer (``self._poller.log.dp_read_failures`` distinguishes
+        the two for the caller).
         """
-        snapshot = self.analysis.dp_read(now_ns)
+        if self._poller is not None:
+            snapshot = self._poller.dp_read(now_ns)
+        else:
+            snapshot = self.analysis.dp_read(now_ns)
         if snapshot is None:
             return None
         # The on-demand read captures the queue monitor alongside the time
         # windows, so original-culprit queries can resolve this instant.
         if self.analysis.model_dp_read_cost is False:
             self.analysis.qm_poll(now_ns)
+            if self._poller is not None and self.analysis.qm_snapshots:
+                self._poller.note_stored_qm(self.analysis.qm_snapshots[-1])
         estimate = self.analysis.query_snapshot(snapshot, interval)
         result = DataPlaneQueryResult(now_ns, interval, estimate, snapshot)
         self.dp_results.append(result)
@@ -639,6 +807,8 @@ class PrintQueue:
         d_ns: Optional[float] = None,
         trigger: Optional[TriggerPolicy] = None,
         metrics: Optional[Metrics] = None,
+        faults: Optional[object] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         ids = list(port_ids)
         if not ids:
@@ -650,9 +820,33 @@ class PrintQueue:
         #: one shared repro.obs registry across all ports (per-port
         #: structure counters stay separable via RunReport.from_port).
         self.metrics = metrics
+        # Ports draw faults independently: each gets its own injector
+        # seeded from the plan's seed plus its position, so per-port
+        # outcomes are reproducible and no port's draw order depends on
+        # packet interleaving across ports.
+        if isinstance(faults, FaultInjector):
+            raise ConfigError(
+                "pass a FaultPlan or profile name to the multi-port "
+                "PrintQueue, not a FaultInjector (injector state cannot be "
+                "shared across ports deterministically)"
+            )
+        plan: Optional[FaultPlan] = None
+        if faults is not None:
+            plan = faults if isinstance(faults, FaultPlan) else profile(faults)
         self.ports: Dict[int, PrintQueuePort] = {
-            pid: PrintQueuePort(config, d_ns=d_ns, trigger=trigger, metrics=metrics)
-            for pid in ids
+            pid: PrintQueuePort(
+                config,
+                d_ns=d_ns,
+                trigger=trigger,
+                metrics=metrics,
+                faults=(
+                    plan.with_seed(plan.seed + index)
+                    if plan is not None
+                    else None
+                ),
+                retry_policy=retry_policy,
+            )
+            for index, pid in enumerate(ids)
         }
         self.ignored_packets = 0
 

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import partial
 from pickle import PicklingError
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -39,6 +41,9 @@ class SweepCell:
     #: accounting, but keying on the port keeps their results distinct).
     port: int = 0
     victims_per_band: int = 20
+    #: fault-injection profile name (repro.faults) the cell's simulation
+    #: runs under; None (the default) keeps the perfect control channel.
+    faults: Optional[str] = None
 
 
 @dataclass
@@ -78,6 +83,7 @@ def evaluate_cell(cell: SweepCell) -> CellResult:
         load=cell.load,
         config=cell.config,
         seed=cell.seed,
+        faults=cell.faults,
     )
     victims = sample_victims_by_band(run.records, per_band=cell.victims_per_band)
     union = sorted({i for indices in victims.values() for i in indices})
@@ -143,8 +149,50 @@ class ResultCache:
         self.misses = 0
 
 
+@dataclass
+class _WorkerFailure:
+    """Sentinel a guarded pool worker returns instead of raising.
+
+    Carrying the exception back as a *value* keeps worker bugs separable
+    from pool-infrastructure failures: a raising worker used to surface
+    through ``pool.map`` as e.g. a bare ``TypeError`` and get silently
+    swallowed by the no-subprocess-support fallback, re-running the bad
+    cell serially just to crash again.
+    """
+
+    exception: BaseException
+
+
+def _guarded(worker: Callable[[Any], Any], cell: Any) -> Any:
+    """Run ``worker(cell)`` in a child, boxing exceptions as values.
+
+    Module-level so ``functools.partial(_guarded, worker)`` pickles by
+    reference whenever ``worker`` itself does.
+    """
+    try:
+        return worker(cell)
+    except Exception as exc:  # noqa: BLE001 - boxed and re-raised in parent
+        return _WorkerFailure(exc)
+
+
 class ParallelSweep:
     """Fan a worker over independent cells with per-cell caching.
+
+    Failure handling separates three distinct things that can go wrong:
+
+    * **The worker raised** (a genuine bug or a flaky cell) — the
+      exception comes back boxed as :class:`_WorkerFailure`; the cell is
+      retried in-process up to ``cell_retries`` times, then the original
+      exception is re-raised to the caller.  Worker bugs are never
+      masked as "no subprocess support".
+    * **The pool broke** (a worker process died: crash, OOM kill) —
+      ``BrokenProcessPool``; surviving results are kept, a fresh pool is
+      started for the remaining cells up to ``max_pool_restarts`` times,
+      then execution degrades to serial.
+    * **The pool can't be used at all** (sandboxes without subprocess
+      support, non-picklable workers such as lambdas) — submission-time
+      ``PicklingError``/``AttributeError``/``TypeError``/``OSError``/
+      ``RuntimeError``; execution degrades to serial immediately.
 
     Parameters
     ----------
@@ -157,6 +205,12 @@ class ParallelSweep:
     cache:
         Optional shared :class:`ResultCache`; a private one is created
         otherwise.  Cells must be hashable to act as cache keys.
+    cell_retries:
+        In-process retries granted to a cell whose worker raised before
+        the exception propagates (default 1 — one second chance).
+    max_pool_restarts:
+        Fresh pools started after a ``BrokenProcessPool`` before falling
+        back to serial execution (default 1).
     """
 
     def __init__(
@@ -164,12 +218,20 @@ class ParallelSweep:
         worker: Callable[[Any], Any] = evaluate_cell,
         max_workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        cell_retries: int = 1,
+        max_pool_restarts: int = 1,
     ) -> None:
         self.worker = worker
         self.max_workers = max_workers
         self.cache = cache if cache is not None else ResultCache()
+        self.cell_retries = cell_retries
+        self.max_pool_restarts = max_pool_restarts
         #: how the last run() executed: "pool", "serial", or "cached"
         self.last_execution = "cached"
+        #: pools restarted after BrokenProcessPool (lifetime counter).
+        self.pool_restarts = 0
+        #: in-process retries consumed by failing cells (lifetime counter).
+        self.cell_retries_used = 0
 
     def run(self, cells: Sequence[Hashable]) -> List[Any]:
         """Evaluate every cell (cache-first), preserving input order."""
@@ -185,19 +247,61 @@ class ParallelSweep:
     def _evaluate(self, cells: List[Hashable]) -> None:
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, len(cells))
-        if workers > 1:
+        if workers > 1 and self._evaluate_pool(cells, workers):
+            return
+        for cell in cells:
+            if cell not in self.cache:
+                self.cache.put(cell, self._run_cell(cell))
+        self.last_execution = "serial"
+
+    def _evaluate_pool(self, cells: List[Hashable], workers: int) -> bool:
+        """Pool execution; returns False to request the serial fallback."""
+        remaining = list(cells)
+        restarts_left = self.max_pool_restarts
+        while True:
+            failures: List[Tuple[Hashable, BaseException]] = []
             try:
+                guarded = partial(_guarded, self.worker)
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for cell, result in zip(cells, pool.map(self.worker, cells)):
-                        self.cache.put(cell, result)
-                self.last_execution = "pool"
-                return
+                    for cell, result in zip(remaining, pool.map(guarded, remaining)):
+                        if isinstance(result, _WorkerFailure):
+                            failures.append((cell, result.exception))
+                        else:
+                            self.cache.put(cell, result)
+            except BrokenProcessPool:
+                # Pool infrastructure died under us (worker process
+                # crashed or was killed).  Results cached before the
+                # break are kept; restart a fresh pool for the rest.
+                remaining = [c for c in remaining if c not in self.cache]
+                if restarts_left > 0 and remaining:
+                    restarts_left -= 1
+                    self.pool_restarts += 1
+                    continue
+                return False
             except (PicklingError, AttributeError, TypeError, OSError, RuntimeError):
                 # No subprocess support here (sandbox, restricted CI) or a
                 # non-picklable worker/result (closures and lambdas fail
                 # with AttributeError/TypeError): fall back to one core.
-                pass
-        for cell in cells:
-            if cell not in self.cache:
-                self.cache.put(cell, self.worker(cell))
-        self.last_execution = "serial"
+                return False
+            # Genuine worker exceptions: retry in-process, then re-raise.
+            for cell, exc in failures:
+                self.cache.put(cell, self._retry_cell(cell, exc))
+            self.last_execution = "pool"
+            return True
+
+    def _run_cell(self, cell: Hashable) -> Any:
+        """Serial-path evaluation with the same per-cell retry budget."""
+        try:
+            return self.worker(cell)
+        except Exception as exc:
+            return self._retry_cell(cell, exc)
+
+    def _retry_cell(self, cell: Hashable, exc: BaseException) -> Any:
+        """Re-run a failed cell in-process; re-raise when retries run out."""
+        for _ in range(self.cell_retries):
+            self.cell_retries_used += 1
+            try:
+                return self.worker(cell)
+            except Exception as retry_exc:
+                exc = retry_exc
+        raise exc

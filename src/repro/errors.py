@@ -25,3 +25,27 @@ class RegisterError(ReproError):
 
 class DecodeError(ReproError):
     """A baseline structure (e.g. FlowRadar) failed to decode its state."""
+
+
+class FaultInjected(ReproError):
+    """An injected fault surfaced to the caller.
+
+    Raised only by a strict-mode :class:`~repro.faults.ResilientPoller`
+    (debug/test aid); the default resilient path degrades gracefully
+    instead of raising.
+    """
+
+
+class DataPlaneReadError(ReproError):
+    """A control-plane register read failed outright (RPC/PCIe layer)."""
+
+
+class SnapshotValidationError(DataPlaneReadError):
+    """A register read violated the cycle-ID/TTS or sequence-number
+    invariants (torn or corrupted cells) and strict mode forbade
+    quarantining it."""
+
+
+class RetryExhausted(DataPlaneReadError):
+    """A read kept failing past its :class:`~repro.faults.RetryPolicy`
+    attempt budget."""

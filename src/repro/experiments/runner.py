@@ -192,6 +192,8 @@ def simulate_workload(
     trace: Optional[Trace] = None,
     engine: str = "batched",
     metrics: Optional[Metrics] = None,
+    faults: Optional[object] = None,
+    retry_policy: Optional[object] = None,
 ) -> ExperimentRun:
     """End-to-end run: generate (or take) a trace, queue it, measure it.
 
@@ -202,7 +204,11 @@ def simulate_workload(
     selects the ingest path (see :func:`drive_printqueue`).  Passing a
     ``metrics`` registry attaches timing/tally instrumentation to the
     port; structure-level counters are collected either way via
-    :meth:`ExperimentRun.report`.
+    :meth:`ExperimentRun.report`.  ``faults`` (a profile name,
+    :class:`~repro.faults.FaultPlan`, or injector) runs the control
+    plane under seeded fault injection with the resilient read path;
+    the default ``None`` keeps the perfect channel and bit-identical
+    outputs.
     """
     if trace is None:
         distribution = distribution_by_name(workload)
@@ -223,7 +229,12 @@ def simulate_workload(
     # realistic read-cost model (trigger rejection under PCIe pressure) is
     # exercised by the query-throughput micro-benchmark instead.
     pq = PrintQueuePort(
-        cfg, d_ns=d_ns, model_dp_read_cost=False, metrics=metrics
+        cfg,
+        d_ns=d_ns,
+        model_dp_read_cost=False,
+        metrics=metrics,
+        faults=faults,
+        retry_policy=retry_policy,
     )
     dp_results = drive_printqueue(
         records, pq, dp_trigger_indices, baselines, engine=engine

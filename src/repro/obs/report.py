@@ -26,7 +26,9 @@ from repro.obs.metrics import Metrics
 __all__ = ["RunReport", "collect_port_counters"]
 
 #: Sections whose values are deterministic functions of the event stream
-#: (identical between ingest engines and metrics-on/off runs).
+#: (identical between ingest engines and metrics-on/off runs).  "faults"
+#: qualifies because every injector draw happens at a poll/read instant
+#: both engines reach in the same order with the same seeded RNG.
 DETERMINISTIC_SECTIONS = (
     "config",
     "packets",
@@ -35,6 +37,7 @@ DETERMINISTIC_SECTIONS = (
     "filter",
     "queue_monitor",
     "samples",
+    "faults",
 )
 
 
@@ -125,6 +128,30 @@ def collect_port_counters(pq) -> Dict[str, Any]:
             "snapshot_compile_hits": analysis.snapshot_compile_hits,
             "snapshot_compile_misses": analysis.snapshot_compile_misses,
         },
+        "faults": _collect_faults(pq),
+    }
+
+
+def _collect_faults(pq) -> Dict[str, Any]:
+    """The fault-injection section: what was injected, what was done.
+
+    ``injected`` is read straight off the injector's authoritative tally
+    (the same object every injection incremented), so the report
+    reconciles with the ``pq_faults_injected_total`` counters by
+    construction.  A fault-free port reports ``{"enabled": False}`` —
+    deterministic across engines, and old reports without the key still
+    load fine.
+    """
+    injector = getattr(pq, "faults", None)
+    if injector is None:
+        return {"enabled": False}
+    poller = getattr(pq, "_poller", None)
+    return {
+        "enabled": True,
+        "profile": injector.plan.name,
+        "seed": injector.plan.seed,
+        "injected": dict(sorted(injector.injected.items())),
+        "resilience": poller.log.to_dict() if poller is not None else None,
     }
 
 
@@ -249,6 +276,42 @@ class RunReport:
         registry.counter("pq_packets_seen_total").inc(
             self.data["packets"]["seen"]
         )
+        # .get(): reports saved before the fault-injection layer lack
+        # the section; fault-free runs export no pq_faults_* series.
+        faults = self.data.get("faults")
+        if faults and faults.get("enabled"):
+            for kind, count in sorted(faults.get("injected", {}).items()):
+                registry.counter("pq_faults_injected_total", kind=kind).inc(
+                    count
+                )
+            res = faults.get("resilience") or {}
+            registry.counter("pq_faults_retries_total").inc(
+                res.get("retries", 0)
+            )
+            registry.counter("pq_faults_retry_exhausted_total").inc(
+                res.get("retry_exhausted", 0)
+            )
+            registry.counter("pq_faults_reads_recovered_total").inc(
+                res.get("reads_recovered", 0)
+            )
+            registry.counter("pq_faults_lost_polls_total").inc(
+                res.get("lost_polls", 0)
+            )
+            registry.counter("pq_faults_delayed_polls_total").inc(
+                res.get("delayed_polls", 0)
+            )
+            registry.counter("pq_faults_quarantined_cells_total").inc(
+                res.get("quarantined_cells", 0)
+            )
+            registry.counter("pq_faults_qm_polls_lost_total").inc(
+                res.get("qm_polls_lost", 0)
+            )
+            registry.counter("pq_faults_dp_read_failures_total").inc(
+                res.get("dp_read_failures", 0)
+            )
+            registry.gauge("pq_faults_retry_backoff_ns_total").set(
+                res.get("retry_backoff_ns_total", 0)
+            )
         return registry
 
     def to_prometheus(self) -> str:
@@ -295,5 +358,18 @@ class RunReport:
                 f"{queries.get('plan_cache_misses', 0)} misses; "
                 f"snapshot compiles {queries.get('snapshot_compile_misses', 0)} "
                 f"({queries.get('snapshot_compile_hits', 0)} reused)"
+            )
+        faults = self.data.get("faults")
+        if faults and faults.get("enabled"):
+            injected = sum(faults.get("injected", {}).values())
+            res = faults.get("resilience") or {}
+            lines.append(
+                f"faults ({faults['profile']}, seed {faults['seed']}): "
+                f"{injected} injected; "
+                f"lost polls={res.get('lost_polls', 0)} "
+                f"delayed={res.get('delayed_polls', 0)} "
+                f"retries={res.get('retries', 0)} "
+                f"recovered={res.get('reads_recovered', 0)} "
+                f"quarantined cells={res.get('quarantined_cells', 0)}"
             )
         return "\n".join(lines)

@@ -66,6 +66,10 @@ PUBLIC_MODULES = [
     "repro.engine.ingest",
     "repro.engine.parallel",
     "repro.engine.queryplan",
+    "repro.faults",
+    "repro.faults.plan",
+    "repro.faults.injector",
+    "repro.faults.resilience",
     "repro.obs",
     "repro.obs.metrics",
     "repro.obs.report",

@@ -9,6 +9,8 @@ collision-heavy configurations where the Algorithm-1 passing rule fires
 constantly.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -371,3 +373,80 @@ def test_sweep_cell_is_hashable_cache_key():
     b = SweepCell(workload="ws", config=config, duration_ns=1000)
     assert a == b and hash(a) == hash(b)
     assert a != SweepCell(workload="ws", config=config, duration_ns=1000, port=1)
+    # the fault profile is part of the cache key: a faulted run must never
+    # be served from a fault-free cell's cached result.
+    faulted = SweepCell(workload="ws", config=config, duration_ns=1000, faults="chaos")
+    assert a != faulted and hash(faulted) == hash(faulted)
+
+
+# ---------------------------------------------------------------------------
+# sweep resilience: worker bugs vs pool-infrastructure failures
+#
+# Cells are (parent_pid, value) pairs so module-level workers — picklable
+# by reference under the fork start method — can tell whether they run in
+# the parent (serial / in-process retry) or in a pool child.
+
+
+def _pool_available() -> bool:
+    """Whether this environment can actually run a process pool."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return list(pool.map(abs, [-1])) == [1]
+    except Exception:
+        return False
+
+
+def _fails_in_child_worker(cell):
+    """Raises only inside pool children; succeeds on in-process retry."""
+    parent_pid, value = cell
+    if os.getpid() != parent_pid:
+        raise RuntimeError("transient child-only failure")
+    return value * 10
+
+
+def _always_fails_worker(cell):
+    """A genuine worker bug: fails everywhere, retries included."""
+    raise ValueError(f"cell bomb: {cell!r}")
+
+
+def _crashes_child_worker(cell):
+    """Kills the pool child outright, breaking the pool itself."""
+    parent_pid, value = cell
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return value * 10
+
+
+@pytest.mark.skipif(not _pool_available(), reason="no subprocess support")
+def test_sweep_retries_worker_failures_in_process():
+    cells = [(os.getpid(), v) for v in range(4)]
+    sweep = ParallelSweep(worker=_fails_in_child_worker, max_workers=2)
+    results = sweep.run(cells)
+    assert results == [0, 10, 20, 30]
+    assert sweep.last_execution == "pool"
+    # every cell failed once in a child and was recovered by a retry
+    assert sweep.cell_retries_used == len(cells)
+    assert sweep.pool_restarts == 0
+
+
+def test_sweep_reraises_genuine_worker_exceptions():
+    """A worker bug propagates with its original type — it is never
+    masked as "no subprocess support" and silently re-run serially."""
+    for max_workers in (1, 4):
+        sweep = ParallelSweep(worker=_always_fails_worker, max_workers=max_workers)
+        with pytest.raises(ValueError, match="cell bomb"):
+            sweep.run([(os.getpid(), 1)])
+        assert sweep.cell_retries_used == sweep.cell_retries
+
+
+@pytest.mark.skipif(not _pool_available(), reason="no subprocess support")
+def test_sweep_survives_crashed_pool_workers():
+    cells = [(os.getpid(), v) for v in range(3)]
+    sweep = ParallelSweep(worker=_crashes_child_worker, max_workers=2)
+    results = sweep.run(cells)
+    assert results == [0, 10, 20]
+    # every pool (original + one restart) broke; serial fallback finished
+    assert sweep.pool_restarts == sweep.max_pool_restarts == 1
+    assert sweep.last_execution == "serial"

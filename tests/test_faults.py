@@ -1,0 +1,654 @@
+"""Fault injection + the resilient control-plane read path.
+
+Three contracts are pinned here:
+
+1. **Zero overhead** — with ``faults=None`` (or the all-zero ``none``
+   profile) every register bank, counter, and snapshot is bit-identical
+   to a build without the fault layer.
+2. **Engine independence** — under every profile the scalar and batched
+   ingest engines inject the same faults and converge to the same state.
+3. **Graceful degradation** — under every profile, queries complete
+   without exceptions and their ``degraded``/``coverage`` surface names
+   exactly what was lost; strict mode raises the typed errors instead.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PrintQueueConfig
+from repro.core.filtering import FilteredWindow
+from repro.core.printqueue import PrintQueue, PrintQueuePort
+from repro.core.queries import QueryInterval
+from repro.errors import (
+    ConfigError,
+    DataPlaneReadError,
+    FaultInjected,
+    RetryExhausted,
+    SnapshotValidationError,
+)
+from repro.experiments.runner import simulate_workload
+from repro.faults import (
+    PROFILES,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    as_injector,
+    profile,
+    profile_names,
+    validate_filtered_windows,
+)
+from repro.obs.metrics import Metrics
+from repro.switch.packet import FlowKey
+
+from tests.test_engine import _port_state
+
+CFG = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+
+
+def _flow(i: int) -> FlowKey:
+    return FlowKey.from_strings(
+        f"10.0.{(i >> 8) & 255}.{i & 255}", "10.1.0.1", 5000 + i % 37, 80
+    )
+
+
+def _drive(pq, packets=1200, spacing_ns=1500, finish=True):
+    """Feed a deterministic enqueue/dequeue stream through the port.
+
+    Defaults span ~1.8 ms — about five set periods of ``CFG`` (344 µs),
+    so every rate-1.0 plan gets multiple full polls and dozens of
+    standalone queue-monitor polls to fault.  ``finish=False`` leaves the
+    active bank un-flushed, so a subsequent on-demand read sees live
+    data instead of a freshly-flipped (empty) bank.
+    """
+    t = 0
+    for i in range(packets):
+        t += spacing_ns
+        flow = _flow(i % 7)
+        pq.process_enqueue(flow, t, (i % 5) + 1)
+        pq.process_dequeue(flow, t + spacing_ns // 2, i % 5)
+    end = t + spacing_ns
+    if finish:
+        pq.finish(end)
+    return end
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan / profiles
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(poll_drop_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(poll_drop_rate=0.6, poll_delay_rate=0.6)
+        with pytest.raises(ConfigError):
+            FaultPlan(torn_read_rate=0.5, corrupt_cell_rate=0.3, rpc_failure_rate=0.3)
+        with pytest.raises(ConfigError):
+            FaultPlan(qm_drop_rate=0.7, qm_seq_regression_rate=0.7)
+        with pytest.raises(ConfigError):
+            FaultPlan(max_affected_cells=0)
+        with pytest.raises(ConfigError):
+            FaultPlan(poll_delay_ns=0)
+
+    def test_enabled_and_reseed(self):
+        assert not FaultPlan().enabled
+        assert FaultPlan(rpc_failure_rate=0.1).enabled
+        plan = profile("chaos").with_seed(99)
+        assert plan.seed == 99 and plan.name == "chaos"
+
+    def test_profiles(self):
+        assert "chaos" in profile_names()
+        assert not PROFILES["none"].enabled
+        for name in profile_names():
+            assert PROFILES[name].name == name
+            assert name in PROFILES[name].describe()
+        with pytest.raises(ConfigError):
+            profile("no-such-profile")
+
+    def test_as_injector_coercions(self):
+        assert as_injector("chaos").plan.name == "chaos"
+        plan = FaultPlan(rpc_failure_rate=0.1)
+        assert as_injector(plan).plan is plan
+        inj = FaultInjector(plan)
+        assert as_injector(inj) is inj
+        with pytest.raises(TypeError):
+            as_injector(42)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_schedule_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_backoff_ns=100, multiplier=2.0, max_backoff_ns=350
+        )
+        assert policy.schedule() == (100, 200, 350, 350)
+        assert policy.backoff_ns(1) == 100
+        assert policy.backoff_ns(10) == 350
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_backoff_ns=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_ns(0)
+
+
+# ---------------------------------------------------------------------------
+# snapshot validation + guaranteed-detectable tampering
+
+
+def _synthetic_windows(k=8, cells_per_window=20):
+    windows = []
+    for wi in range(3):
+        ref = 5_000 + wi
+        tts = np.arange(ref - cells_per_window + 1, ref + 1, dtype=np.int64)
+        flows = [_flow(i) for i in range(cells_per_window)]
+        windows.append(
+            FilteredWindow(
+                wi,
+                wi,
+                list(zip(tts.tolist(), flows)),
+                ref,
+                tts_array=tts,
+                cell_flows=flows,
+            )
+        )
+    return windows
+
+
+class TestValidation:
+    def test_clean_windows_pass(self):
+        windows = _synthetic_windows()
+        cleaned, violations = validate_filtered_windows(windows, k=8)
+        assert violations == []
+        assert cleaned is not None and len(cleaned) == len(windows)
+
+    def test_out_of_range_cells_quarantined(self):
+        windows = _synthetic_windows(k=8)
+        fw = windows[1]
+        bad_tts = fw.tts_array.copy()
+        bad_tts[0] = fw.reference_tts - (1 << 8)  # stale: previous cycle
+        bad_tts[1] = fw.reference_tts + 7  # corrupt: future cycle bits
+        windows[1] = FilteredWindow(
+            fw.window_index,
+            fw.shift,
+            list(zip(bad_tts.tolist(), fw.cell_flows)),
+            fw.reference_tts,
+            tts_array=bad_tts,
+            cell_flows=list(fw.cell_flows),
+        )
+        cleaned, violations = validate_filtered_windows(windows, k=8)
+        assert violations == [(1, 2)]
+        assert len(cleaned[1].cells) == len(fw.cells) - 2
+        with pytest.raises(SnapshotValidationError):
+            validate_filtered_windows(windows, k=8, strict=True)
+
+    @pytest.mark.parametrize("kind", ["torn", "corrupt"])
+    def test_tampering_is_always_detected(self, kind):
+        """Every cell the injector damages lands outside the valid TTS
+        range, so validation catches 100% of them — by construction."""
+        for seed in range(20):
+            injector = FaultInjector(FaultPlan(seed=seed, max_affected_cells=6))
+            windows = _synthetic_windows(k=8)
+            tampered, n_cells = injector.tamper_filtered(windows, 8, kind)
+            assert n_cells > 0
+            _, violations = validate_filtered_windows(tampered, k=8)
+            assert sum(n for _, n in violations) == n_cells
+            # the pristine input was never mutated
+            _, pristine_violations = validate_filtered_windows(windows, k=8)
+            assert pristine_violations == []
+
+    def test_empty_read_tamper_is_noop(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        empty = [
+            FilteredWindow(0, 0, [], None, tts_array=np.empty(0, np.int64), cell_flows=[])
+        ]
+        tampered, n = injector.tamper_filtered(empty, 8, "torn")
+        assert n == 0 and tampered is empty
+        assert injector.injected == {}
+
+
+# ---------------------------------------------------------------------------
+# zero-overhead invariant
+
+
+class TestZeroOverhead:
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_none_profile_is_bit_identical(self, engine):
+        base = simulate_workload(
+            "ws", duration_ns=1_000_000, load=1.3, config=CFG, seed=5, engine=engine
+        )
+        nulled = simulate_workload(
+            "ws",
+            duration_ns=1_000_000,
+            load=1.3,
+            config=CFG,
+            seed=5,
+            engine=engine,
+            faults="none",
+        )
+        assert _port_state(base.pq) == _port_state(nulled.pq)
+        victim = max(base.records, key=lambda r: r.queuing_delay)
+        interval = QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+        a = base.pq.query(interval=interval)
+        b = nulled.pq.query(interval=interval)
+        assert a.estimate._counts == b.estimate._counts
+        assert a.degraded is False and b.degraded is False
+        # an all-zero plan never consumes an RNG draw, so the injector's
+        # stream is untouched and the tally empty
+        assert nulled.pq.faults.injected == {}
+        assert nulled.pq.faults.rng.random() == type(nulled.pq.faults.rng)(0).random()
+
+    def test_fault_free_port_has_no_poller(self):
+        pq = PrintQueuePort(CFG, model_dp_read_cost=False)
+        assert pq.faults is None and pq._poller is None
+        result_coverage_fields = pq is not None  # smoke: attrs exist
+        assert result_coverage_fields
+
+
+# ---------------------------------------------------------------------------
+# engine independence under faults
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_scalar_matches_batched_under_faults(name):
+    runs = {}
+    for engine in ("scalar", "batched"):
+        runs[engine] = simulate_workload(
+            "ws",
+            duration_ns=1_500_000,
+            load=1.3,
+            config=CFG,
+            seed=9,
+            engine=engine,
+            faults=name,
+        )
+    scalar, batched = runs["scalar"], runs["batched"]
+    assert _port_state(scalar.pq) == _port_state(batched.pq)
+    assert scalar.pq.faults.injected == batched.pq.faults.injected
+    assert (
+        scalar.pq._poller.log.to_dict() == batched.pq._poller.log.to_dict()
+    )
+    assert (
+        scalar.report().deterministic_view() == batched.report().deterministic_view()
+    )
+
+
+def test_same_seed_reproduces_same_faults():
+    a = simulate_workload(
+        "ws", duration_ns=1_500_000, load=1.3, config=CFG, seed=9, faults="chaos"
+    )
+    b = simulate_workload(
+        "ws", duration_ns=1_500_000, load=1.3, config=CFG, seed=9, faults="chaos"
+    )
+    assert a.pq.faults.injected == b.pq.faults.injected
+    assert a.pq._poller.log.to_dict() == b.pq._poller.log.to_dict()
+    assert _port_state(a.pq) == _port_state(b.pq)
+    # different injector seeds give different draw streams
+    import random
+
+    assert random.Random(0).random() != random.Random(1).random()
+
+
+# ---------------------------------------------------------------------------
+# degradation semantics, one hazard at a time
+
+
+class TestDroppedPolls:
+    def test_lost_ranges_and_degraded_queries(self):
+        plan = FaultPlan(name="all-drop", poll_drop_rate=1.0)
+        pq = PrintQueuePort(CFG, model_dp_read_cost=False, faults=plan)
+        end = _drive(pq)
+        log = pq._poller.log
+        assert log.lost_polls > 0
+        assert log.lost_polls == pq.faults.injected["polls_dropped"]
+        assert log.lost_ranges, "dropped polls must record lost ranges"
+        # a query over a lost range is degraded and says which range
+        start, stop = log.lost_ranges[0]
+        result = pq.query(interval=QueryInterval(start, stop))
+        assert result.degraded is True
+        assert result.coverage is not None and result.coverage.lost_ns
+        assert "lost range" in result.coverage.describe()
+        # batched queries carry per-victim coverage
+        batch = pq.query(
+            intervals=[QueryInterval(start, stop), QueryInterval(end + 10, end + 20)]
+        )
+        assert batch.degraded is True
+        assert batch[0].degraded is True
+        assert batch[1].coverage is not None and batch[1].degraded is False
+
+    def test_strict_mode_raises(self):
+        plan = FaultPlan(poll_drop_rate=1.0)
+        pq = PrintQueuePort(
+            CFG, model_dp_read_cost=False, faults=plan, faults_strict=True
+        )
+        with pytest.raises(FaultInjected):
+            _drive(pq)
+
+
+class TestDelayedPolls:
+    def test_catchup_loses_nothing(self):
+        plan = FaultPlan(name="all-delay", poll_delay_rate=1.0, poll_delay_ns=1000)
+        pq = PrintQueuePort(CFG, model_dp_read_cost=False, faults=plan)
+        _drive(pq)
+        log = pq._poller.log
+        assert log.delayed_polls > 0
+        assert log.delayed_polls == pq.faults.injected["polls_delayed"]
+        assert log.lost_polls == 0 and not log.lost_ranges
+        # delayed snapshots were still read at their (late) fire instants
+        periodic = [
+            s for s in pq.analysis.tw_snapshots if s.source == "periodic"
+        ]
+        assert periodic
+        set_period = CFG.set_period_ns
+        late = [s for s in periodic if s.read_time_ns % set_period != 0]
+        assert late, "catch-up reads fire off the poll grid"
+
+    def test_pending_poll_bounds_ingest_boundary(self):
+        plan = FaultPlan(poll_delay_rate=1.0, poll_delay_ns=1000)
+        pq = PrintQueuePort(CFG, model_dp_read_cost=False, faults=plan)
+        flow = _flow(0)
+        # cross the first full-poll deadline so the delay is pending
+        due = CFG.set_period_ns
+        pq.process_enqueue(flow, due + 1, 1)
+        pending = pq._poller.pending_full_ns
+        assert pending == due + 1000
+        assert pq.next_poll_boundary_ns <= pending
+
+
+class TestRpcFailures:
+    def test_retry_backoff_schedule_and_exhaustion(self):
+        plan = FaultPlan(name="dead-rpc", rpc_failure_rate=1.0)
+        policy = RetryPolicy(max_attempts=3, base_backoff_ns=50, multiplier=2.0)
+        pq = PrintQueuePort(
+            CFG, model_dp_read_cost=False, faults=plan, retry_policy=policy
+        )
+        _drive(pq)
+        log = pq._poller.log
+        assert log.retry_exhausted > 0
+        assert log.lost_polls == log.retry_exhausted
+        # every poll burns max_attempts draws, max_attempts - 1 retries
+        polls = log.retry_exhausted
+        assert pq.faults.injected["rpc_failures"] == polls * policy.max_attempts
+        assert log.retries == polls * (policy.max_attempts - 1)
+        assert log.retry_backoff_ns_total == polls * sum(policy.schedule())
+
+    def test_recovery_is_counted(self):
+        # fail ~half the attempts: with 4 attempts per read almost every
+        # poll eventually lands, and many needed at least one retry.
+        plan = FaultPlan(name="half-rpc", seed=3, rpc_failure_rate=0.5)
+        pq = PrintQueuePort(CFG, model_dp_read_cost=False, faults=plan)
+        _drive(pq, packets=2400)
+        log = pq._poller.log
+        assert log.reads_recovered > 0
+        assert log.retries > 0
+
+    def test_strict_mode_raises(self):
+        plan = FaultPlan(rpc_failure_rate=1.0)
+        pq = PrintQueuePort(
+            CFG, model_dp_read_cost=False, faults=plan, faults_strict=True
+        )
+        with pytest.raises(RetryExhausted):
+            _drive(pq)
+
+
+class TestTornReads:
+    def test_quarantine_after_budget(self):
+        plan = FaultPlan(name="all-torn", torn_read_rate=1.0)
+        policy = RetryPolicy(max_attempts=2)
+        pq = PrintQueuePort(
+            CFG, model_dp_read_cost=False, faults=plan, retry_policy=policy
+        )
+        _drive(pq)
+        log = pq._poller.log
+        assert log.quarantines, "exhausted torn reads must quarantine"
+        assert log.quarantined_cells > 0
+        # stored snapshots are clean: re-validating finds nothing
+        for snapshot in pq.analysis.tw_snapshots:
+            _, violations = validate_filtered_windows(snapshot.windows, CFG.k)
+            assert violations == []
+        # quarantines carry spans, so queries over them report degraded
+        spanned = [q for q in log.quarantines if q.span_ns is not None]
+        assert spanned
+        start, stop = spanned[0].span_ns
+        result = pq.query(interval=QueryInterval(start, max(stop, start + 1)))
+        assert result.degraded is True
+        assert result.coverage.quarantined
+
+    def test_strict_mode_raises(self):
+        plan = FaultPlan(torn_read_rate=1.0)
+        pq = PrintQueuePort(
+            CFG,
+            model_dp_read_cost=False,
+            faults=plan,
+            retry_policy=RetryPolicy(max_attempts=1),
+            faults_strict=True,
+        )
+        with pytest.raises(SnapshotValidationError):
+            _drive(pq)
+
+
+class TestQueueMonitorFaults:
+    def test_regressions_quarantined_and_counted(self):
+        plan = FaultPlan(name="all-regress", qm_seq_regression_rate=1.0)
+        pq = PrintQueuePort(CFG, model_dp_read_cost=False, faults=plan)
+        _drive(pq, packets=2400)
+        log = pq._poller.log
+        assert log.qm_quarantined > 0
+        assert pq.faults.injected["qm_seq_regressions"] == log.qm_quarantined
+        # stored monitor snapshots never regress below the accepted floor
+        floor = 0
+        for snapshot in pq.analysis.qm_snapshots:
+            seqs = [s for s in snapshot.inc_seq if s != -1]
+            seqs += [s for s in snapshot.dec_seq if s != -1]
+            if seqs:
+                assert max(seqs) >= floor
+                floor = max(floor, max(seqs))
+
+    def test_dropped_qm_polls_degrade_nearby_queries(self):
+        plan = FaultPlan(name="qm-drop", qm_drop_rate=1.0)
+        pq = PrintQueuePort(CFG, model_dp_read_cost=False, faults=plan)
+        _drive(pq)
+        log = pq._poller.log
+        assert log.qm_lost_ns
+        assert pq.faults.injected["qm_polls_dropped"] == len(log.qm_lost_ns)
+        # query right at a lost instant: a nearer poll existed but was lost
+        lost = log.qm_lost_ns[0]
+        result = pq.query(at_ns=lost)
+        assert result.kind == "queue_monitor"
+        if result.degraded:
+            assert result.coverage.qm_lost_ns
+
+    def test_strict_mode_raises(self):
+        plan = FaultPlan(qm_drop_rate=1.0)
+        pq = PrintQueuePort(
+            CFG, model_dp_read_cost=False, faults=plan, faults_strict=True
+        )
+        with pytest.raises(FaultInjected):
+            _drive(pq)
+
+
+# ---------------------------------------------------------------------------
+# on-demand (data-plane) reads
+
+
+class TestDataPlaneReads:
+    def _port(self, plan, **kwargs):
+        return PrintQueuePort(CFG, model_dp_read_cost=True, faults=plan, **kwargs)
+
+    def test_quarantine_invalidates_plan_caches(self):
+        plan = FaultPlan(name="dp-corrupt", corrupt_cell_rate=1.0)
+        pq = self._port(plan, retry_policy=RetryPolicy(max_attempts=1))
+        # no finish(): the on-demand read must see the live bank, not a
+        # freshly-flushed empty one.
+        t = _drive(pq, finish=False)
+        version_before = pq.analysis._snapshots_version
+        result = pq.query(
+            interval=QueryInterval(t - 10_000, t), mode="data_plane", at_ns=t
+        )
+        assert result.accepted is True
+        assert result.degraded is True
+        assert result.coverage is not None and result.coverage.quarantined
+        assert pq.analysis._snapshots_version > version_before
+        # the quarantined snapshot holds no stale columnar memo
+        assert not hasattr(result.snapshot, "_columnar_cache")
+        # and validates clean after quarantine
+        _, violations = validate_filtered_windows(result.snapshot.windows, CFG.k)
+        assert violations == []
+
+    def test_rpc_exhaustion_degrades_not_crashes(self):
+        plan = FaultPlan(name="dp-dead", rpc_failure_rate=1.0)
+        pq = self._port(plan, retry_policy=RetryPolicy(max_attempts=2))
+        t = _drive(pq)
+        result = pq.query(
+            interval=QueryInterval(t - 10_000, t), mode="data_plane", at_ns=t
+        )
+        assert result.accepted is False
+        assert result.degraded is True
+        assert len(result.estimate._counts) == 0
+        assert pq._poller.log.dp_read_failures == 1
+
+    def test_strict_mode_raises(self):
+        plan = FaultPlan(rpc_failure_rate=1.0)
+        pq = self._port(plan, faults_strict=True)
+        # stay under one set period so no periodic poll fires first: the
+        # on-demand read is the only read that can (and must) raise.
+        t = _drive(pq, packets=200, finish=False)
+        with pytest.raises(DataPlaneReadError):
+            pq.query(
+                interval=QueryInterval(t - 10_000, t), mode="data_plane", at_ns=t
+            )
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation + reconciliation across every profile
+
+
+def _injected_counters(registry):
+    """Read pq_faults_injected_total back out of a Metrics registry."""
+    out = {}
+    for key, value in registry.snapshot().items():
+        if key.startswith('pq_faults_injected_total{kind="'):
+            kind = key[len('pq_faults_injected_total{kind="') : -len('"}')]
+            out[kind] = value
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_queries_survive_every_profile(name):
+    run = simulate_workload(
+        "ws",
+        duration_ns=1_500_000,
+        load=1.3,
+        config=CFG,
+        seed=21,
+        faults=name,
+        metrics=Metrics(),
+    )
+    pq = run.pq
+    victim = max(run.records, key=lambda r: r.queuing_delay)
+    interval = QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    single = pq.query(interval=interval)
+    batch = pq.query(intervals=[interval, QueryInterval(0, 50_000)])
+    point = pq.query(at_ns=victim.enq_timestamp)
+    for result in (single, batch[0], batch[1], point):
+        assert result.estimate is not None
+        if result.degraded:
+            assert result.coverage is not None and result.coverage.degraded
+        elif result.coverage is not None:
+            assert not result.coverage.degraded
+    # injected-fault counts reconcile exactly: injector tally == report
+    # section == pq_faults_injected_total in both metric surfaces
+    report = run.report()
+    section = report.section("faults")
+    assert section["enabled"] is True
+    assert section["profile"] == name
+    assert section["injected"] == pq.faults.injected
+    assert section["resilience"] == pq._poller.log.to_dict()
+    assert _injected_counters(report.to_metrics()) == pq.faults.injected
+    assert _injected_counters(run.metrics) == pq.faults.injected
+
+
+# ---------------------------------------------------------------------------
+# multi-port deployments
+
+
+class TestMultiPort:
+    def test_per_port_seeds_derived(self):
+        deployment = PrintQueue(CFG, [1, 2, 3], faults="chaos")
+        seeds = [deployment.port(p).faults.plan.seed for p in (1, 2, 3)]
+        assert seeds == [0, 1, 2]
+        assert all(
+            deployment.port(p).faults.plan.name == "chaos" for p in (1, 2, 3)
+        )
+
+    def test_shared_injector_rejected(self):
+        injector = FaultInjector(profile("chaos"))
+        with pytest.raises(ConfigError):
+            PrintQueue(CFG, [1, 2], faults=injector)
+
+    def test_fault_free_by_default(self):
+        deployment = PrintQueue(CFG, [1, 2])
+        assert all(pq.faults is None for pq in deployment.ports.values())
+
+
+# ---------------------------------------------------------------------------
+# chaos property: random plans never crash, always reconcile
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    drop=st.floats(min_value=0.0, max_value=0.5),
+    delay=st.floats(min_value=0.0, max_value=0.5),
+    torn=st.floats(min_value=0.0, max_value=0.3),
+    corrupt=st.floats(min_value=0.0, max_value=0.3),
+    rpc=st.floats(min_value=0.0, max_value=0.3),
+    qm_drop=st.floats(min_value=0.0, max_value=0.5),
+    qm_regress=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_chaos_property(seed, drop, delay, torn, corrupt, rpc, qm_drop, qm_regress):
+    plan = FaultPlan(
+        name="hypothesis",
+        seed=seed,
+        poll_drop_rate=drop,
+        poll_delay_rate=delay,
+        torn_read_rate=torn,
+        corrupt_cell_rate=corrupt,
+        rpc_failure_rate=rpc,
+        qm_drop_rate=qm_drop,
+        qm_seq_regression_rate=qm_regress,
+    )
+    pq = PrintQueuePort(CFG, model_dp_read_cost=False, faults=plan)
+    end = _drive(pq, packets=1200)
+    log = pq._poller.log
+    injected = pq.faults.injected
+    # no query ever raises, whatever the damage
+    result = pq.query(interval=QueryInterval(0, end))
+    assert result.estimate is not None
+    point = pq.query(at_ns=end // 2)
+    assert point.estimate is not None
+    # the books balance: every injected control-plane fault is accounted
+    # for by the resilience log
+    assert log.lost_polls >= injected.get("polls_dropped", 0)
+    assert log.delayed_polls == injected.get("polls_delayed", 0)
+    assert len(log.qm_lost_ns) >= injected.get("qm_polls_dropped", 0)
+    assert log.qm_quarantined == injected.get("qm_seq_regressions", 0)
+    # stored state is always internally valid
+    for snapshot in pq.analysis.tw_snapshots:
+        _, violations = validate_filtered_windows(snapshot.windows, CFG.k)
+        assert violations == []
+    # and the whole run replays bit-identically from the same seed
+    pq2 = PrintQueuePort(CFG, model_dp_read_cost=False, faults=plan)
+    _drive(pq2, packets=1200)
+    assert pq2.faults.injected == injected
+    assert pq2._poller.log.to_dict() == log.to_dict()
