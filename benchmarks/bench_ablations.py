@@ -11,10 +11,8 @@ mechanisms on the UW workload:
   ring buffer).
 """
 
-import pytest
 
 from common import all_victim_indices, fmt, get_run, get_victims, print_table
-from repro.core.analysis import AnalysisProgram
 from repro.core.printqueue import PrintQueuePort
 from repro.experiments.evaluation import evaluate_async_queries
 from repro.experiments.runner import drive_printqueue

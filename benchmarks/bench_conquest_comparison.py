@@ -12,11 +12,11 @@ ring.  The bench measures, on the UW workload:
   asynchronous query for the same victims.
 """
 
-import pytest
 
-from common import band_label, fmt, get_run, get_victims, print_table
+from common import fmt, get_run, get_victims, print_table
 from repro.baselines.conquest import ConQuest
 from repro.core.queries import FlowEstimate
+from repro.experiments.sampling import band_label
 from repro.experiments.evaluation import victim_interval
 from repro.metrics.accuracy import precision_recall, summarize_scores
 

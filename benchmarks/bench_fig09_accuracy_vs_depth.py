@@ -15,12 +15,12 @@ import pytest
 from common import (
     WORKLOADS,
     all_victim_indices,
-    band_label,
     fmt,
     get_run,
     get_victims,
     print_table,
 )
+from repro.experiments.sampling import band_label
 from repro.experiments.evaluation import (
     evaluate_async_queries,
     evaluate_dataplane_queries,

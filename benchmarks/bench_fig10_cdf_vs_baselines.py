@@ -10,7 +10,6 @@ than) both baselines in every band, with the gap widest at medium/high
 occupancy; HashPipe and FlowRadar nearly overlap.
 """
 
-import pytest
 
 from common import fmt, get_run, get_victims, print_table
 from repro.experiments.evaluation import evaluate_async_queries, evaluate_baseline

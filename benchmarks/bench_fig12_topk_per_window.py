@@ -10,7 +10,6 @@ window depth; Top-50/100 staying relatively accurate in deeper windows
 faster (mice overwhelm elephants in the UW long tail).
 """
 
-import pytest
 
 from common import fmt, get_run, print_table, workload_config
 from repro.core.queries import QueryInterval

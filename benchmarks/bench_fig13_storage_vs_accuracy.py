@@ -11,7 +11,6 @@ scale together) and barely affects async accuracy; the chosen
 configurations sit under the data-exchange limit.
 """
 
-import pytest
 
 from common import (
     all_victim_indices,

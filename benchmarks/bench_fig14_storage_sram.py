@@ -20,7 +20,6 @@ from common import get_run, print_table, workload_config
 from repro.metrics.overhead import (
     linear_storage_mbps,
     linear_to_exponential_ratio,
-    printqueue_storage_mbps,
     sram_utilization,
 )
 

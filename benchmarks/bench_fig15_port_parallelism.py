@@ -13,7 +13,6 @@ r(#ports); around 10 ports the configuration reaches the practical
 limit.
 """
 
-import pytest
 
 from common import VICTIMS_PER_BAND, WORKLOADS, fmt, print_table, sweep, workload_config
 from repro.engine import SweepCell

@@ -16,7 +16,6 @@ original culprits implicate the burst comparably to the background
 (paper: 5597 vs 6096) despite the size difference.
 """
 
-import pytest
 
 from common import fmt, print_table
 from repro.core.config import PrintQueueConfig
@@ -103,7 +102,7 @@ def test_fig16_case_study(benchmark):
     )
     burst_count, background_count = result["original_counts"]
     print(
-        f"original culprit counts burst:background = "
+        "original culprit counts burst:background = "
         f"{burst_count:.0f}:{background_count:.0f} (paper: 5597:6096)"
     )
     # Shape assertions.  (The paper observes 76x with closed-loop TCP

@@ -15,7 +15,6 @@ scaled-down smoke runs only sanity-check that batching is not slower.
 
 import time
 
-import pytest
 
 from common import SCALE, print_table
 from repro.core.config import PrintQueueConfig

@@ -18,9 +18,8 @@ import os
 import random
 import time
 
-import pytest
 
-from common import SCALE, get_run, get_victims, all_victim_indices, print_table
+from common import SCALE, get_run, print_table
 from repro.core.analysis import AnalysisProgram
 from repro.core.config import PrintQueueConfig
 from repro.core.queries import QueryInterval

@@ -12,7 +12,6 @@ bandwidth drops to PrintQueue's level, its recall on short intervals has
 collapsed.
 """
 
-import pytest
 
 from common import all_victim_indices, fmt, get_run, get_victims, print_table
 from repro.baselines.sampled import SampledTelemetry

@@ -21,13 +21,8 @@ from repro.baselines.hashpipe import HashPipe
 from repro.baselines.interval import FixedIntervalEstimator
 from repro.core.config import PrintQueueConfig
 from repro.engine import CellResult, ParallelSweep, ResultCache, SweepCell
-from repro.experiments.evaluation import (
-    evaluate_async_queries,
-    evaluate_baseline,
-    evaluate_dataplane_queries,
-)
 from repro.experiments.runner import ExperimentRun, simulate_workload
-from repro.experiments.sampling import DEPTH_BANDS, band_label, sample_victims_by_band
+from repro.experiments.sampling import sample_victims_by_band
 from repro.obs.metrics import Metrics
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))

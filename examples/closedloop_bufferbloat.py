@@ -73,7 +73,7 @@ def main() -> None:
         f"{bloat.stats.lost} packets (cwnd peak {bloat.stats.cwnd_max:.0f})."
     )
     print(
-        f"Standing queue: mean depth over the second half = "
+        "Standing queue: mean depth over the second half = "
         f"{sum(late) / max(len(late), 1):.0f} packets "
         f"(max {max(depths)}) — it never drains while the flow runs."
     )

@@ -17,7 +17,6 @@ from repro.core.config import PrintQueueConfig
 from repro.core.diagnosis import Diagnoser
 from repro.core.printqueue import PrintQueue
 from repro.metrics.overhead import sram_utilization, time_windows_sram_bytes
-from repro.switch.packet import FlowKey, Packet
 from repro.switch.port import EgressPort
 from repro.switch.switchsim import Switch
 from repro.switch.telemetry import GroundTruthRecorder

@@ -1,0 +1,29 @@
+"""``repro.anlz`` — pqlint, the domain-invariant static analyser.
+
+An AST-based engine enforcing the invariants the test suite can only
+sample: data-plane determinism (PQ001), Algorithm-1 register-width
+discipline (PQ002), scalar==batched counter parity (PQ003), the typed
+error taxonomy (PQ004) and the keyword-only public API surface (PQ005).
+Run it via ``repro lint`` or ``python tools/pqlint.py``; suppress a
+finding with ``# pqlint: disable=RULE`` (see ``docs/API.md``).
+"""
+
+from repro.anlz.engine import LintEngine, LintResult, lint_paths
+from repro.anlz.model import Finding, SourceModule, parse_module
+from repro.anlz.reporters import render_json, render_text, to_document
+from repro.anlz.rules import RULE_REGISTRY, all_rules, rule_codes
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "RULE_REGISTRY",
+    "SourceModule",
+    "all_rules",
+    "lint_paths",
+    "parse_module",
+    "render_json",
+    "render_text",
+    "rule_codes",
+    "to_document",
+]

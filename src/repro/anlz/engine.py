@@ -1,0 +1,116 @@
+"""The pqlint engine: discovery, parsing, rule dispatch, suppression.
+
+One :class:`LintEngine` run is a pure function of the files under its
+roots: discover ``*.py`` files, parse each into a
+:class:`~repro.anlz.model.SourceModule`, run every
+:class:`~repro.anlz.rules.FileRule` per module and every
+:class:`~repro.anlz.rules.ProjectRule` once over the whole set, then
+drop findings the source suppressed (``# pqlint: disable=...``).  The
+result is a :class:`LintResult` the reporters serialise.
+
+Files that fail to parse surface as ``PQ000`` findings rather than a
+crash — a tree that does not parse is certainly not invariant-clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.anlz.model import Finding, SourceModule, parse_module
+from repro.anlz.rules import FileRule, ProjectRule, all_rules
+
+__all__ = ["LintEngine", "LintResult", "lint_paths"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+@dataclass
+class LintResult:
+    """Everything one engine run produced."""
+
+    #: Findings that survived suppression, sorted by (path, line, rule).
+    findings: List[Finding]
+    #: Findings silenced by a ``# pqlint: disable`` directive.
+    suppressed: List[Finding]
+    #: How many files were parsed (suppression-independent denominator).
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """``{rule code: surviving finding count}`` — the report metric."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+@dataclass
+class LintEngine:
+    """Run the rule catalogue over one or more source roots."""
+
+    rules: List[FileRule] = field(default_factory=all_rules)
+
+    def discover(self, root: Path) -> List[Path]:
+        if root.is_file():
+            return [root]
+        return sorted(
+            p
+            for p in root.rglob("*.py")
+            if not any(part in _SKIP_DIRS for part in p.parts)
+        )
+
+    def run(self, roots: Sequence[Path]) -> LintResult:
+        modules: List[SourceModule] = []
+        raw: List[Finding] = []
+        for root in roots:
+            base = root if root.is_dir() else root.parent
+            for path in self.discover(root):
+                try:
+                    modules.append(parse_module(path, base))
+                except (SyntaxError, UnicodeDecodeError) as exc:
+                    line = getattr(exc, "lineno", 1) or 1
+                    raw.append(
+                        Finding(
+                            path=path.relative_to(base).as_posix(),
+                            line=int(line),
+                            col=0,
+                            rule="PQ000",
+                            message=f"file does not parse: {exc}",
+                        )
+                    )
+
+        by_rel: Dict[str, SourceModule] = {m.rel_path: m for m in modules}
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project(modules))
+            else:
+                for module in modules:
+                    raw.extend(rule.check(module))
+
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in sorted(raw):
+            module = by_rel.get(finding.path)
+            if module is not None and module.is_suppressed(
+                finding.rule, finding.line
+            ):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        return LintResult(
+            findings=kept, suppressed=suppressed, files_checked=len(modules)
+        )
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    only: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Convenience front door used by the CLI and the tests."""
+    return LintEngine(rules=all_rules(only)).run([Path(p) for p in paths])

@@ -1,0 +1,61 @@
+"""Reporters: serialise a :class:`~repro.anlz.engine.LintResult`.
+
+Two formats, mirroring the conventions elsewhere in the repo:
+
+* **text** — one ``path:line:col: RULE message`` line per finding plus a
+  one-line summary, the shape editors and CI logs expect;
+* **json** — a stable document (``version``, per-finding records,
+  ``counts_by_rule``, ``files_checked``) consumed by
+  ``tools/lint_report.py`` to fold ``pq_lint_*`` counts into a
+  :class:`~repro.obs.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.anlz.engine import LintResult
+
+__all__ = ["render_text", "render_json", "to_document", "JSON_VERSION"]
+
+JSON_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary."""
+    lines = [finding.render() for finding in result.findings]
+    summary = (
+        f"pqlint: {len(result.findings)} finding"
+        f"{'' if len(result.findings) == 1 else 's'} "
+        f"({len(result.suppressed)} suppressed) "
+        f"in {result.files_checked} files"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_document(result: LintResult) -> Dict[str, Any]:
+    """The JSON-ready document (also what the tests assert against)."""
+    return {
+        "version": JSON_VERSION,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "counts_by_rule": result.counts_by_rule(),
+        "suppressed": len(result.suppressed),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+
+
+def render_json(result: LintResult, indent: int = 2) -> str:
+    """:func:`to_document` serialised with stable key order."""
+    return json.dumps(to_document(result), indent=indent, sort_keys=True)

@@ -1,0 +1,632 @@
+"""The pqlint rule catalogue: domain invariants PQ001–PQ005.
+
+Each rule protects a property the test suite can only sample:
+
+========  =====================  ==================================================
+Rule      Name                   Invariant (paper / design anchor)
+========  =====================  ==================================================
+PQ001     determinism            data-plane packages draw no wall clock and no
+                                 unseeded RNG (fault-equivalence, DESIGN §11)
+PQ002     register-width         shifts/masks derive from declared width
+                                 constants, never bare magic numbers (Alg. 1,
+                                 §4.1 cycle-ID arithmetic)
+PQ003     engine-parity          scalar and batched paths increment the same
+                                 counter vocabulary (DESIGN §9 equivalence)
+PQ004     error-taxonomy         ``faults/``/``engine/`` raise the typed errors
+                                 in ``errors.py``, not builtin Exception types
+PQ005     api-surface            public ``PrintQueuePort``/``AnalysisProgram``
+                                 options are keyword-only; deprecation shims
+                                 carry ``stacklevel=2`` (DESIGN §7)
+========  =====================  ==================================================
+
+Two rule shapes exist.  A :class:`FileRule` sees one module at a time; a
+:class:`ProjectRule` runs after every module is parsed and may correlate
+across files (PQ003 compares ``core/`` against ``engine/``).  Rules are
+pure functions of the ASTs — pqlint never imports the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.anlz.model import Finding, SourceModule
+
+__all__ = [
+    "FileRule",
+    "ProjectRule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "rule_codes",
+]
+
+#: Packages that constitute the simulated data plane: everything here
+#: must be a deterministic function of the event stream and config.
+DATA_PLANE_PACKAGES = frozenset({"core", "engine", "switch"})
+
+#: Packages whose raise sites must use the typed hierarchy in errors.py.
+TYPED_ERROR_PACKAGES = frozenset({"faults", "engine"})
+
+#: Classes whose public surface PQ005 polices.
+API_CLASSES = frozenset({"PrintQueuePort", "AnalysisProgram"})
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_int(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and type(node.value) is int
+
+
+class FileRule:
+    """Base class: one module in, findings out."""
+
+    code: str = "PQ000"
+    name: str = "abstract"
+    summary: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+
+class ProjectRule(FileRule):
+    """Base class: the whole module set in, findings out."""
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+
+# ---------------------------------------------------------------------------
+# PQ001 — determinism
+# ---------------------------------------------------------------------------
+
+#: Fully-resolved call targets that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random attributes that are fine *when seeded* (>= 1 argument).
+_SEEDABLE_NP_RANDOM = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937", "SFC64"}
+)
+
+
+class _AliasTracker(ast.NodeVisitor):
+    """Resolve local names back to canonical module paths.
+
+    Handles the import forms the codebase actually uses (``import x``,
+    ``import x as y``, ``from x import a [as b]``); anything more exotic
+    simply goes unresolved, which errs on the quiet side.
+    """
+
+    def __init__(self) -> None:
+        #: local alias -> canonical dotted module/function path
+        self.aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = (
+                f"{node.module}.{alias.name}"
+            )
+
+    def resolve(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        canonical = self.aliases.get(head, head)
+        return f"{canonical}.{rest}" if rest else canonical
+
+
+class DeterminismRule(FileRule):
+    """PQ001: no wall clock, no unseeded RNG, in the data-plane packages.
+
+    The scalar/batched and faults-on/off equivalence guarantees (DESIGN
+    §9/§11) hold only if ``core/``, ``engine/`` and ``switch/`` are
+    deterministic functions of the event stream: time comes from packet
+    timestamps or an injected clock, randomness from a seeded generator
+    threaded in by the caller.  ``time.perf_counter[_ns]`` stays legal —
+    it feeds latency histograms, which are outside the deterministic
+    view by construction.
+    """
+
+    code = "PQ001"
+    name = "determinism"
+    summary = "no wall clock / unseeded RNG in core, engine, switch"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_packages(DATA_PLANE_PACKAGES):
+            return
+        tracker = _AliasTracker()
+        tracker.visit(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            resolved = tracker.resolve(dotted)
+            message = self._diagnose(resolved, node)
+            if message is not None:
+                yield self.finding(module, node, message)
+
+    @staticmethod
+    def _diagnose(resolved: str, call: ast.Call) -> Optional[str]:
+        if resolved in _WALL_CLOCK_CALLS:
+            return (
+                f"wall-clock read `{resolved}` in data-plane code; take "
+                "time from the event stream or an injected clock"
+            )
+        seeded = bool(call.args or call.keywords)
+        if resolved == "random.Random":
+            if seeded:
+                return None
+            return (
+                "unseeded `random.Random()`; pass an explicit seed so "
+                "runs replay bit-identically"
+            )
+        if resolved == "random.SystemRandom" or resolved.startswith(
+            "random.SystemRandom."
+        ):
+            return "`random.SystemRandom` is never deterministic"
+        if resolved.startswith("random."):
+            return (
+                f"module-level `{resolved}` uses the shared unseeded RNG; "
+                "thread a seeded `random.Random` through instead"
+            )
+        if resolved.startswith("numpy.random."):
+            attr = resolved.rsplit(".", 1)[1]
+            if attr in _SEEDABLE_NP_RANDOM:
+                if seeded:
+                    return None
+                return (
+                    f"unseeded `numpy.random.{attr}()`; pass an explicit "
+                    "seed so runs replay bit-identically"
+                )
+            return (
+                f"legacy global-state `{resolved}`; use a seeded "
+                "`numpy.random.default_rng(seed)` generator"
+            )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# PQ002 — register widths
+# ---------------------------------------------------------------------------
+
+
+class RegisterWidthRule(FileRule):
+    """PQ002: shift amounts and masks must derive from declared widths.
+
+    Algorithm 1 packs ``[cycle-ID | k-bit index]`` into each register
+    cell; every shift and mask in that arithmetic must be expressed in
+    terms of the declared constants (``k``, ``alpha``, ``cfg.shift(i)``,
+    ``timestamp_bits``...) so a config change cannot silently shear the
+    cell layout.  Concretely, in the data-plane packages:
+
+    * ``x << N`` / ``x >> N`` with a literal ``N >= 2`` is a violation
+      unless ``x`` is the literal ``1`` (the canonical ``1 << WIDTH``
+      power-of-two constructor, where the literal *is* the declared
+      width);
+    * ``x & N`` / ``x | N`` with a literal ``N >= 2`` is a violation —
+      masks are built as ``(1 << width) - 1``, never written out.
+
+    Single-bit idioms (``& 1``, ``<< 1``, ``| 1``) stay legal: they
+    select a flag bit, not a configurable field.
+    """
+
+    code = "PQ002"
+    name = "register-width"
+    summary = "shifts/masks derive from declared width constants"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_packages(DATA_PLANE_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, (ast.LShift, ast.RShift)):
+                if (
+                    _is_int(node.right)
+                    and node.right.value >= 2
+                    and not (_is_int(node.left) and node.left.value == 1)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"shift by magic literal {node.right.value}; use a "
+                        "declared width constant (k/alpha/shift(i))",
+                    )
+            elif isinstance(node.op, (ast.BitAnd, ast.BitOr)):
+                for operand in (node.left, node.right):
+                    if _is_int(operand) and operand.value >= 2:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"magic bitmask {operand.value:#x}; derive it "
+                            "from a declared width: (1 << w) - 1",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# PQ003 — engine parity
+# ---------------------------------------------------------------------------
+
+#: Counter namespaces owned by the shared data-plane structures.  The
+#: obs collector (repro/obs/report.py) derives these from structure
+#: attributes; direct increments in core/ or engine/ would double-count
+#: on one path only and break scalar==batched observability.
+STRUCTURE_COUNTER_PREFIXES = (
+    "pq_tw_",
+    "pq_qm_",
+    "pq_bank_",
+    "pq_filter_",
+    "pq_packets_",
+)
+
+#: The hot-path namespace both ingest engines share.
+INGEST_PREFIX = "pq_ingest_"
+
+#: Module (relative to the scanned root) declaring PARITY_EXEMPT_METRICS.
+PARITY_DECLARATION_MODULE = "obs/metrics.py"
+
+
+class _CounterIncrements(ast.NodeVisitor):
+    """Counter names whose ``.inc()`` fires somewhere in one module.
+
+    Two shapes count as an increment of name ``N``:
+
+    * ``<expr>.counter("N", ...).inc(...)`` — direct chain;
+    * ``target = <expr>.counter("N", ...)`` followed anywhere by
+      ``target.inc(...)`` where ``target`` is a plain name or a
+      ``self.attr`` (the cached-instrument idiom the hot paths use).
+    """
+
+    def __init__(self) -> None:
+        #: counter name -> first increment site
+        self.increments: Dict[str, ast.AST] = {}
+        #: "x" or "self.x" -> (counter name, assignment node)
+        self._bound: Dict[str, Tuple[str, ast.AST]] = {}
+        self._inc_targets: List[Tuple[str, ast.AST]] = []
+
+    @staticmethod
+    def _counter_name(call: ast.AST) -> Optional[str]:
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "counter"
+            and call.args
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)
+        ):
+            return call.args[0].value
+        return None
+
+    @staticmethod
+    def _target_key(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return f"self.{node.attr}"
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        name = self._counter_name(node.value)
+        if name is not None:
+            for target in node.targets:
+                key = self._target_key(target)
+                if key is not None:
+                    self._bound[key] = (name, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "inc":
+            name = self._counter_name(node.func.value)
+            if name is not None:
+                self.increments.setdefault(name, node)
+            else:
+                key = self._target_key(node.func.value)
+                if key is not None:
+                    self._inc_targets.append((key, node))
+        self.generic_visit(node)
+
+    def finish(self) -> Dict[str, ast.AST]:
+        for key, site in self._inc_targets:
+            bound = self._bound.get(key)
+            if bound is not None:
+                self.increments.setdefault(bound[0], site)
+        return self.increments
+
+
+def _parity_exemptions(modules: Sequence[SourceModule]) -> Set[str]:
+    """Parse PARITY_EXEMPT_METRICS out of the obs/metrics module's AST."""
+    for module in modules:
+        if not module.rel_path.endswith(PARITY_DECLARATION_MODULE):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "PARITY_EXEMPT_METRICS"
+                for t in node.targets
+            ):
+                continue
+            names: Set[str] = set()
+            for constant in ast.walk(node.value):
+                if isinstance(constant, ast.Constant) and isinstance(
+                    constant.value, str
+                ):
+                    names.add(constant.value)
+            return names
+    return set()
+
+
+class EngineParityRule(ProjectRule):
+    """PQ003: scalar and batched paths share one counter vocabulary.
+
+    The equivalence suites assert ``RunReport.deterministic_view()`` is
+    identical between ingest engines; this rule makes the property hold
+    *by construction* at the increment sites:
+
+    * structure-counter namespaces (``pq_tw_*``, ``pq_qm_*``,
+      ``pq_bank_*``, ``pq_filter_*``, ``pq_packets_*``) are derived from
+      the shared structures by the obs collector — a direct ``.inc()``
+      under ``core/`` or ``engine/`` would tick on one path only;
+    * a ``pq_ingest_*`` counter incremented under ``engine/`` must also
+      be incremented under ``core/`` (and vice versa), unless the name
+      is declared engine-specific in ``PARITY_EXEMPT_METRICS``
+      (``repro/obs/metrics.py``) — the audited list of counters that are
+      definitionally one-path-only, e.g. a batch count on a path that
+      has no batches.
+
+    Histograms and gauges are exempt: timing is engine-specific by
+    design and excluded from the deterministic view.
+    """
+
+    code = "PQ003"
+    name = "engine-parity"
+    summary = "scalar==batched counter vocabulary holds by construction"
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        per_package: Dict[str, Dict[str, Tuple[SourceModule, ast.AST]]] = {
+            "core": {},
+            "engine": {},
+        }
+        for module in modules:
+            for package in per_package:
+                if package in module.segments[:-1]:
+                    visitor = _CounterIncrements()
+                    visitor.visit(module.tree)
+                    for name, site in visitor.finish().items():
+                        per_package[package].setdefault(name, (module, site))
+        exempt = _parity_exemptions(modules)
+
+        for package, increments in per_package.items():
+            other = "engine" if package == "core" else "core"
+            for name, (module, site) in sorted(increments.items()):
+                if name.startswith(STRUCTURE_COUNTER_PREFIXES):
+                    yield self.finding(
+                        module,
+                        site,
+                        f"structure counter {name!r} incremented directly "
+                        f"under {package}/; these are derived from the "
+                        "shared structures by the obs collector",
+                    )
+                elif (
+                    name.startswith(INGEST_PREFIX)
+                    and name not in exempt
+                    and name not in per_package[other]
+                ):
+                    yield self.finding(
+                        module,
+                        site,
+                        f"ingest counter {name!r} incremented under "
+                        f"{package}/ but never under {other}/; increment "
+                        "both paths or declare it in "
+                        "PARITY_EXEMPT_METRICS (repro/obs/metrics.py)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# PQ004 — error taxonomy
+# ---------------------------------------------------------------------------
+
+#: Builtin exception types banned at raise sites in faults/ and engine/.
+#: TypeError stays legal (API-misuse signalling), as do assertions.
+_BANNED_RAISES = frozenset({"Exception", "ValueError", "RuntimeError"})
+
+
+class ErrorTaxonomyRule(FileRule):
+    """PQ004: ``faults/`` and ``engine/`` raise only typed errors.
+
+    The resilient read path promises callers a closed error vocabulary
+    (``FaultInjected``, ``DataPlaneReadError``, ``RetryExhausted``, ...)
+    so degradation handling can be exhaustive; a stray ``ValueError``
+    escapes every ``except ReproError`` fence.  Raise the matching type
+    from ``repro/errors.py`` instead.
+    """
+
+    code = "PQ004"
+    name = "error-taxonomy"
+    summary = "faults/ and engine/ raise typed errors from errors.py"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_packages(TYPED_ERROR_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name: Optional[str] = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _BANNED_RAISES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"bare `raise {name}` in a typed-error package; use "
+                    "the matching ReproError subclass from repro/errors.py",
+                )
+
+
+# ---------------------------------------------------------------------------
+# PQ005 — API surface
+# ---------------------------------------------------------------------------
+
+
+class ApiSurfaceRule(FileRule):
+    """PQ005: options keyword-only on the public API; shims stacklevel=2.
+
+    On ``PrintQueuePort`` and ``AnalysisProgram``, any public-method
+    parameter *with a default* must sit after ``*``: required inputs may
+    stay positional, but options named at the call site cannot silently
+    swap meaning when a parameter is inserted (the PR-1 convention that
+    made ``query()`` keyword-only).  Additionally, every
+    ``warnings.warn(..., DeprecationWarning)`` must pass
+    ``stacklevel=`` ≥ 2 so the warning points at the caller, not the
+    shim.
+    """
+
+    code = "PQ005"
+    name = "api-surface"
+    summary = "public API options keyword-only; shims carry stacklevel=2"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name in API_CLASSES:
+                yield from self._check_class(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_warn(module, node)
+
+    def _check_class(
+        self, module: SourceModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name.startswith("_"):
+                continue
+            args = item.args
+            positional = args.posonlyargs + args.args
+            defaulted = positional[len(positional) - len(args.defaults):]
+            for param in defaulted:
+                yield self.finding(
+                    module,
+                    param,
+                    f"{cls.name}.{item.name}: defaulted parameter "
+                    f"{param.arg!r} must be keyword-only (move it after "
+                    "`*`)",
+                )
+
+    def _check_warn(
+        self, module: SourceModule, call: ast.Call
+    ) -> Iterator[Finding]:
+        dotted = _dotted_name(call.func)
+        if dotted not in ("warnings.warn", "warn"):
+            return
+        category: Optional[ast.AST] = None
+        if len(call.args) >= 2:
+            category = call.args[1]
+        for kw in call.keywords:
+            if kw.arg == "category":
+                category = kw.value
+        if not (
+            isinstance(category, ast.Name)
+            and category.id == "DeprecationWarning"
+        ):
+            return
+        for kw in call.keywords:
+            if kw.arg == "stacklevel":
+                if (
+                    isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, int)
+                    and kw.value.value >= 2
+                ):
+                    return
+        yield self.finding(
+            module,
+            call,
+            "DeprecationWarning without stacklevel>=2; the warning must "
+            "point at the caller of the shim",
+        )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+RULE_REGISTRY: Dict[str, Type[FileRule]] = {
+    rule.code: rule
+    for rule in (
+        DeterminismRule,
+        RegisterWidthRule,
+        EngineParityRule,
+        ErrorTaxonomyRule,
+        ApiSurfaceRule,
+    )
+}
+
+
+def rule_codes() -> List[str]:
+    """Every registered rule code, sorted (``PQ001`` … ``PQ005``)."""
+    return sorted(RULE_REGISTRY)
+
+
+def all_rules(
+    only: Optional[Iterable[str]] = None,
+) -> List[FileRule]:
+    """Instantiate the catalogue (optionally restricted to ``only``)."""
+    if only is None:
+        selected = rule_codes()
+    else:
+        selected = []
+        for code in only:
+            if code not in RULE_REGISTRY:
+                raise KeyError(f"unknown pqlint rule: {code}")
+            selected.append(code)
+    return [RULE_REGISTRY[code]() for code in selected]

@@ -17,7 +17,7 @@ total traffic.  It also assumes FIFO order (queue contents = last
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.baselines.sketches import CountMinSketch
 from repro.switch.packet import FlowKey

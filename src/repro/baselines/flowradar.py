@@ -15,7 +15,7 @@ via :attr:`DecodeResult.undecoded_cells`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.switch.packet import FlowKey
 

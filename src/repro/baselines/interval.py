@@ -12,7 +12,7 @@ wrapper implements that harness for any structure with ``update`` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Protocol
+from typing import Dict, List, Protocol
 
 from repro.core.queries import FlowEstimate, QueryInterval
 from repro.errors import QueryError

@@ -12,7 +12,7 @@ arithmetic against a measured trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.switch.packet import FlowKey
 

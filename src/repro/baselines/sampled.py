@@ -12,7 +12,7 @@ heavy sampling or failing to scale", Section 1).
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

@@ -18,6 +18,9 @@ trace
 faults
     List the built-in fault-injection profiles (``--faults`` on run/stats
     runs the control plane under one of them).
+lint
+    Run pqlint, the domain-invariant static analyser (rules
+    PQ001-PQ005), over ``src/repro`` or the given paths.
 """
 
 from __future__ import annotations
@@ -306,6 +309,30 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Handle `repro lint`: run pqlint over the given paths."""
+    from pathlib import Path
+
+    from repro.anlz import lint_paths, render_json, render_text, rule_codes
+    from repro.anlz.rules import RULE_REGISTRY
+
+    if args.list_rules:
+        for code in rule_codes():
+            rule = RULE_REGISTRY[code]
+            print(f"{code}  {rule.name:<16} {rule.summary}")
+        return 0
+    only = None
+    if args.rules is not None:
+        only = [code.strip() for code in args.rules.split(",") if code.strip()]
+    try:
+        result = lint_paths([Path(p) for p in args.paths], only=only)
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -434,6 +461,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--load", type=float, default=1.0)
     trace.add_argument("--seed", type=int, default=1)
     trace.set_defaults(func=cmd_trace)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run pqlint, the domain-invariant static analyser (PQ001-PQ005)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -25,7 +25,7 @@ import bisect
 from dataclasses import dataclass
 from functools import partial
 from operator import attrgetter
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.coefficient import coefficients
 from repro.core.config import PrintQueueConfig
@@ -33,10 +33,15 @@ from repro.core.filtering import FilteredWindow, FilterStats, filter_windows
 from repro.core.queries import FlowEstimate, QueryInterval
 from repro.core.queuemonitor import QueueMonitor, QueueMonitorSnapshot
 from repro.core.registers import BankedStructure
-from repro.core.timewindow import TimeWindow
 from repro.core.windowset import TimeWindowSet
 from repro.errors import QueryError
+from repro.switch.packet import FlowKey
 from repro.units import PCIE_REGISTER_READS_PER_SEC, NS_PER_SEC
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.engine.queryplan import CompiledQueryPlan
 
 
 @dataclass
@@ -151,11 +156,13 @@ class AnalysisProgram:
 
     # -- data-plane side -------------------------------------------------
 
-    def on_dequeue(self, flow, deq_timestamp_ns: int) -> None:
+    def on_dequeue(self, flow: FlowKey, deq_timestamp_ns: int) -> None:
         """Per-packet egress update of the active time-window bank."""
         self.tw_banks.active.update(flow, deq_timestamp_ns)
 
-    def on_dequeue_batch(self, flows, deq_timestamps_ns) -> None:
+    def on_dequeue_batch(
+        self, flows: Sequence[FlowKey], deq_timestamps_ns: "np.ndarray"
+    ) -> None:
         """Array-at-a-time egress update (the batched ingest engine).
 
         The caller guarantees no poll boundary falls inside the batch, so
@@ -299,6 +306,7 @@ class AnalysisProgram:
     def query_time_windows(
         self,
         interval: QueryInterval,
+        *,
         snapshots: Optional[Sequence[TimeWindowSnapshot]] = None,
     ) -> FlowEstimate:
         """Estimate per-flow packet counts dequeued during ``interval``.
@@ -339,7 +347,7 @@ class AnalysisProgram:
 
     # -- compiled (columnar) query path ------------------------------------
 
-    def compiled_plan(self, source: Optional[str] = None):
+    def compiled_plan(self, *, source: Optional[str] = None) -> "CompiledQueryPlan":
         """The columnar query plan over the stored snapshots (cached).
 
         The cache key is the snapshot-store version plus everything the
@@ -388,6 +396,7 @@ class AnalysisProgram:
     def query_time_windows_batch(
         self,
         intervals: Sequence[QueryInterval],
+        *,
         snapshots: Optional[Sequence[TimeWindowSnapshot]] = None,
         source: Optional[str] = None,
         latency_observer: Optional[Callable[[int], None]] = None,

@@ -9,7 +9,7 @@ packet's class, while still answering aggregate queries across classes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.queries import FlowEstimate
 from repro.core.queuemonitor import QueueMonitor, QueueMonitorSnapshot

@@ -15,9 +15,19 @@ aggregate SRAM accounting.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter_ns
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -31,7 +41,7 @@ from repro.faults.injector import FaultInjector, as_injector
 from repro.faults.plan import FaultPlan, profile
 from repro.faults.resilience import CoverageReport, ResilientPoller, RetryPolicy
 from repro.obs.metrics import Metrics
-from repro.switch.packet import Packet
+from repro.switch.packet import FlowKey, Packet
 from repro.switch.port import EgressPort
 
 #: A data-plane trigger policy: given a just-dequeued packet, decide
@@ -111,7 +121,7 @@ class QueryResult:
     degraded: bool = False
     coverage: Optional[CoverageReport] = None
 
-    def top(self, n: int):
+    def top(self, n: int) -> List[Tuple[FlowKey, float]]:
         """The n largest culprit flows (delegates to the estimate)."""
         return self.estimate.top(n)
 
@@ -155,7 +165,7 @@ class BatchQueryResult:
             coverage=coverage,
         )
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[QueryResult]:
         return iter(self.results())
 
     def results(self) -> List[QueryResult]:
@@ -267,12 +277,12 @@ class PrintQueuePort:
 
     # -- event-stream interface (used by the offline fast-path driver) ------
 
-    def process_enqueue(self, flow, time_ns: int, depth_after: int) -> None:
+    def process_enqueue(self, flow: FlowKey, time_ns: int, depth_after: int) -> None:
         """Offline-driver enqueue event (queue monitor rise side)."""
         self._poll_if_due(time_ns)
         self.analysis.queue_monitor.on_enqueue(flow, depth_after)
 
-    def process_dequeue(self, flow, deq_ts: int, depth_after: int) -> None:
+    def process_dequeue(self, flow: FlowKey, deq_ts: int, depth_after: int) -> None:
         """Offline-driver dequeue event (time windows + monitor drain)."""
         self._poll_if_due(deq_ts)
         self.analysis.on_dequeue(flow, deq_ts)
@@ -281,10 +291,10 @@ class PrintQueuePort:
 
     def process_batch(
         self,
-        is_enqueue,
-        flows,
-        times_ns,
-        depth_after,
+        is_enqueue: "np.ndarray",
+        flows: Sequence[FlowKey],
+        times_ns: "np.ndarray",
+        depth_after: "np.ndarray",
     ) -> None:
         """Batched equivalent of ``process_enqueue``/``process_dequeue``.
 
@@ -447,7 +457,7 @@ class PrintQueuePort:
         mode: str = "async",
         at_ns: Optional[int] = None,
         classes: Optional[Iterable[int]] = None,
-    ):
+    ) -> Union[QueryResult, BatchQueryResult]:
         """The unified query entrypoint (keyword-only).
 
         Three query families share this surface:
@@ -531,7 +541,7 @@ class PrintQueuePort:
         at_ns: Optional[int],
         classes: Optional[Iterable[int]],
         intervals: Optional[Iterable[QueryInterval]] = None,
-    ):
+    ) -> Union[QueryResult, BatchQueryResult]:
         """query() minus instrumentation (validation + dispatch)."""
         if mode not in ("async", "data_plane"):
             raise QueryError(f"unknown query mode {mode!r}")
@@ -784,7 +794,7 @@ class PrintQueuePort:
         return self._original_culprits(time_ns)
 
     def original_culprits_by_class(
-        self, time_ns: int, classes: Optional[Iterable[int]] = None
+        self, time_ns: int, *, classes: Optional[Iterable[int]] = None
     ) -> FlowEstimate:
         """Deprecated: use ``query(at_ns=..., classes=...)``."""
         warnings.warn(

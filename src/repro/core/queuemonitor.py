@@ -17,7 +17,7 @@ packets whose arrivals raised the queue to each still-standing level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

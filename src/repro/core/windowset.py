@@ -10,7 +10,7 @@ is dropped.  Passing recurses through all T windows, shifting the TTS by
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

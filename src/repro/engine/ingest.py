@@ -23,7 +23,7 @@ asserts this record for record).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class _GatheredFlows:
     def __len__(self) -> int:
         return len(self.idx)
 
-    def __getitem__(self, i):
+    def __getitem__(self, i: "Union[int, slice, np.ndarray]") -> object:
         if isinstance(i, (np.ndarray, slice)):
             return _GatheredFlows(self.base, self.idx[i])
         return self.base[self.idx[i]]

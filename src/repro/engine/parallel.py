@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
 from pickle import PicklingError
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple

@@ -44,12 +44,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter_ns
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.queries import FlowEstimate, QueryInterval
-from repro.errors import QueryError
+
+if TYPE_CHECKING:
+    from repro.core.analysis import TimeWindowSnapshot
+    from repro.core.filtering import FilteredWindow
 
 __all__ = [
     "CompiledWindow",
@@ -131,7 +134,7 @@ class CompiledSnapshot:
         self.num_cells = sum(len(w.tts) for w in windows)
 
 
-def _window_arrays(fw) -> Tuple[np.ndarray, Sequence]:
+def _window_arrays(fw: "FilteredWindow") -> Tuple[np.ndarray, Sequence]:
     """The window's (tts array, aligned flow sequence), columnar-first.
 
     ``filter_windows`` attaches the arrays directly; fall back to
@@ -149,7 +152,7 @@ def _window_arrays(fw) -> Tuple[np.ndarray, Sequence]:
 
 
 def compile_snapshot(
-    snapshot,
+    snapshot: "TimeWindowSnapshot",
     k: int,
     coefficients: Sequence[float],
     apply_coefficients: bool = True,

@@ -8,7 +8,7 @@ identical", so direct queries are what all the accuracy figures score).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.interval import FixedIntervalEstimator
 from repro.core.printqueue import DataPlaneQueryResult, PrintQueuePort

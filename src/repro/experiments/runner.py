@@ -16,11 +16,9 @@ available for non-FIFO schedulers and is validated against this one.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from repro.baselines.interval import FixedIntervalEstimator
 from repro.core.config import PrintQueueConfig
@@ -30,7 +28,6 @@ from repro.core.taxonomy import CulpritTaxonomy
 from repro.obs.metrics import Metrics
 from repro.obs.report import RunReport
 from repro.switch.fastpath import fifo_timestamps
-from repro.switch.packet import FlowKey
 from repro.switch.telemetry import DequeueRecord
 from repro.traffic.distributions import distribution_by_name
 from repro.traffic.generator import PoissonWorkload, WorkloadConfig

@@ -10,7 +10,7 @@ summary, overhead numbers, and advisor verdict attached.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.advisor import Advice, advise
 from repro.core.config import PrintQueueConfig

@@ -17,13 +17,16 @@ so reports can reconcile "what was injected" against "what was caught".
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.filtering import FilteredWindow
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import Metrics
+
+if TYPE_CHECKING:
+    from repro.core.queuemonitor import QueueMonitorSnapshot
 
 __all__ = ["FaultInjector", "as_injector"]
 
@@ -157,7 +160,7 @@ class FaultInjector:
         self._count("cells_tampered", m)
         return out, m
 
-    def regress_qm(self, snapshot, floor_seq: int) -> bool:
+    def regress_qm(self, snapshot: "QueueMonitorSnapshot", floor_seq: int) -> bool:
         """Regress a queue-monitor snapshot's sequence numbers.
 
         Rewrites every set entry so the snapshot's maximum sequence
@@ -186,7 +189,10 @@ class FaultInjector:
         return True
 
 
-def as_injector(faults, metrics: Optional[Metrics] = None) -> FaultInjector:
+def as_injector(
+    faults: Union[str, FaultPlan, "FaultInjector"],
+    metrics: Optional[Metrics] = None,
+) -> FaultInjector:
     """Coerce a profile name / plan / injector into a ``FaultInjector``."""
     if isinstance(faults, FaultInjector):
         return faults

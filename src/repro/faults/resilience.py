@@ -32,28 +32,25 @@ without it the port runs the original byte-for-byte poll path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.filtering import FilteredWindow
 from repro.errors import (
+    ConfigError,
     DataPlaneReadError,
     FaultInjected,
     RetryExhausted,
     SnapshotValidationError,
 )
-from repro.faults.injector import (
-    CORRUPT,
-    DELAY,
-    DROP,
-    OK,
-    REGRESS,
-    RPC_ERROR,
-    TORN,
-    FaultInjector,
-)
+from repro.faults.injector import DELAY, DROP, OK, REGRESS, RPC_ERROR, FaultInjector
 from repro.obs.metrics import Metrics
+
+if TYPE_CHECKING:
+    from repro.core.analysis import TimeWindowSnapshot
+    from repro.core.printqueue import PrintQueuePort
+    from repro.core.queuemonitor import QueueMonitorSnapshot
 
 __all__ = [
     "RetryPolicy",
@@ -75,8 +72,6 @@ class RetryPolicy:
     max_backoff_ns: int = 1_000_000
 
     def __post_init__(self) -> None:
-        from repro.errors import ConfigError
-
         if self.max_attempts < 1:
             raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.base_backoff_ns < 0:
@@ -87,7 +82,7 @@ class RetryPolicy:
     def backoff_ns(self, attempt: int) -> int:
         """Backoff before retry number ``attempt`` (1-based), capped."""
         if attempt < 1:
-            raise ValueError(f"attempt is 1-based, got {attempt}")
+            raise ConfigError(f"attempt is 1-based, got {attempt}")
         backoff = self.base_backoff_ns * self.multiplier ** (attempt - 1)
         return min(self.max_backoff_ns, int(backoff))
 
@@ -334,7 +329,7 @@ class ResilientPoller:
 
     def __init__(
         self,
-        port,
+        port: "PrintQueuePort",
         injector: FaultInjector,
         retry_policy: Optional[RetryPolicy] = None,
         metrics: Optional[Metrics] = None,
@@ -557,7 +552,7 @@ class ResilientPoller:
         if len(analysis.qm_snapshots) > analysis.max_snapshots:
             analysis.qm_snapshots.pop(0)
 
-    def _qm_validates(self, snapshot) -> bool:
+    def _qm_validates(self, snapshot: "QueueMonitorSnapshot") -> bool:
         """Sequence numbers may only move forward (§5's monotone counter)."""
         from repro.core.queuemonitor import _UNSET
 
@@ -567,7 +562,7 @@ class ResilientPoller:
             return True
         return max(seqs) >= self.last_qm_max_seq
 
-    def _accept_qm(self, snapshot) -> None:
+    def _accept_qm(self, snapshot: "QueueMonitorSnapshot") -> None:
         from repro.core.queuemonitor import _UNSET
 
         seqs = [s for s in snapshot.inc_seq if s != _UNSET]
@@ -575,7 +570,7 @@ class ResilientPoller:
         if seqs:
             self.last_qm_max_seq = max(self.last_qm_max_seq, max(seqs))
 
-    def note_stored_qm(self, snapshot) -> None:
+    def note_stored_qm(self, snapshot: "QueueMonitorSnapshot") -> None:
         """Advance the monotonicity floor for snapshots stored outside
         :meth:`poll_qm` (full polls and on-demand reads snapshot the
         monitor themselves, always cleanly)."""
@@ -583,7 +578,7 @@ class ResilientPoller:
 
     # -- on-demand (data-plane triggered) reads ------------------------------
 
-    def dp_read(self, now_ns: int):
+    def dp_read(self, now_ns: int) -> Optional["TimeWindowSnapshot"]:
         """Hardened on-demand read; returns the snapshot or ``None``.
 
         ``None`` means either the hardware cost model rejected the

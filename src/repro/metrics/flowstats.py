@@ -11,7 +11,7 @@ and describe flows consistently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.switch.packet import FlowKey
 from repro.switch.telemetry import DequeueRecord

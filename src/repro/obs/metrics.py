@@ -28,16 +28,33 @@ JSON-ready dict.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type, TypeVar
 
-__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "MAX_LOG2_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "MAX_LOG2_BUCKETS",
+    "PARITY_EXEMPT_METRICS",
+]
 
 #: Histogram bucket count: bucket 63 absorbs anything >= 2^62, far beyond
 #: any nanosecond latency or batch size this codebase can produce.
 MAX_LOG2_BUCKETS = 64
 
+#: Audited exceptions to the PQ003 engine-parity rule (pqlint): counter
+#: names in the shared ingest namespace that are *definitionally*
+#: one-path-only.  The scalar path has no batches, so the batch count
+#: cannot tick there; everything else in ``pq_ingest_*`` must increment
+#: on both the scalar and batched paths (or move here, with a reason).
+PARITY_EXEMPT_METRICS = frozenset({"pq_ingest_batches_total"})
+
 #: (name, sorted (key, value) label pairs) — the registry key.
 _InstrumentKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: The three instrument kinds the registry can get-or-create.
+_InstrumentT = TypeVar("_InstrumentT", "Counter", "Gauge", "Histogram")
 
 
 class Counter:
@@ -157,7 +174,12 @@ class Metrics:
     def __iter__(self) -> Iterator[Tuple[_InstrumentKey, Any]]:
         return iter(sorted(self._instruments.items()))
 
-    def _get(self, cls, name: str, labels: Dict[str, Any]):
+    def _get(
+        self,
+        cls: Type[_InstrumentT],
+        name: str,
+        labels: Dict[str, Any],
+    ) -> _InstrumentT:
         key = (name, _label_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:

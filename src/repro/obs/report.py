@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro.obs.metrics import Metrics
+
+if TYPE_CHECKING:
+    from repro.core.printqueue import PrintQueuePort
 
 __all__ = ["RunReport", "collect_port_counters"]
 
@@ -45,7 +48,7 @@ def _rate(numerator: int, denominator: int) -> float:
     return numerator / denominator if denominator else 0.0
 
 
-def collect_port_counters(pq) -> Dict[str, Any]:
+def collect_port_counters(pq: "PrintQueuePort") -> Dict[str, Any]:
     """Pull the structure-level counters out of one port (all banks)."""
     analysis = pq.analysis
     config = analysis.config
@@ -132,7 +135,7 @@ def collect_port_counters(pq) -> Dict[str, Any]:
     }
 
 
-def _collect_faults(pq) -> Dict[str, Any]:
+def _collect_faults(pq: "PrintQueuePort") -> Dict[str, Any]:
     """The fault-injection section: what was injected, what was done.
 
     ``injected`` is read straight off the injector's authoritative tally
@@ -166,7 +169,7 @@ class RunReport:
     @classmethod
     def from_port(
         cls,
-        pq,
+        pq: "PrintQueuePort",
         metrics: Optional[Metrics] = None,
         num_records: Optional[int] = None,
         drops: Optional[int] = None,

@@ -8,7 +8,7 @@ simulator fully deterministic for a given input trace.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Tuple
+from typing import Callable, List, Tuple
 
 EventCallback = Callable[[], None]
 

@@ -104,6 +104,17 @@ class FlowKey:
         )
 
 
+#: Dotted-quad field geometry — the declared width every IPv4 shift and
+#: mask below derives from (PQ002: no inline magic widths).
+OCTET_BITS = 8
+OCTET_MASK = (1 << OCTET_BITS) - 1
+
+
+def ipv4_octet(value: int, index: int) -> int:
+    """Octet ``index`` (0 = most significant) of a packed IPv4 address."""
+    return (value >> ((3 - index) * OCTET_BITS)) & OCTET_MASK
+
+
 def _parse_ipv4(text: str) -> int:
     parts = text.split(".")
     if len(parts) != 4:
@@ -111,14 +122,14 @@ def _parse_ipv4(text: str) -> int:
     value = 0
     for part in parts:
         octet = int(part)
-        if not 0 <= octet <= 255:
+        if not 0 <= octet <= OCTET_MASK:
             raise ValueError(f"malformed IPv4 address: {text!r}")
-        value = (value << 8) | octet
+        value = (value << OCTET_BITS) | octet
     return value
 
 
 def _format_ipv4(value: int) -> str:
-    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    return ".".join(str(ipv4_octet(value, i)) for i in range(4))
 
 
 @dataclass

@@ -14,7 +14,7 @@ explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.obs.metrics import Metrics

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, SimulationError
 from repro.switch.events import EventQueue
-from repro.switch.packet import FlowKey, Packet
+from repro.switch.packet import FlowKey, Packet, ipv4_octet
 from repro.switch.port import EgressPort
 from repro.switch.switchsim import Switch
 
@@ -212,13 +212,13 @@ def build_leaf_spine(
 
     def leaf_forwarder(leaf_index: int) -> Callable[[Packet], int]:
         def forward(packet: Packet) -> int:
-            destination_leaf = (packet.flow.dst_ip >> 16) & 0xFF
+            destination_leaf = ipv4_octet(packet.flow.dst_ip, 1)
             return host_port if destination_leaf == leaf_index else up_port
 
         return forward
 
     def spine_forwarder(packet: Packet) -> int:
-        return (packet.flow.dst_ip >> 16) & 0xFF
+        return ipv4_octet(packet.flow.dst_ip, 1)
 
     spine_ports = [EgressPort(i, rate_bps) for i in range(num_leaves)]
     network.add_switch("spine", spine_ports, spine_forwarder)

@@ -18,7 +18,7 @@ depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.switch.packet import FlowKey, Packet
 from repro.switch.port import EgressPort

@@ -1,0 +1,18 @@
+"""PQ001 fixture: wall clock + unseeded RNG in a data-plane package."""
+
+import random
+import time
+
+import numpy as np
+
+
+def now_ns() -> int:
+    return int(time.time() * 1e9)
+
+
+def jitter() -> float:
+    return random.random() + np.random.rand()
+
+
+def unseeded_generator():
+    return np.random.default_rng()

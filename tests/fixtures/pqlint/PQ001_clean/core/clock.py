@@ -1,0 +1,20 @@
+"""PQ001 fixture: injected clock, seeded RNG, perf counters — all legal."""
+
+import random
+from time import perf_counter_ns
+
+import numpy as np
+
+
+def now_ns(clock) -> int:
+    return clock.now_ns()
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    generator = np.random.default_rng(seed)
+    return rng.random() + float(generator.random())
+
+
+def timing_probe() -> int:
+    return perf_counter_ns()

@@ -1,0 +1,18 @@
+"""PQ001 fixture: the same violations, suppressed."""
+
+import random
+import time
+
+import numpy as np
+
+
+def now_ns() -> int:
+    return int(time.time() * 1e9)  # pqlint: disable=PQ001
+
+
+def jitter() -> float:
+    return random.random() + np.random.rand()  # pqlint: disable=PQ001
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # pqlint: disable=PQ001

@@ -1,0 +1,13 @@
+"""PQ002 fixture: magic shift amounts and bare bitmasks."""
+
+
+def cell_index(tts: int) -> int:
+    return tts & 0xFFF
+
+
+def cycle_id(tts: int) -> int:
+    return tts >> 12
+
+
+def pack(cycle: int, index: int) -> int:
+    return (cycle << 12) | index

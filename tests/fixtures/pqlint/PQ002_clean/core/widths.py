@@ -1,0 +1,20 @@
+"""PQ002 fixture: widths declared once, every shift/mask derives from them."""
+
+K = 12
+MASK = (1 << K) - 1
+
+
+def cell_index(tts: int) -> int:
+    return tts & MASK
+
+
+def cycle_id(tts: int) -> int:
+    return tts >> K
+
+
+def pack(cycle: int, index: int) -> int:
+    return (cycle << K) | index
+
+
+def low_bit(value: int) -> int:
+    return value & 1

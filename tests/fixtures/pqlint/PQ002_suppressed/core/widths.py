@@ -1,0 +1,15 @@
+"""PQ002 fixture: the same magic numbers, suppressed file-wide."""
+
+# pqlint: disable-file=PQ002
+
+
+def cell_index(tts: int) -> int:
+    return tts & 0xFFF
+
+
+def cycle_id(tts: int) -> int:
+    return tts >> 12
+
+
+def pack(cycle: int, index: int) -> int:
+    return (cycle << 12) | index

@@ -1,0 +1,5 @@
+"""PQ003 fixture (bad): core directly ticks a structure counter."""
+
+
+def record(metrics) -> None:
+    metrics.counter("pq_tw_inserts_total").inc()

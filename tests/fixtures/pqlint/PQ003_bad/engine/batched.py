@@ -1,0 +1,9 @@
+"""PQ003 fixture (bad): an engine-only ingest counter, undeclared."""
+
+
+class Pipeline:
+    def __init__(self, metrics) -> None:
+        self._obs_flushes = metrics.counter("pq_ingest_flushes_total")
+
+    def flush(self) -> None:
+        self._obs_flushes.inc()

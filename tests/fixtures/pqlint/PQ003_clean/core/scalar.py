@@ -1,0 +1,5 @@
+"""PQ003 fixture (clean): both paths tick the shared name."""
+
+
+def record(metrics) -> None:
+    metrics.counter("pq_ingest_events_total").inc()

@@ -1,0 +1,12 @@
+"""PQ003 fixture (clean): shared name on the batched path, plus a
+declared engine-only batch counter."""
+
+
+class Pipeline:
+    def __init__(self, metrics) -> None:
+        self._obs_events = metrics.counter("pq_ingest_events_total")
+        self._obs_batches = metrics.counter("pq_ingest_batches_total")
+
+    def flush(self, n: int) -> None:
+        self._obs_events.inc(n)
+        self._obs_batches.inc()

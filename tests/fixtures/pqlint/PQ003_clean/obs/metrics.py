@@ -1,0 +1,3 @@
+"""PQ003 fixture (clean): the audited one-path-only declaration."""
+
+PARITY_EXEMPT_METRICS = frozenset({"pq_ingest_batches_total"})

@@ -1,0 +1,5 @@
+"""PQ003 fixture (suppressed): the same direct tick, silenced."""
+
+
+def record(metrics) -> None:
+    metrics.counter("pq_tw_inserts_total").inc()  # pqlint: disable=PQ003

@@ -1,0 +1,11 @@
+"""PQ003 fixture (suppressed): engine-only counter, silenced file-wide."""
+
+# pqlint: disable-file=PQ003
+
+
+class Pipeline:
+    def __init__(self, metrics) -> None:
+        self._obs_flushes = metrics.counter("pq_ingest_flushes_total")
+
+    def flush(self) -> None:
+        self._obs_flushes.inc()

@@ -1,0 +1,8 @@
+"""PQ004 fixture: builtin exception types at raise sites in faults/."""
+
+
+def validate(rate: float) -> None:
+    if rate < 0:
+        raise ValueError(f"negative rate: {rate}")
+    if rate > 1:
+        raise Exception("rate exceeds 1")

@@ -1,0 +1,12 @@
+"""PQ004 fixture: the typed taxonomy, as the resilience layer uses it."""
+
+from repro.errors import ConfigError, RetryExhausted
+
+
+def validate(rate: float) -> None:
+    if not 0 <= rate <= 1:
+        raise ConfigError(f"rate out of range: {rate}")
+
+
+def give_up(attempts: int) -> None:
+    raise RetryExhausted(f"failed after {attempts} attempts")

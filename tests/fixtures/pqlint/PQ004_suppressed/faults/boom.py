@@ -1,0 +1,8 @@
+"""PQ004 fixture: the same raises, suppressed per line."""
+
+
+def validate(rate: float) -> None:
+    if rate < 0:
+        raise ValueError(f"negative rate: {rate}")  # pqlint: disable=PQ004
+    if rate > 1:
+        raise Exception("rate exceeds 1")  # pqlint: disable=PQ004

@@ -1,0 +1,16 @@
+"""PQ005 fixture: positional defaults on the public API, shim without
+stacklevel."""
+
+import warnings
+
+
+class PrintQueuePort:
+    def query_victims(self, interval, mode="async", classes=None):
+        return (interval, mode, classes)
+
+    def old_query(self, interval):
+        warnings.warn(
+            "old_query is deprecated; use query_victims",
+            DeprecationWarning,
+        )
+        return self.query_victims(interval)

@@ -1,0 +1,16 @@
+"""PQ005 fixture: keyword-only options, shim pointing at the caller."""
+
+import warnings
+
+
+class PrintQueuePort:
+    def query_victims(self, interval, *, mode="async", classes=None):
+        return (interval, mode, classes)
+
+    def old_query(self, interval):
+        warnings.warn(
+            "old_query is deprecated; use query_victims",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query_victims(interval)

@@ -1,0 +1,15 @@
+"""PQ005 fixture: the same surface, suppressed."""
+
+import warnings
+
+
+class PrintQueuePort:
+    def query_victims(self, interval, mode="async", classes=None):  # pqlint: disable=PQ005
+        return (interval, mode, classes)
+
+    def old_query(self, interval):
+        warnings.warn(  # pqlint: disable=PQ005
+            "old_query is deprecated; use query_victims",
+            DeprecationWarning,
+        )
+        return self.query_victims(interval)

@@ -1,6 +1,5 @@
 """Tests for the configuration advisor."""
 
-import pytest
 
 from repro.core.advisor import Advice, Severity, advise, worst_severity
 from repro.core.config import PrintQueueConfig

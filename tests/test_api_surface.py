@@ -15,6 +15,11 @@ import repro
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.anlz",
+    "repro.anlz.engine",
+    "repro.anlz.model",
+    "repro.anlz.reporters",
+    "repro.anlz.rules",
     "repro.core",
     "repro.core.advisor",
     "repro.core.analysis",

@@ -9,7 +9,6 @@ from repro.core.printqueue import PrintQueuePort
 from repro.core.queries import QueryInterval
 from repro.errors import ConfigError
 from repro.switch.packet import FlowKey, Packet
-from repro.switch.port import EgressPort
 from repro.switch.switchsim import Switch
 from repro.traffic.trace import Trace
 from repro.units import GBPS

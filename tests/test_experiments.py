@@ -1,7 +1,6 @@
 """Tests for the experiment harness: runner, sampling, evaluation."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.interval import FixedIntervalEstimator
 from repro.core.config import PrintQueueConfig
@@ -16,7 +15,7 @@ from repro.experiments.runner import (
     run_trace_through_fifo,
     simulate_workload,
 )
-from repro.experiments.sampling import DEPTH_BANDS, band_label, sample_victims_by_band
+from repro.experiments.sampling import band_label, sample_victims_by_band
 from repro.switch.packet import FlowKey
 from repro.switch.telemetry import DequeueRecord
 from repro.traffic.scenarios import microburst_scenario

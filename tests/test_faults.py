@@ -138,7 +138,7 @@ class TestRetryPolicy:
             RetryPolicy(multiplier=0.5)
         with pytest.raises(ConfigError):
             RetryPolicy(base_backoff_ns=-1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             RetryPolicy().backoff_ns(0)
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.switch.events import EventQueue
 from repro.switch.packet import FlowKey, Packet
 from repro.switch.port import EgressPort
 from repro.switch.queue import EgressQueue

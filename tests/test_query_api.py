@@ -107,10 +107,10 @@ def test_classed_queue_monitor_round_trip():
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         with pytest.raises(DeprecationWarning):
-            pq.original_culprits_by_class(t, [0])
+            pq.original_culprits_by_class(t, classes=[0])
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", DeprecationWarning)
-        old = pq.original_culprits_by_class(t, [0])
+        old = pq.original_culprits_by_class(t, classes=[0])
     assert old._counts == only_high.estimate._counts
 
 

@@ -1,6 +1,5 @@
 """Tests for the scenario builders (microburst, incast, case study)."""
 
-import numpy as np
 import pytest
 
 from repro.switch.fastpath import fifo_timestamps
@@ -10,7 +9,7 @@ from repro.traffic.scenarios import (
     microburst_scenario,
     udp_burst_case_study,
 )
-from repro.units import DEFAULT_LINK_RATE_BPS, GBPS, NS_PER_SEC
+from repro.units import DEFAULT_LINK_RATE_BPS, NS_PER_SEC
 
 
 class TestMicroburst:

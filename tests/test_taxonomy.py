@@ -4,7 +4,6 @@ Scenarios are hand-crafted so the direct / indirect / original sets are
 known exactly, including the Figure-1 single-burst regime.
 """
 
-import pytest
 
 from repro.core.taxonomy import CulpritTaxonomy
 from repro.switch.telemetry import DequeueRecord

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.timewindow import EMPTY, CellRecord, TimeWindow
+from repro.core.timewindow import EMPTY, TimeWindow
 from repro.switch.packet import FlowKey
 
 FLOW_A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5000, 80)

@@ -5,12 +5,10 @@ Figure 6 example: same-cycle collisions drop, stale evictions drop,
 consecutive-cycle evictions pass (and pass recursively through windows).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import PrintQueueConfig
-from repro.core.timewindow import EMPTY
 from repro.core.windowset import TimeWindowSet
 from repro.switch.packet import FlowKey
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
-from typing import List, Tuple
+from typing import List
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 

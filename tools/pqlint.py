@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""pqlint — the repo's domain-invariant static analyser (CI entry point).
+
+Usage::
+
+    python tools/pqlint.py [PATHS...] [--format text|json]
+                           [--rules PQ001,PQ002] [--list-rules]
+
+With no paths, lints ``src/repro``.  Exit code 0 means no findings; 1
+means at least one finding; 2 means bad invocation.  The same engine is
+reachable as ``repro lint`` once ``src`` is on ``PYTHONPATH`` — this
+script only bootstraps ``sys.path`` so CI can call it from the repo
+root without installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.anlz import lint_paths, render_json, render_text, rule_codes  # noqa: E402
+from repro.anlz.rules import RULE_REGISTRY  # noqa: E402
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pqlint", description="PrintQueue domain-invariant linter"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[str(REPO_ROOT / "src" / "repro")],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in rule_codes():
+            rule = RULE_REGISTRY[code]
+            print(f"{code}  {rule.name:<16} {rule.summary}")
+        return 0
+
+    only = None
+    if args.rules is not None:
+        only = [code.strip() for code in args.rules.split(",") if code.strip()]
+    try:
+        result = lint_paths([Path(p) for p in args.paths], only=only)
+    except KeyError as exc:
+        print(f"pqlint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
