@@ -62,7 +62,7 @@ def test_query_throughput(benchmark):
 
 def _invalidate_plan(analysis):
     """Force the next batch query to recompile (fresh-poll conditions)."""
-    analysis._snapshots_version += 1
+    analysis.store.bump_version()
     analysis._plan = None
     analysis._plan_key = None
     for snapshot in analysis.tw_snapshots:

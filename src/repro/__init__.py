@@ -54,6 +54,15 @@ from repro.faults import (
 from repro.faults import profile as fault_profile
 from repro.faults import profile_names as fault_profile_names
 from repro.obs import Metrics, RunReport
+from repro.store import (
+    CompressedStore,
+    MemoryStore,
+    MmapStore,
+    Recorder,
+    RetentionPolicy,
+    SnapshotStore,
+    replay_analysis,
+)
 from repro.switch import FlowKey, Packet, Switch
 from repro.traffic import PoissonWorkload, Trace, WorkloadConfig
 
@@ -87,6 +96,13 @@ __all__ = [
     "ParallelSweep",
     "RunReport",
     "SweepCell",
+    "SnapshotStore",
+    "MemoryStore",
+    "MmapStore",
+    "CompressedStore",
+    "RetentionPolicy",
+    "Recorder",
+    "replay_analysis",
     "FlowKey",
     "Packet",
     "Switch",

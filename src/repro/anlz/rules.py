@@ -12,11 +12,13 @@ PQ002     register-width         shifts/masks derive from declared width
                                  §4.1 cycle-ID arithmetic)
 PQ003     engine-parity          scalar and batched paths increment the same
                                  counter vocabulary (DESIGN §9 equivalence)
-PQ004     error-taxonomy         ``faults/``/``engine/`` raise the typed errors
-                                 in ``errors.py``, not builtin Exception types
+PQ004     error-taxonomy         ``faults/``/``engine/``/``store/`` raise the
+                                 typed errors in ``errors.py``, not builtin
+                                 Exception types
 PQ005     api-surface            public ``PrintQueuePort``/``AnalysisProgram``
-                                 options are keyword-only; deprecation shims
-                                 carry ``stacklevel=2`` (DESIGN §7)
+                                 options are keyword-only; no new
+                                 ``DeprecationWarning`` shims — retired names
+                                 raise typed errors instead (DESIGN §7)
 ========  =====================  ==================================================
 
 Two rule shapes exist.  A :class:`FileRule` sees one module at a time; a
@@ -45,7 +47,7 @@ __all__ = [
 DATA_PLANE_PACKAGES = frozenset({"core", "engine", "switch"})
 
 #: Packages whose raise sites must use the typed hierarchy in errors.py.
-TYPED_ERROR_PACKAGES = frozenset({"faults", "engine"})
+TYPED_ERROR_PACKAGES = frozenset({"faults", "engine", "store"})
 
 #: Classes whose public surface PQ005 polices.
 API_CLASSES = frozenset({"PrintQueuePort", "AnalysisProgram"})
@@ -480,7 +482,7 @@ _BANNED_RAISES = frozenset({"Exception", "ValueError", "RuntimeError"})
 
 
 class ErrorTaxonomyRule(FileRule):
-    """PQ004: ``faults/`` and ``engine/`` raise only typed errors.
+    """PQ004: ``faults/``, ``engine/`` and ``store/`` raise typed errors.
 
     The resilient read path promises callers a closed error vocabulary
     (``FaultInjected``, ``DataPlaneReadError``, ``RetryExhausted``, ...)
@@ -491,7 +493,7 @@ class ErrorTaxonomyRule(FileRule):
 
     code = "PQ004"
     name = "error-taxonomy"
-    summary = "faults/ and engine/ raise typed errors from errors.py"
+    summary = "faults/, engine/ and store/ raise typed errors from errors.py"
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         if not module.in_packages(TYPED_ERROR_PACKAGES):
@@ -520,21 +522,23 @@ class ErrorTaxonomyRule(FileRule):
 
 
 class ApiSurfaceRule(FileRule):
-    """PQ005: options keyword-only on the public API; shims stacklevel=2.
+    """PQ005: options keyword-only on the public API; no deprecation shims.
 
     On ``PrintQueuePort`` and ``AnalysisProgram``, any public-method
     parameter *with a default* must sit after ``*``: required inputs may
     stay positional, but options named at the call site cannot silently
     swap meaning when a parameter is inserted (the PR-1 convention that
-    made ``query()`` keyword-only).  Additionally, every
-    ``warnings.warn(..., DeprecationWarning)`` must pass
-    ``stacklevel=`` ≥ 2 so the warning points at the caller, not the
-    shim.
+    made ``query()`` keyword-only).  Additionally, *no*
+    ``warnings.warn(..., DeprecationWarning)`` shim may exist: retired
+    names spend one release as warning shims at most, then graduate to
+    raising a typed error that names the replacement (the shims removed
+    alongside the snapshot store set the precedent).  A new shim would
+    silently re-open the two-API era this rule closed.
     """
 
     code = "PQ005"
     name = "api-surface"
-    summary = "public API options keyword-only; shims carry stacklevel=2"
+    summary = "public API options keyword-only; no DeprecationWarning shims"
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -580,19 +584,12 @@ class ApiSurfaceRule(FileRule):
             and category.id == "DeprecationWarning"
         ):
             return
-        for kw in call.keywords:
-            if kw.arg == "stacklevel":
-                if (
-                    isinstance(kw.value, ast.Constant)
-                    and isinstance(kw.value.value, int)
-                    and kw.value.value >= 2
-                ):
-                    return
         yield self.finding(
             module,
             call,
-            "DeprecationWarning without stacklevel>=2; the warning must "
-            "point at the caller of the shim",
+            "DeprecationWarning shim; retired names must raise a typed "
+            "error naming the query()-style replacement instead of "
+            "warning (no new shims)",
         )
 
 

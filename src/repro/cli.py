@@ -21,6 +21,11 @@ faults
 lint
     Run pqlint, the domain-invariant static analyser (rules
     PQ001-PQ005), over ``src/repro`` or the given paths.
+store
+    Snapshot-store tooling: ``inspect`` a recording's header and record
+    counts, ``record`` a run's poll stream to disk, and ``replay`` a
+    recording through any store backend, re-running the same
+    deterministic probe queries (``run --store mmap`` records too).
 """
 
 from __future__ import annotations
@@ -102,6 +107,17 @@ def _config_from(args: argparse.Namespace) -> PrintQueueConfig:
     )
 
 
+def _resolve_store(args: argparse.Namespace):
+    """The --store/--store-path pair as a SnapshotStore (or None)."""
+    backend = getattr(args, "store", None)
+    if backend in (None, "memory"):
+        return None
+    from repro.store import MmapStore
+
+    path = getattr(args, "store_path", None) or "run.pqstore"
+    return MmapStore(path)
+
+
 def _build_trace(args: argparse.Namespace):
     if args.scenario == "microburst":
         return microburst_scenario(seed=args.seed)
@@ -123,6 +139,7 @@ def _maybe_write_report(run, args: argparse.Namespace) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     """Handle `repro run`: simulate a workload and diagnose victims."""
     config = _config_from(args)
+    store = _resolve_store(args)
     run = simulate_workload(
         args.workload,
         duration_ns=int(args.duration_ms * 1e6),
@@ -132,10 +149,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         engine=args.engine,
         metrics=Metrics() if args.metrics_out else None,
         faults=_resolve_faults(args),
+        store=store,
     )
     _report(run, args.victims)
     _maybe_print_faults(run)
     _maybe_write_report(run, args)
+    if store is not None:
+        store.flush()
+        print(
+            f"store: recorded poll stream to {store.path} "
+            f"({store.tw_added} tw + {store.qm_added} qm snapshots)"
+        )
     return 0
 
 
@@ -309,6 +333,104 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _probe_digest(analysis, count: int) -> List[str]:
+    """Deterministic probe-query digest shared by record and replay.
+
+    One line per probe interval (see
+    :func:`repro.store.default_probe_intervals`): byte-identical output
+    on both sides is the CLI-level replay-determinism check.
+    """
+    from repro.store import default_probe_intervals
+
+    intervals = default_probe_intervals(analysis, count)
+    if not intervals:
+        return ["probe: no periodic snapshots to query"]
+    estimates = analysis.query_time_windows_batch(intervals, source="periodic")
+    lines = []
+    for interval, estimate in zip(intervals, estimates):
+        top = estimate.top(1)
+        suffix = f" top={top[0][0]}={top[0][1]:g}" if top else ""
+        lines.append(
+            f"probe [{interval.start_ns},{interval.end_ns}): "
+            f"total={estimate.total:g}{suffix}"
+        )
+    return lines
+
+
+def _store_stats_line(store) -> str:
+    """One-line ``stats()`` digest for record/replay output."""
+    stats = store.stats()
+    return (
+        f"store ({stats['backend']}): version={stats['version']} "
+        f"tw={stats['tw_snapshots']} qm={stats['qm_snapshots']} "
+        f"evicted={stats['tw_evictions']}+{stats['qm_evictions']} "
+        f"thinned={stats['tw_thinned']} bytes={stats['bytes_total']}"
+    )
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Handle `repro store`: inspect / record / replay recordings."""
+    import json
+
+    from repro.store import (
+        MemoryStore,
+        Recorder,
+        read_recording,
+        replay_analysis,
+        replay_store,
+    )
+
+    if args.action == "inspect":
+        info = read_recording(args.path)
+        if args.json:
+            store = replay_store(args.path, backend="memory")
+            info = dict(info, stats=store.stats())
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        meta = info["meta"]
+        config = meta.get("config", {})
+        described = " ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        print(f"{args.path}: {info['bytes']} bytes, {info['records']} records")
+        print(
+            f"  tw adds={info['tw_records']} qm adds={info['qm_records']} "
+            f"replacements={info['replace_records']}"
+        )
+        print(f"  config: {described}")
+        print(f"  retention: {meta.get('retention')}")
+        return 0
+
+    if args.action == "record":
+        store = MemoryStore()
+        recorder = Recorder(args.path)
+        store.attach_recorder(recorder)
+        run = simulate_workload(
+            args.workload,
+            duration_ns=int(args.duration_ms * 1e6),
+            load=args.load,
+            config=_config_from(args),
+            seed=args.seed,
+            faults=_resolve_faults(args),
+            store=store,
+        )
+        for line in _probe_digest(run.pq.analysis, args.queries):
+            print(line)
+        print(_store_stats_line(store))
+        recorder.close()
+        print(f"recorded {len(run.records)} packets' poll stream to {args.path}")
+        return 0
+
+    # replay
+    analysis = replay_analysis(args.path, backend=args.backend)
+    for line in _probe_digest(analysis, args.queries):
+        print(line)
+    print(_store_stats_line(analysis.store))
+    print(
+        f"replayed {analysis.store.replay_position} records from "
+        f"{args.path} into the {args.backend} backend"
+    )
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Handle `repro lint`: run pqlint over the given paths."""
     from pathlib import Path
@@ -358,6 +480,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="save a JSON RunReport of the run to PATH",
+    )
+    run.add_argument(
+        "--store",
+        choices=["memory", "mmap"],
+        default="memory",
+        help="snapshot-store backend; `mmap` writes a replayable "
+        "recording to --store-path (default: in-memory)",
+    )
+    run.add_argument(
+        "--store-path",
+        default=None,
+        metavar="PATH",
+        help="backing file for --store mmap (default: run.pqstore)",
     )
     _add_faults_arg(run)
     _add_config_args(run)
@@ -490,6 +625,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     lint.set_defaults(func=cmd_lint)
+
+    store = sub.add_parser(
+        "store", help="inspect, record, and replay snapshot-store recordings"
+    )
+    store_sub = store.add_subparsers(dest="action", required=True)
+
+    inspect = store_sub.add_parser(
+        "inspect", help="print a recording's header metadata and record counts"
+    )
+    inspect.add_argument("path", help="recording file (.pqstore)")
+    inspect.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON (meta + counts + replayed store stats; feed to "
+        "tools/lint_report.py --store-json)",
+    )
+    inspect.set_defaults(func=cmd_store)
+
+    record = store_sub.add_parser(
+        "record", help="run a workload and record its poll stream to disk"
+    )
+    record.add_argument("path", help="recording file to write (.pqstore)")
+    record.add_argument("--workload", choices=["ws", "dm", "uw"], default="ws")
+    record.add_argument("--duration-ms", type=float, default=10.0)
+    record.add_argument("--load", type=float, default=1.2)
+    record.add_argument("--seed", type=int, default=1)
+    record.add_argument(
+        "--queries",
+        type=int,
+        default=4,
+        metavar="N",
+        help="probe-query the last N periodic snapshots and print the "
+        "digest (replay prints the identical lines)",
+    )
+    _add_faults_arg(record)
+    _add_config_args(record)
+    record.set_defaults(func=cmd_store)
+
+    replay = store_sub.add_parser(
+        "replay",
+        help="rebuild a recorded run in any backend and re-run its probes",
+    )
+    replay.add_argument("path", help="recording file (.pqstore)")
+    replay.add_argument(
+        "--backend",
+        choices=["memory", "mmap", "compressed"],
+        default="memory",
+        help="store backend to replay into (default: memory)",
+    )
+    replay.add_argument(
+        "--queries",
+        type=int,
+        default=4,
+        metavar="N",
+        help="probe-query the last N periodic snapshots (match against "
+        "the record-side digest)",
+    )
+    replay.set_defaults(func=cmd_store)
     return parser
 
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from functools import partial
-from operator import attrgetter
 from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.coefficient import coefficients
@@ -34,7 +33,14 @@ from repro.core.queries import FlowEstimate, QueryInterval
 from repro.core.queuemonitor import QueueMonitor, QueueMonitorSnapshot
 from repro.core.registers import BankedStructure
 from repro.core.windowset import TimeWindowSet
-from repro.errors import QueryError
+from repro.errors import ConfigError, QueryError
+from repro.store import (
+    MemoryStore,
+    RetentionPolicy,
+    SnapshotStore,
+    SnapshotView,
+    build_meta,
+)
 from repro.switch.packet import FlowKey
 from repro.units import PCIE_REGISTER_READS_PER_SEC, NS_PER_SEC
 
@@ -112,6 +118,8 @@ class AnalysisProgram:
         fractional_cells: bool = False,
         apply_coefficients: bool = True,
         model_dp_read_cost: bool = True,
+        store: Optional[SnapshotStore] = None,
+        retention: Optional[RetentionPolicy] = None,
     ) -> None:
         self.config = config
         self.coefficients = coefficients(config, d_ns)
@@ -122,9 +130,28 @@ class AnalysisProgram:
             partial(TimeWindowSet, config)
         )
         self.queue_monitor = QueueMonitor(config.qm_levels, config.qm_granularity)
-        self.tw_snapshots: List[TimeWindowSnapshot] = []
-        self.qm_snapshots: List[QueueMonitorSnapshot] = []
-        self.max_snapshots = max_snapshots
+        if store is None:
+            if retention is None:
+                retention = RetentionPolicy(max_snapshots=max_snapshots)
+            store = MemoryStore(retention=retention)
+        elif retention is not None:
+            raise ConfigError(
+                "pass the retention policy to the store, not alongside it"
+            )
+        #: the snapshot store: owns every stored snapshot and the version
+        #: counter the compiled-plan cache keys on.
+        self.store = store
+        self.max_snapshots = store.retention.max_snapshots
+        store.bind(
+            build_meta(
+                config,
+                d_ns,
+                store.retention,
+                fractional_cells=fractional_cells,
+                apply_coefficients=apply_coefficients,
+                model_dp_read_cost=model_dp_read_cost,
+            )
+        )
         #: weight cells by fractional overlap with the query interval
         #: instead of whole-cell inclusion (an ablation; default off, as
         #: the paper includes whole cells).
@@ -141,10 +168,6 @@ class AnalysisProgram:
         self.queries_executed = 0
         #: Algorithm-3 scan/retain totals across every poll (repro.obs).
         self.filter_stats = FilterStats()
-        #: snapshot-store version, bumped on every store/eviction; the
-        #: compiled-plan cache key, so any poll or bank flip that lands a
-        #: new snapshot invalidates the plan.
-        self._snapshots_version = 0
         self._plan = None
         self._plan_key: Optional[Tuple] = None
         #: compiled-plan cache accounting (always-on repro.obs counters).
@@ -153,6 +176,27 @@ class AnalysisProgram:
         self.snapshot_compile_hits = 0
         self.snapshot_compile_misses = 0
         self.batch_queries = 0
+
+    # -- snapshot access (read-only store views) ---------------------------
+
+    @property
+    def tw_snapshots(self) -> SnapshotView:
+        """Read-only view of the stored time-window snapshots (ascending).
+
+        All writes go through the store (``self.store``) so the version
+        counter — the compiled-plan cache key — can never be bypassed.
+        """
+        return self.store.tw_view()
+
+    @property
+    def qm_snapshots(self) -> SnapshotView:
+        """Read-only view of the stored queue-monitor snapshots."""
+        return self.store.qm_view()
+
+    @property
+    def _snapshots_version(self) -> int:
+        """The store's version counter (the compiled-plan cache key)."""
+        return self.store.version
 
     # -- data-plane side -------------------------------------------------
 
@@ -199,10 +243,8 @@ class AnalysisProgram:
             valid_from_ns=self._active_since_ns,
         )
         self._active_since_ns = now_ns
-        self._store(snapshot)
-        self.qm_snapshots.append(self.queue_monitor.snapshot(now_ns))
-        if len(self.qm_snapshots) > self.max_snapshots:
-            self.qm_snapshots.pop(0)
+        self.store.add_tw(snapshot)
+        self.store.add_qm(self.queue_monitor.snapshot(now_ns))
         return snapshot
 
     def quarantine_snapshot_windows(
@@ -217,10 +259,7 @@ class AnalysisProgram:
         rebuilds without the quarantined cells instead of serving stale
         compiled state.
         """
-        snapshot.windows = windows
-        if hasattr(snapshot, "_columnar_cache"):
-            del snapshot._columnar_cache
-        self._snapshots_version += 1
+        self.store.replace_windows(snapshot, windows)
 
     def qm_poll(self, now_ns: int) -> QueueMonitorSnapshot:
         """Snapshot only the queue monitor (its own, finer cadence).
@@ -231,9 +270,7 @@ class AnalysisProgram:
         plane can afford to read it more often.
         """
         snapshot = self.queue_monitor.snapshot(now_ns)
-        self.qm_snapshots.append(snapshot)
-        if len(self.qm_snapshots) > self.max_snapshots:
-            self.qm_snapshots.pop(0)
+        self.store.add_qm(snapshot)
         return snapshot
 
     def dp_read(self, now_ns: int) -> Optional[TimeWindowSnapshot]:
@@ -276,8 +313,10 @@ class AnalysisProgram:
             valid_from_ns=self._active_since_ns,
         )
         self._active_since_ns = now_ns
-        self._store(snapshot)
-        self.qm_snapshots.append(self.queue_monitor.snapshot(now_ns))
+        self.store.add_tw(snapshot)
+        # On-demand reads append the monitor snapshot unbounded: they sit
+        # outside the periodic retention cadence (historic behaviour).
+        self.store.add_qm(self.queue_monitor.snapshot(now_ns), bounded=False)
         read_ns = int(
             self.config.T
             * self.config.num_cells
@@ -287,19 +326,6 @@ class AnalysisProgram:
         self._dp_lock_until_ns = now_ns + read_ns
         self.tw_banks.dp_release()
         return snapshot
-
-    def _store(self, snapshot: TimeWindowSnapshot) -> None:
-        # Keep the store ascending by read time at insert (appends are the
-        # common case: polls and triggers arrive in time order), so the
-        # query path never re-sorts per call.
-        snaps = self.tw_snapshots
-        if snaps and snapshot.read_time_ns < snaps[-1].read_time_ns:
-            bisect.insort(snaps, snapshot, key=attrgetter("read_time_ns"))
-        else:
-            snaps.append(snapshot)
-        if len(snaps) > self.max_snapshots:
-            snaps.pop(0)
-        self._snapshots_version += 1
 
     # -- time-window queries (Section 6.3) ---------------------------------
 

@@ -14,7 +14,6 @@ aggregate SRAM accounting.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from time import perf_counter_ns
 from typing import (
@@ -41,6 +40,7 @@ from repro.faults.injector import FaultInjector, as_injector
 from repro.faults.plan import FaultPlan, profile
 from repro.faults.resilience import CoverageReport, ResilientPoller, RetryPolicy
 from repro.obs.metrics import Metrics
+from repro.store import RetentionPolicy, SnapshotStore
 from repro.switch.packet import FlowKey, Packet
 from repro.switch.port import EgressPort
 
@@ -188,10 +188,16 @@ class PrintQueuePort:
         faults: Optional[object] = None,
         retry_policy: Optional[RetryPolicy] = None,
         faults_strict: bool = False,
+        store: Optional[SnapshotStore] = None,
+        retention: Optional[RetentionPolicy] = None,
     ) -> None:
         self.config = config
         self.analysis = AnalysisProgram(
-            config, d_ns=d_ns, model_dp_read_cost=model_dp_read_cost
+            config,
+            d_ns=d_ns,
+            model_dp_read_cost=model_dp_read_cost,
+            store=store,
+            retention=retention,
         )
         self.trigger = trigger
         #: optional repro.obs registry.  The structure counters are plain
@@ -743,68 +749,53 @@ class PrintQueuePort:
         )
         return self.classed_monitor.original_culprits(snapshots, classes)
 
-    # -- deprecated query surface (thin shims over query()) ------------------
+    # -- retired query surface (raises with the query() replacement) ---------
     #
-    # Each shim calls warnings.warn itself with stacklevel=2 so the
-    # warning is attributed to the *caller's* line, and each message names
-    # the exact replacement keyword arguments (tests pin both).
+    # These names spent one release as warning shims and are now gone:
+    # each raises a typed QueryError whose message names the exact
+    # replacement keyword arguments (tests pin the messages).
 
     def data_plane_query(self, packet: Packet) -> Optional[DataPlaneQueryResult]:
-        """Deprecated: use ``query(interval=..., mode="data_plane")``."""
-        warnings.warn(
-            "PrintQueuePort.data_plane_query(packet) is deprecated; use "
+        """Removed: use ``query(interval=..., mode="data_plane")``."""
+        raise QueryError(
+            "PrintQueuePort.data_plane_query(packet) was removed; use "
             "PrintQueuePort.query(interval=QueryInterval.for_victim(...), "
-            'mode="data_plane") instead',
-            DeprecationWarning,
-            stacklevel=2,
+            'mode="data_plane") instead'
         )
-        return self._dp_query_packet(packet)
 
     def data_plane_query_interval(
         self, now_ns: int, interval: QueryInterval
     ) -> Optional[DataPlaneQueryResult]:
-        """Deprecated: use ``query(interval=..., mode="data_plane", at_ns=...)``."""
-        warnings.warn(
-            "PrintQueuePort.data_plane_query_interval(now_ns, interval) is "
-            "deprecated; use PrintQueuePort.query(interval=..., "
-            'mode="data_plane", at_ns=...) instead',
-            DeprecationWarning,
-            stacklevel=2,
+        """Removed: use ``query(interval=..., mode="data_plane", at_ns=...)``."""
+        raise QueryError(
+            "PrintQueuePort.data_plane_query_interval(now_ns, interval) was "
+            "removed; use PrintQueuePort.query(interval=..., "
+            'mode="data_plane", at_ns=...) instead'
         )
-        return self._dp_query_interval(now_ns, interval)
 
     def async_query(self, interval: QueryInterval) -> FlowEstimate:
-        """Deprecated: use ``query(interval=...)``."""
-        warnings.warn(
-            "PrintQueuePort.async_query(interval) is deprecated; use "
-            "PrintQueuePort.query(interval=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
+        """Removed: use ``query(interval=...)``."""
+        raise QueryError(
+            "PrintQueuePort.async_query(interval) was removed; use "
+            "PrintQueuePort.query(interval=...) instead"
         )
-        return self._async_query(interval)
 
     def original_culprits(self, time_ns: int) -> FlowEstimate:
-        """Deprecated: use ``query(at_ns=...)``."""
-        warnings.warn(
-            "PrintQueuePort.original_culprits(time_ns) is deprecated; use "
-            "PrintQueuePort.query(at_ns=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
+        """Removed: use ``query(at_ns=...)``."""
+        raise QueryError(
+            "PrintQueuePort.original_culprits(time_ns) was removed; use "
+            "PrintQueuePort.query(at_ns=...) instead"
         )
-        return self._original_culprits(time_ns)
 
     def original_culprits_by_class(
         self, time_ns: int, *, classes: Optional[Iterable[int]] = None
     ) -> FlowEstimate:
-        """Deprecated: use ``query(at_ns=..., classes=...)``."""
-        warnings.warn(
-            "PrintQueuePort.original_culprits_by_class(time_ns, classes) is "
-            "deprecated; use PrintQueuePort.query(at_ns=..., classes=...) "
-            "instead",
-            DeprecationWarning,
-            stacklevel=2,
+        """Removed: use ``query(at_ns=..., classes=...)``."""
+        raise QueryError(
+            "PrintQueuePort.original_culprits_by_class(time_ns, classes) was "
+            "removed; use PrintQueuePort.query(at_ns=..., classes=...) "
+            "instead"
         )
-        return self._original_culprits_by_class(time_ns, classes)
 
 
 class PrintQueue:

@@ -27,6 +27,11 @@ class DecodeError(ReproError):
     """A baseline structure (e.g. FlowRadar) failed to decode its state."""
 
 
+class StoreError(ReproError):
+    """A snapshot store operation failed (bad backend state, corrupt or
+    incompatible recording, replay mismatch)."""
+
+
 class FaultInjected(ReproError):
     """An injected fault surfaced to the caller.
 

@@ -27,6 +27,7 @@ from repro.core.queries import QueryInterval
 from repro.core.taxonomy import CulpritTaxonomy
 from repro.obs.metrics import Metrics
 from repro.obs.report import RunReport
+from repro.store import SnapshotStore
 from repro.switch.fastpath import fifo_timestamps
 from repro.switch.telemetry import DequeueRecord
 from repro.traffic.distributions import distribution_by_name
@@ -191,6 +192,7 @@ def simulate_workload(
     metrics: Optional[Metrics] = None,
     faults: Optional[object] = None,
     retry_policy: Optional[object] = None,
+    store: Optional[SnapshotStore] = None,
 ) -> ExperimentRun:
     """End-to-end run: generate (or take) a trace, queue it, measure it.
 
@@ -205,7 +207,10 @@ def simulate_workload(
     :class:`~repro.faults.FaultPlan`, or injector) runs the control
     plane under seeded fault injection with the resilient read path;
     the default ``None`` keeps the perfect channel and bit-identical
-    outputs.
+    outputs.  ``store`` selects the snapshot-store backend the port's
+    analysis program writes to (default: in-memory); passing a
+    write-mode :class:`~repro.store.MmapStore` makes the run's poll
+    stream a replayable on-disk recording.
     """
     if trace is None:
         distribution = distribution_by_name(workload)
@@ -232,6 +237,7 @@ def simulate_workload(
         metrics=metrics,
         faults=faults,
         retry_policy=retry_policy,
+        store=store,
     )
     dp_results = drive_printqueue(
         records, pq, dp_trigger_indices, baselines, engine=engine

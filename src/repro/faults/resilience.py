@@ -548,9 +548,9 @@ class ResilientPoller:
             self.log.qm_lost_ns.append(due_ns)
             return
         self._accept_qm(snapshot)
-        analysis.qm_snapshots.append(snapshot)
-        if len(analysis.qm_snapshots) > analysis.max_snapshots:
-            analysis.qm_snapshots.pop(0)
+        # Through the store, never the raw list: ingest and retention are
+        # the store's job (the snapshot views are read-only).
+        analysis.store.add_qm(snapshot)
 
     def _qm_validates(self, snapshot: "QueueMonitorSnapshot") -> bool:
         """Sequence numbers may only move forward (§5's monotone counter)."""

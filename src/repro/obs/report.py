@@ -41,6 +41,7 @@ DETERMINISTIC_SECTIONS = (
     "queue_monitor",
     "samples",
     "faults",
+    "store",
 )
 
 
@@ -132,6 +133,20 @@ def collect_port_counters(pq: "PrintQueuePort") -> Dict[str, Any]:
             "snapshot_compile_misses": analysis.snapshot_compile_misses,
         },
         "faults": _collect_faults(pq),
+        # Backend-independent store counters: identical between a live
+        # run and its replay, whatever tier either side used.
+        "store": analysis.store.deterministic_stats(),
+        # Tier-specific gauges (bytes, recording state): excluded from
+        # the deterministic view — a memory run and its mmap replay
+        # legitimately differ here.
+        "store_backend": {
+            "backend": analysis.store.backend,
+            "tw_bytes": analysis.store.tw_bytes,
+            "qm_bytes": analysis.store.qm_bytes,
+            "bytes_total": analysis.store.tw_bytes + analysis.store.qm_bytes,
+            "recording": int(analysis.store.recording),
+            "replay_position": analysis.store.replay_position,
+        },
     }
 
 
@@ -279,6 +294,50 @@ class RunReport:
         registry.counter("pq_packets_seen_total").inc(
             self.data["packets"]["seen"]
         )
+        # .get(): reports saved before the snapshot store lack these
+        # sections; the memory backend still exports its byte estimates.
+        store = self.data.get("store")
+        if store:
+            registry.counter("pq_store_tw_added_total").inc(
+                store.get("tw_added", 0)
+            )
+            registry.counter("pq_store_qm_added_total").inc(
+                store.get("qm_added", 0)
+            )
+            registry.counter("pq_store_evictions_total", kind="tw").inc(
+                store.get("tw_evictions", 0)
+            )
+            registry.counter("pq_store_evictions_total", kind="qm").inc(
+                store.get("qm_evictions", 0)
+            )
+            registry.counter("pq_store_thinned_total").inc(
+                store.get("tw_thinned", 0)
+            )
+            registry.counter("pq_store_quarantine_replacements_total").inc(
+                store.get("quarantine_replacements", 0)
+            )
+            registry.gauge("pq_store_version").set(store.get("version", 0))
+            registry.gauge("pq_store_tw_snapshots").set(
+                store.get("tw_snapshots", 0)
+            )
+            registry.gauge("pq_store_qm_snapshots").set(
+                store.get("qm_snapshots", 0)
+            )
+        backend = self.data.get("store_backend")
+        if backend:
+            tier = str(backend.get("backend", "memory"))
+            registry.gauge("pq_store_bytes", tier=tier, kind="tw").set(
+                backend.get("tw_bytes", 0)
+            )
+            registry.gauge("pq_store_bytes", tier=tier, kind="qm").set(
+                backend.get("qm_bytes", 0)
+            )
+            registry.gauge("pq_store_recording").set(
+                backend.get("recording", 0)
+            )
+            registry.gauge("pq_store_replay_position").set(
+                backend.get("replay_position", 0)
+            )
         # .get(): reports saved before the fault-injection layer lack
         # the section; fault-free runs export no pq_faults_* series.
         faults = self.data.get("faults")
@@ -362,6 +421,24 @@ class RunReport:
                 f"snapshot compiles {queries.get('snapshot_compile_misses', 0)} "
                 f"({queries.get('snapshot_compile_hits', 0)} reused)"
             )
+        store = self.data.get("store")
+        backend = self.data.get("store_backend") or {}
+        if store:
+            line = (
+                f"snapshot store ({backend.get('backend', 'memory')}): "
+                f"version={store.get('version', 0)} "
+                f"tw={store.get('tw_snapshots', 0)} "
+                f"qm={store.get('qm_snapshots', 0)} "
+                f"evicted={store.get('tw_evictions', 0)}+"
+                f"{store.get('qm_evictions', 0)} "
+                f"thinned={store.get('tw_thinned', 0)} "
+                f"bytes={backend.get('bytes_total', 0)}"
+            )
+            if backend.get("recording"):
+                line += " [recording]"
+            if backend.get("replay_position"):
+                line += f" [replayed {backend['replay_position']} records]"
+            lines.append(line)
         faults = self.data.get("faults")
         if faults and faults.get("enabled"):
             injected = sum(faults.get("injected", {}).values())

@@ -1,0 +1,58 @@
+"""The compressed cold tier.
+
+Snapshots are held as zlib-compressed blobs of the same binary payloads
+the disk tier writes, decompressed lazily on first access.  Useful for
+long always-on runs where the snapshot history must stay addressable but
+is rarely queried: the byte gauge reports the compressed footprint, and
+retention thinning re-compresses the smaller payload so old snapshots
+actually shrink (unlike the append-only disk log, which never rewrites).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Any
+
+from repro.core.queuemonitor import QueueMonitorSnapshot
+from repro.store import format as fmt
+from repro.store.base import SnapshotStore, _TWEntry
+
+if TYPE_CHECKING:
+    from repro.core.analysis import TimeWindowSnapshot
+
+_LEVEL = 6
+
+
+class CompressedStore(SnapshotStore):
+    """Cold tier: zlib-compressed binary payloads in process memory."""
+
+    backend = "compressed"
+
+    def _encode_tw(self, snapshot: "TimeWindowSnapshot") -> Any:
+        return zlib.compress(fmt.encode_tw(snapshot), _LEVEL)
+
+    def _decode_tw(self, token: Any) -> "TimeWindowSnapshot":
+        return fmt.decode_tw(zlib.decompress(token), 0)
+
+    def _encode_qm(self, snapshot: QueueMonitorSnapshot, bounded: bool) -> Any:
+        return zlib.compress(fmt.encode_qm(snapshot, bounded), _LEVEL)
+
+    def _decode_qm(self, token: Any) -> QueueMonitorSnapshot:
+        return fmt.decode_qm(zlib.decompress(token), 0)[0]
+
+    def _nbytes(self, token: Any) -> int:
+        return len(token)
+
+    def _note_thinned(self, entry: _TWEntry, snapshot: "TimeWindowSnapshot") -> None:
+        self._recompress(entry, snapshot)
+
+    def _note_replaced(
+        self, entry: _TWEntry, snapshot: "TimeWindowSnapshot"
+    ) -> None:
+        self._recompress(entry, snapshot)
+
+    def _recompress(self, entry: _TWEntry, snapshot: "TimeWindowSnapshot") -> None:
+        token = self._encode_tw(snapshot)
+        self.tw_bytes += len(token) - entry.nbytes
+        entry.token = token
+        entry.nbytes = len(token)

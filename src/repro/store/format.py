@@ -1,0 +1,358 @@
+"""The binary register-dump format shared by MmapStore and recordings.
+
+Layout (all integers little-endian, every record padded to 8 bytes so
+``np.frombuffer`` views stay aligned):
+
+* **File header** — magic ``b"PQSTORE1"``, ``u32 format_version``,
+  ``u32 meta_len``, then ``meta_len`` bytes of UTF-8 JSON (the run
+  metadata: config fields, flags, retention), padded to 8.
+* **Records** — ``u32 record_magic``, ``u32 kind``, ``u64 payload_len``,
+  then the payload, padded to 8.  Kinds: ``TW_ADD`` (a stored
+  time-window snapshot), ``QM_ADD`` (a queue-monitor snapshot), and
+  ``TW_REPLACE`` (a fault quarantine replacing a stored snapshot's
+  windows).
+
+A **time-window payload** is ``i64 read_time_ns, i64 valid_from_ns,
+u32 source, u32 num_windows, u32 num_flows, u32 reserved``, a flow table
+of ``num_flows`` 16-byte entries (``u32 src_ip, u32 dst_ip,
+u16 src_port, u16 dst_port, u8 proto`` + 3 pad), then per window
+``u32 window_index, u32 shift, i64 reference_tts, u64 num_cells``
+followed by the cells columnar: ``i64 tts[num_cells]`` then
+``i32 flow_idx[num_cells]`` (indices into the flow table), padded to 8.
+The TTS column is exactly the array the compiled query plan consumes,
+so decoding from an mmap hands the plan a zero-copy read-only view.
+
+A **queue-monitor payload** is ``i64 time_ns, i64 top, u32 flags,
+u32 num_flows, u32 num_inc, u32 num_dec``, the flow table,
+``i64 inc_seq[num_inc]``, ``i64 dec_seq[num_dec]``, then
+``i32 inc_flow_idx[num_inc]`` (-1 for unset levels), padded to 8.
+Flag bit 0 records whether the append was bounded by the retention cap
+(periodic polls) or not (on-demand reads), so replay reproduces the
+store's exact eviction history.
+
+A **replace payload** is ``i64 target_seq`` (the store-assigned sequence
+number of the snapshot being replaced; -1 when the quarantined snapshot
+was never stored) followed by a full time-window payload.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.filtering import FilteredWindow
+from repro.core.queuemonitor import QueueMonitorSnapshot
+from repro.errors import DecodeError
+from repro.switch.packet import FlowKey
+
+MAGIC = b"PQSTORE1"
+FORMAT_VERSION = 1
+RECORD_MAGIC = 0x50513152  # "PQ1R"
+
+REC_TW_ADD = 1
+REC_QM_ADD = 2
+REC_TW_REPLACE = 3
+
+QM_FLAG_BOUNDED = 1
+
+#: i64 sentinel for a ``reference_tts`` of None (empty window set).
+_REF_NONE = -(1 << 63)
+
+_HEADER = struct.Struct("<II")
+_RECORD = struct.Struct("<IIQ")
+_TW_HEAD = struct.Struct("<qqIIII")
+_WINDOW_HEAD = struct.Struct("<IIqQ")
+_QM_HEAD = struct.Struct("<qqIIII")
+_FLOW_ENTRY = struct.Struct("<IIHHB3x")
+
+_SOURCE_CODES = {"periodic": 0, "data-plane": 1}
+_SOURCE_NAMES = {code: name for name, code in _SOURCE_CODES.items()}
+
+
+def _pad8(n: int) -> bytes:
+    return b"\x00" * (-n % 8)
+
+
+# -- flow tables ----------------------------------------------------------
+
+
+def _intern_flows(parts: List[bytes], flows: List[Optional[FlowKey]]) -> List[int]:
+    """Append a flow table to ``parts``; return per-flow indices (-1=None)."""
+    table: Dict[FlowKey, int] = {}
+    indices: List[int] = []
+    entries: List[bytes] = []
+    for flow in flows:
+        if flow is None:
+            indices.append(-1)
+            continue
+        idx = table.get(flow)
+        if idx is None:
+            idx = len(table)
+            table[flow] = idx
+            entries.append(
+                _FLOW_ENTRY.pack(
+                    flow.src_ip,
+                    flow.dst_ip,
+                    flow.src_port,
+                    flow.dst_port,
+                    flow.proto,
+                )
+            )
+        indices.append(idx)
+    parts.append(b"".join(entries))
+    return indices
+
+
+def _read_flow_table(buf: bytes, offset: int, count: int) -> List[FlowKey]:
+    flows: List[FlowKey] = []
+    for i in range(count):
+        src_ip, dst_ip, src_port, dst_port, proto = _FLOW_ENTRY.unpack_from(
+            buf, offset + i * _FLOW_ENTRY.size
+        )
+        flows.append(FlowKey(src_ip, dst_ip, src_port, dst_port, proto))
+    return flows
+
+
+# -- file header ----------------------------------------------------------
+
+
+def encode_header(meta: Dict[str, Any]) -> bytes:
+    """Serialize the PQSTORE1 file header for ``meta``."""
+    payload = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode()
+    head = MAGIC + _HEADER.pack(FORMAT_VERSION, len(payload)) + payload
+    return head + _pad8(len(head))
+
+
+def read_header(buf: bytes) -> Tuple[Dict[str, Any], int]:
+    """Parse the file header; return ``(meta, first_record_offset)``."""
+    if len(buf) < len(MAGIC) + _HEADER.size:
+        raise DecodeError("store file too short for a PQSTORE1 header")
+    if bytes(buf[: len(MAGIC)]) != MAGIC:
+        raise DecodeError("bad magic: not a PQSTORE1 file")
+    version, meta_len = _HEADER.unpack_from(buf, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise DecodeError(f"unsupported PQSTORE format version: {version}")
+    start = len(MAGIC) + _HEADER.size
+    if start + meta_len > len(buf):
+        raise DecodeError("truncated header metadata")
+    raw = bytes(buf[start : start + meta_len])
+    try:
+        meta = json.loads(raw.decode())
+    except ValueError as exc:
+        raise DecodeError(f"corrupt header metadata: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise DecodeError("header metadata is not a JSON object")
+    end = start + meta_len
+    return meta, end + (-end % 8)
+
+
+# -- record framing -------------------------------------------------------
+
+
+def frame(kind: int, payload: bytes) -> bytes:
+    """Wrap a payload in a framed, 8-byte-padded record."""
+    head = _RECORD.pack(RECORD_MAGIC, kind, len(payload))
+    return head + payload + _pad8(len(payload))
+
+
+def iter_records(buf: bytes, offset: int) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(kind, payload_offset, payload_len)`` for each record."""
+    size = len(buf)
+    while offset < size:
+        if offset + _RECORD.size > size:
+            raise DecodeError(f"truncated record header at offset {offset}")
+        magic, kind, payload_len = _RECORD.unpack_from(buf, offset)
+        if magic != RECORD_MAGIC:
+            raise DecodeError(f"bad record magic at offset {offset}")
+        payload_off = offset + _RECORD.size
+        if payload_off + payload_len > size:
+            raise DecodeError(f"truncated record payload at offset {offset}")
+        yield kind, payload_off, payload_len
+        offset = payload_off + payload_len + (-payload_len % 8)
+
+
+# -- time-window snapshots ------------------------------------------------
+
+
+def encode_tw(snapshot: Any) -> bytes:
+    """Encode a :class:`~repro.core.analysis.TimeWindowSnapshot` payload."""
+    windows: List[FilteredWindow] = snapshot.windows
+    flows: List[Optional[FlowKey]] = []
+    counts: List[int] = []
+    for fw in windows:
+        cell_flows = (
+            fw.cell_flows
+            if fw.cell_flows is not None
+            else [flow for _, flow in fw.cells]
+        )
+        flows.extend(cell_flows)
+        counts.append(len(cell_flows))
+    table_parts: List[bytes] = []
+    indices = _intern_flows(table_parts, flows)
+    num_flows = len({f for f in flows if f is not None})
+    try:
+        source = _SOURCE_CODES[snapshot.source]
+    except KeyError:
+        raise DecodeError(f"unknown snapshot source: {snapshot.source!r}")
+    parts = [
+        _TW_HEAD.pack(
+            snapshot.read_time_ns,
+            snapshot.valid_from_ns,
+            source,
+            len(windows),
+            num_flows,
+            0,
+        ),
+        table_parts[0],
+    ]
+    pos = 0
+    for fw, count in zip(windows, counts):
+        ref = _REF_NONE if fw.reference_tts is None else fw.reference_tts
+        parts.append(_WINDOW_HEAD.pack(fw.window_index, fw.shift, ref, count))
+        if fw.tts_array is not None:
+            tts = np.ascontiguousarray(fw.tts_array, dtype="<i8")
+        else:
+            tts = np.array([c[0] for c in fw.cells], dtype="<i8")
+        parts.append(tts.tobytes())
+        idx = np.array(indices[pos : pos + count], dtype="<i4")
+        parts.append(idx.tobytes())
+        parts.append(_pad8(count * 12))
+        pos += count
+    payload = b"".join(parts)
+    return payload + _pad8(len(payload))
+
+
+def decode_tw(buf: bytes, offset: int) -> Any:
+    """Decode a time-window payload into a ``TimeWindowSnapshot``.
+
+    ``buf`` may be an ``mmap`` — the per-window TTS columns come back as
+    read-only zero-copy views into it, which is exactly what the
+    compiled query plan consumes.
+    """
+    # Local import: repro.core.analysis imports repro.store at module
+    # load, so the snapshot class must resolve lazily here.
+    from repro.core.analysis import TimeWindowSnapshot
+
+    read_time_ns, valid_from_ns, source, num_windows, num_flows, _ = (
+        _TW_HEAD.unpack_from(buf, offset)
+    )
+    if source not in _SOURCE_NAMES:
+        raise DecodeError(f"unknown snapshot source code: {source}")
+    pos = offset + _TW_HEAD.size
+    flow_table = _read_flow_table(buf, pos, num_flows)
+    pos += num_flows * _FLOW_ENTRY.size
+    windows: List[FilteredWindow] = []
+    for _ in range(num_windows):
+        window_index, shift, ref, num_cells = _WINDOW_HEAD.unpack_from(buf, pos)
+        pos += _WINDOW_HEAD.size
+        tts = np.frombuffer(buf, dtype="<i8", count=num_cells, offset=pos)
+        pos += num_cells * 8
+        idx = np.frombuffer(buf, dtype="<i4", count=num_cells, offset=pos)
+        pos += num_cells * 4
+        pos += -num_cells * 12 % 8
+        cell_flows = [flow_table[i] for i in idx.tolist()]
+        cells: List[Tuple[int, FlowKey]] = list(zip(tts.tolist(), cell_flows))
+        windows.append(
+            FilteredWindow(
+                window_index,
+                shift,
+                cells,
+                None if ref == _REF_NONE else ref,
+                tts_array=tts,
+                cell_flows=cell_flows,
+            )
+        )
+    return TimeWindowSnapshot(
+        read_time_ns=read_time_ns,
+        windows=windows,
+        source=_SOURCE_NAMES[source],
+        valid_from_ns=valid_from_ns,
+    )
+
+
+# -- queue-monitor snapshots ----------------------------------------------
+
+
+def encode_qm(snapshot: QueueMonitorSnapshot, bounded: bool) -> bytes:
+    """Encode a queue-monitor snapshot payload."""
+    table_parts: List[bytes] = []
+    indices = _intern_flows(table_parts, snapshot.inc_flow)
+    num_flows = len({f for f in snapshot.inc_flow if f is not None})
+    flags = QM_FLAG_BOUNDED if bounded else 0
+    parts = [
+        _QM_HEAD.pack(
+            snapshot.time_ns,
+            snapshot.top,
+            flags,
+            num_flows,
+            len(snapshot.inc_seq),
+            len(snapshot.dec_seq),
+        ),
+        table_parts[0],
+        np.array(snapshot.inc_seq, dtype="<i8").tobytes(),
+        np.array(snapshot.dec_seq, dtype="<i8").tobytes(),
+        np.array(indices, dtype="<i4").tobytes(),
+    ]
+    payload = b"".join(parts)
+    return payload + _pad8(len(payload))
+
+
+def decode_qm(buf: bytes, offset: int) -> Tuple[QueueMonitorSnapshot, bool]:
+    """Decode a queue-monitor payload; returns ``(snapshot, bounded)``."""
+    time_ns, top, flags, num_flows, num_inc, num_dec = _QM_HEAD.unpack_from(
+        buf, offset
+    )
+    pos = offset + _QM_HEAD.size
+    flow_table = _read_flow_table(buf, pos, num_flows)
+    pos += num_flows * _FLOW_ENTRY.size
+    inc_seq = np.frombuffer(buf, dtype="<i8", count=num_inc, offset=pos)
+    pos += num_inc * 8
+    dec_seq = np.frombuffer(buf, dtype="<i8", count=num_dec, offset=pos)
+    pos += num_dec * 8
+    idx = np.frombuffer(buf, dtype="<i4", count=num_inc, offset=pos)
+    inc_flow: List[Optional[FlowKey]] = [
+        None if i < 0 else flow_table[i] for i in idx.tolist()
+    ]
+    snapshot = QueueMonitorSnapshot(
+        time_ns=time_ns,
+        top=top,
+        inc_seq=inc_seq.tolist(),
+        inc_flow=inc_flow,
+        dec_seq=dec_seq.tolist(),
+    )
+    return snapshot, bool(flags & QM_FLAG_BOUNDED)
+
+
+def peek_tw_read_time(buf: bytes, offset: int) -> int:
+    """A TW payload's ``read_time_ns`` without decoding the windows."""
+    (read_time_ns,) = struct.unpack_from("<q", buf, offset)
+    return read_time_ns
+
+
+def peek_qm_bounded(buf: bytes, offset: int) -> bool:
+    """A QM payload's bounded flag without decoding the snapshot."""
+    flags = _QM_HEAD.unpack_from(buf, offset)[2]
+    return bool(flags & QM_FLAG_BOUNDED)
+
+
+def peek_replace_target(buf: bytes, offset: int) -> int:
+    """A replace payload's target sequence number."""
+    (target_seq,) = struct.unpack_from("<q", buf, offset)
+    return target_seq
+
+
+# -- quarantine replacements ----------------------------------------------
+
+
+def encode_replace(target_seq: int, snapshot: Any) -> bytes:
+    """Encode a quarantine-replacement payload."""
+    return struct.pack("<q", target_seq) + encode_tw(snapshot)
+
+
+def decode_replace(buf: bytes, offset: int) -> Tuple[int, Any]:
+    """Decode a replacement payload; returns ``(target_seq, snapshot)``."""
+    (target_seq,) = struct.unpack_from("<q", buf, offset)
+    return target_seq, decode_tw(buf, offset + 8)

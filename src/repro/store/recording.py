@@ -1,0 +1,66 @@
+"""Recording a run's poll stream to a PQSTORE1 file.
+
+A :class:`Recorder` attaches to any store (``store.attach_recorder``)
+and mirrors the *ingest* stream — time-window adds, queue-monitor adds,
+quarantine replacements — into an append-only file in the binary format
+of :mod:`repro.store.format`.  Retention (evictions, thinning) is *not*
+recorded: it is re-derived from the policy in the header metadata at
+replay time, which is what makes the replayed store's version counter
+and eviction history exactly match the live run's.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Dict, Union
+
+from repro.core.queuemonitor import QueueMonitorSnapshot
+from repro.errors import StoreError
+from repro.store import format as fmt
+
+if TYPE_CHECKING:
+    from repro.core.analysis import TimeWindowSnapshot
+
+
+class Recorder:
+    """Append-only writer of a run's snapshot ingest stream."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: IO[bytes] = open(self.path, "wb")
+        self._header_written = False
+        self.bytes_written = 0
+        self.records_written = 0
+
+    def write_header(self, meta: Dict[str, Any]) -> None:
+        if self._header_written:
+            return
+        self._write(fmt.encode_header(meta))
+        self._header_written = True
+
+    def _write(self, data: bytes) -> None:
+        self._fh.write(data)
+        self.bytes_written += len(data)
+
+    def _record(self, kind: int, payload: bytes) -> None:
+        if not self._header_written:
+            raise StoreError("recorder used before its header was written")
+        self._write(fmt.frame(kind, payload))
+        self.records_written += 1
+
+    def record_tw(self, snapshot: "TimeWindowSnapshot") -> None:
+        self._record(fmt.REC_TW_ADD, fmt.encode_tw(snapshot))
+
+    def record_qm(self, snapshot: QueueMonitorSnapshot, bounded: bool) -> None:
+        self._record(fmt.REC_QM_ADD, fmt.encode_qm(snapshot, bounded))
+
+    def record_replace(self, target_seq: int, snapshot: "TimeWindowSnapshot") -> None:
+        self._record(fmt.REC_TW_REPLACE, fmt.encode_replace(target_seq, snapshot))
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()

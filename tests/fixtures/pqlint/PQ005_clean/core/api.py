@@ -1,6 +1,8 @@
-"""PQ005 fixture: keyword-only options, shim pointing at the caller."""
+"""PQ005 fixture: keyword-only options, retired name raises typed error."""
 
-import warnings
+
+class QueryError(Exception):
+    pass
 
 
 class PrintQueuePort:
@@ -8,9 +10,6 @@ class PrintQueuePort:
         return (interval, mode, classes)
 
     def old_query(self, interval):
-        warnings.warn(
-            "old_query is deprecated; use query_victims",
-            DeprecationWarning,
-            stacklevel=2,
+        raise QueryError(
+            "old_query was removed; use query_victims(interval, ...)"
         )
-        return self.query_victims(interval)

@@ -78,6 +78,15 @@ PUBLIC_MODULES = [
     "repro.obs",
     "repro.obs.metrics",
     "repro.obs.report",
+    "repro.store",
+    "repro.store.base",
+    "repro.store.cold",
+    "repro.store.format",
+    "repro.store.memory",
+    "repro.store.mmapstore",
+    "repro.store.recording",
+    "repro.store.replay",
+    "repro.store.retention",
     "repro.experiments",
     "repro.experiments.evaluation",
     "repro.experiments.figures",

@@ -64,8 +64,8 @@ class TestClassedMonitors:
         victim = max(low, key=lambda p: p.deq_timedelta or 0)
         t = victim.enq_timestamp
         # High-priority victims are only delayed by class 0.
-        high_only = pq.original_culprits_by_class(t, classes=[0])
-        both = pq.original_culprits_by_class(t)
+        high_only = pq.query(at_ns=t, classes=[0]).estimate
+        both = pq.query(at_ns=t, classes=[0, 1]).estimate
         assert high_only.total <= both.total
         for flow, _count in high_only.items():
             assert flow == HIGH
@@ -75,7 +75,9 @@ class TestClassedMonitors:
         packets, end = run_mixed_traffic(pq, port)
         low = [p for p in packets if p.priority == 1 and not p.dropped]
         victim = max(low, key=lambda p: p.deq_timedelta or 0)
-        estimate = pq.original_culprits_by_class(victim.enq_timestamp)
+        estimate = pq.query(
+            at_ns=victim.enq_timestamp, classes=[0, 1]
+        ).estimate
         # The standing low-priority queue implicates the two low flows.
         low_total = estimate[LOW_A] + estimate[LOW_B]
         assert low_total > 0
@@ -84,10 +86,10 @@ class TestClassedMonitors:
         config = PrintQueueConfig(m0=10, k=10, alpha=1, T=3)
         pq = PrintQueuePort(config)
         with pytest.raises(QueryError):
-            pq.original_culprits_by_class(0)
+            pq.query(at_ns=0, classes=[0])
 
     def test_query_before_snapshots_raises(self):
         config = PrintQueueConfig(m0=10, k=10, alpha=1, T=3)
         pq = PrintQueuePort(config, num_classes=2)
         with pytest.raises(QueryError):
-            pq.original_culprits_by_class(0)
+            pq.query(at_ns=0, classes=[0])

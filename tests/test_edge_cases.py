@@ -110,16 +110,16 @@ class TestPrintQueuePortEdges:
         pq = PrintQueuePort(config)
         pq.process_dequeue(FLOW, 100, depth_after=0)
         pq.finish(200)
-        first = pq.async_query(QueryInterval(0, 200)).total
+        first = pq.query(interval=QueryInterval(0, 200)).estimate.total
         pq.finish(300)  # extra finish must not duplicate counts
-        second = pq.async_query(QueryInterval(0, 200)).total
+        second = pq.query(interval=QueryInterval(0, 200)).estimate.total
         assert second == pytest.approx(first)
 
     def test_zero_traffic_port(self):
         config = PrintQueueConfig(m0=4, k=6, alpha=1, T=2)
         pq = PrintQueuePort(config)
         pq.finish(1000)
-        assert pq.async_query(QueryInterval(0, 1000)).total == 0
+        assert pq.query(interval=QueryInterval(0, 1000)).estimate.total == 0
 
 
 class TestSimulatorEdges:

@@ -57,7 +57,7 @@ class TestEventDrivenPipeline:
         interval = QueryInterval.for_victim(
             victim.enq_timestamp, victim.deq_timestamp
         )
-        estimate = pq.port(0).async_query(interval)
+        estimate = pq.port(0).query(interval=interval).estimate
         truth = CulpritTaxonomy(list(recorder.records)).direct(victim)
         score = precision_recall(estimate, truth)
         assert score.precision > 0.7
@@ -86,8 +86,8 @@ class TestEventDrivenPipeline:
         drive_printqueue(records, pq_b)
 
         interval = QueryInterval(0, end)
-        est_a = pq_a.port(0).async_query(interval)
-        est_b = pq_b.async_query(interval)
+        est_a = pq_a.port(0).query(interval=interval).estimate
+        est_b = pq_b.query(interval=interval).estimate
         assert est_a.as_dict() == pytest.approx(est_b.as_dict())
 
 
@@ -124,7 +124,7 @@ class TestSchedulingAgnostic:
         interval = QueryInterval.for_victim(
             victim.enq_timestamp, victim.deq_timestamp
         )
-        estimate = pq.port(0).async_query(interval)
+        estimate = pq.port(0).query(interval=interval).estimate
         truth = CulpritTaxonomy(list(recorder.records)).direct(victim)
         score = precision_recall(estimate, truth)
         assert score.recall > 0.6

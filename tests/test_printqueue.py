@@ -114,7 +114,7 @@ class TestEventStreamInterface:
         assert pq.analysis.tw_snapshots == []
         pq.finish(200)
         assert len(pq.analysis.tw_snapshots) >= 1
-        estimate = pq.async_query(QueryInterval(0, 200))
+        estimate = pq.query(interval=QueryInterval(0, 200)).estimate
         assert estimate[FLOW_A] == pytest.approx(1.0)
 
 

@@ -1,4 +1,4 @@
-"""The unified ``PrintQueuePort.query`` surface and its deprecation shims."""
+"""The unified ``PrintQueuePort.query`` surface and the retired names."""
 
 import warnings
 
@@ -104,14 +104,9 @@ def test_classed_queue_monitor_round_trip():
     assert both.classes == (0, 1) and only_high.classes == (0,)
     assert only_high.estimate[bulk] == 0
     assert both.estimate.total >= only_high.estimate.total
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        with pytest.raises(DeprecationWarning):
-            pq.original_culprits_by_class(t, classes=[0])
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        old = pq.original_culprits_by_class(t, classes=[0])
-    assert old._counts == only_high.estimate._counts
+    # The retired name raises before touching the classed monitor.
+    with pytest.raises(QueryError, match="query"):
+        pq.original_culprits_by_class(t, classes=[0])
 
 
 # ---------------------------------------------------------------------------
@@ -140,76 +135,83 @@ def test_query_is_keyword_only(run, victim_interval):
 
 
 # ---------------------------------------------------------------------------
-# deprecation shims: warn, then behave exactly like query()
+# retired query surface: each old name raises a typed QueryError that
+# names the exact query() replacement (no DeprecationWarning shims remain)
 
 
-def test_old_methods_warn_and_match_query(run, victim_interval):
+def test_old_methods_raise_query_error(run, victim_interval):
     victim, interval = victim_interval
     pq = run.pq
-    with pytest.warns(DeprecationWarning, match="async_query"):
-        old_async = pq.async_query(interval)
-    assert old_async._counts == pq.query(interval=interval).estimate._counts
-
-    with pytest.warns(DeprecationWarning, match="original_culprits"):
-        old_original = pq.original_culprits(victim.enq_timestamp)
-    assert (
-        old_original._counts
-        == pq.query(at_ns=victim.enq_timestamp).estimate._counts
-    )
-
-    with pytest.warns(DeprecationWarning, match="data_plane_query_interval"):
-        old_dp = pq.data_plane_query_interval(victim.deq_timestamp, interval)
-    assert old_dp is not None
-    new_dp = pq.query(
-        interval=interval, mode="data_plane", at_ns=victim.deq_timestamp
-    )
-    assert old_dp.estimate._counts == new_dp.estimate._counts
-
-    # DequeueRecord quacks like a Packet for the packet-shaped shim.
-    with pytest.warns(DeprecationWarning, match="data_plane_query"):
-        old_pkt = pq.data_plane_query(victim)
-    assert old_pkt is not None and old_pkt.interval == interval
+    with pytest.raises(QueryError, match="async_query"):
+        pq.async_query(interval)
+    with pytest.raises(QueryError, match="original_culprits"):
+        pq.original_culprits(victim.enq_timestamp)
+    with pytest.raises(QueryError, match="data_plane_query_interval"):
+        pq.data_plane_query_interval(victim.deq_timestamp, interval)
+    with pytest.raises(QueryError, match="data_plane_query"):
+        pq.data_plane_query(victim)
 
 
-def test_deprecation_messages_name_replacement_kwargs(run, victim_interval):
-    """Each shim's warning spells out the exact query() keywords to use."""
+def test_removal_messages_name_replacement_kwargs(run, victim_interval):
+    """Each retired name's error spells out the exact query() keywords."""
     victim, interval = victim_interval
     pq = run.pq
     expected = {
-        "async_query": "query(interval=...)",
-        "original_culprits": "query(at_ns=...)",
-        "original_culprits_by_class": "query(at_ns=..., classes=...)",
-        "data_plane_query_interval": 'query(interval=..., mode="data_plane", at_ns=...)',
-        "data_plane_query": 'mode="data_plane")',
+        "async_query": ("query(interval=...)", lambda: pq.async_query(interval)),
+        "original_culprits": (
+            "query(at_ns=...)",
+            lambda: pq.original_culprits(victim.enq_timestamp),
+        ),
+        "original_culprits_by_class": (
+            "query(at_ns=..., classes=...)",
+            lambda: pq.original_culprits_by_class(
+                victim.enq_timestamp, classes=[0]
+            ),
+        ),
+        "data_plane_query_interval": (
+            'query(interval=..., mode="data_plane", at_ns=...)',
+            lambda: pq.data_plane_query_interval(victim.deq_timestamp, interval),
+        ),
+        "data_plane_query": (
+            'mode="data_plane")',
+            lambda: pq.data_plane_query(victim),
+        ),
     }
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        pq.async_query(interval)
-        pq.original_culprits(victim.enq_timestamp)
-        pq.data_plane_query_interval(victim.deq_timestamp, interval)
-        pq.data_plane_query(victim)
-    messages = [str(w.message) for w in caught]
-    assert len(messages) == 4
-    for shim, replacement in expected.items():
-        if shim == "original_culprits_by_class":
-            continue  # needs a classed port; message text asserted below
-        matching = [m for m in messages if m.startswith(f"PrintQueuePort.{shim}(")]
-        assert matching, f"no warning emitted for {shim}"
-        assert replacement in matching[0], (shim, matching[0])
-    # stacklevel=2: the warning is attributed to this test file (the
-    # caller), not to printqueue.py (the shim body).
-    for w in caught:
-        assert w.filename == __file__
+    for name, (replacement, call) in expected.items():
+        with pytest.raises(QueryError) as excinfo:
+            call()
+        message = str(excinfo.value)
+        assert message.startswith(f"PrintQueuePort.{name}("), (name, message)
+        assert replacement in message, (name, message)
 
 
-def test_classed_shim_message_names_kwargs():
+def test_retired_names_have_no_side_effects(run, victim_interval):
+    """The retired names raise eagerly — no query runs, nothing is stored."""
+    victim, interval = victim_interval
+    pq = run.pq
+    version_before = pq.analysis.store.version
+    dp_before = len(pq.dp_results)
+    for call in (
+        lambda: pq.async_query(interval),
+        lambda: pq.original_culprits(victim.enq_timestamp),
+        lambda: pq.data_plane_query_interval(victim.deq_timestamp, interval),
+        lambda: pq.data_plane_query(victim),
+    ):
+        with pytest.raises(QueryError):
+            call()
+    assert pq.analysis.store.version == version_before
+    assert len(pq.dp_results) == dp_before
+
+
+def test_no_deprecation_shims_remain():
+    """src/repro carries no warnings.warn(..., DeprecationWarning) shims."""
     import inspect
 
-    from repro.core.printqueue import PrintQueuePort
+    from repro.core import printqueue
 
-    source = inspect.getsource(PrintQueuePort.original_culprits_by_class)
-    assert "query(at_ns=..., classes=...)" in source
-    assert "stacklevel=2" in source
+    source = inspect.getsource(printqueue)
+    assert "DeprecationWarning" not in source
+    assert "warnings.warn" not in source
 
 
 def test_new_api_is_warning_free(run, victim_interval):

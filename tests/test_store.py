@@ -1,0 +1,477 @@
+"""The pluggable snapshot store: backends, retention, record/replay.
+
+Three invariant families:
+
+* **Backend conformance** — every backend (memory / mmap / compressed)
+  exposes the same views, version-counter semantics, retention
+  behaviour, and quarantine contract.
+* **Retention** — eviction and deep-window thinning follow the policy,
+  and eviction rides the add's single version bump.
+* **Record/replay determinism** — a recorded run's ingest stream,
+  replayed through any backend, reproduces the exact same snapshots,
+  version evolution, query results, plan-cache hit pattern, and
+  deterministic RunReport view as the live run.
+"""
+
+import pytest
+
+from repro.core.analysis import AnalysisProgram, TimeWindowSnapshot
+from repro.core.config import PrintQueueConfig
+from repro.core.filtering import FilteredWindow
+from repro.core.queuemonitor import QueueMonitorSnapshot
+from repro.errors import ConfigError, StoreError
+from repro.experiments.runner import simulate_workload
+from repro.obs.report import RunReport
+from repro.store import (
+    BACKENDS,
+    CompressedStore,
+    MemoryStore,
+    MmapStore,
+    Recorder,
+    RetentionPolicy,
+    SnapshotView,
+    default_probe_intervals,
+    read_recording,
+    replay_analysis,
+    replay_store,
+)
+from repro.store import format as fmt
+from repro.switch.packet import FlowKey
+
+FLOW_A = FlowKey.from_strings("10.0.0.1", "10.1.0.1", 5001, 80)
+FLOW_B = FlowKey.from_strings("10.0.0.2", "10.1.0.1", 5002, 80)
+
+CONFIG = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+
+
+def make_tw(read_time_ns, source="periodic", extra_flow=None):
+    """A small two-window snapshot with deterministic contents."""
+    flows = [FLOW_A, FLOW_B] + ([extra_flow] if extra_flow else [])
+    cells0 = [(read_time_ns // 64 + i, f) for i, f in enumerate(flows)]
+    cells1 = [(read_time_ns // 256, FLOW_B)]
+    return TimeWindowSnapshot(
+        read_time_ns=read_time_ns,
+        windows=[
+            FilteredWindow(0, 6, cells0, cells0[-1][0]),
+            FilteredWindow(1, 8, cells1, None),
+        ],
+        source=source,
+        valid_from_ns=max(0, read_time_ns - 1000),
+    )
+
+
+def make_qm(time_ns):
+    """A three-level queue-monitor snapshot."""
+    return QueueMonitorSnapshot(
+        time_ns=time_ns,
+        top=2,
+        inc_seq=[-1, 4, 9],
+        inc_flow=[None, FLOW_A, FLOW_B],
+        dec_seq=[3, -1, -1],
+    )
+
+
+def make_store(backend, tmp_path, retention=None, name="s.pqstore"):
+    if backend == "memory":
+        return MemoryStore(retention=retention)
+    if backend == "compressed":
+        return CompressedStore(retention=retention)
+    return MmapStore(tmp_path / name, retention=retention)
+
+
+# ---------------------------------------------------------------------------
+# backend conformance
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendConformance:
+    def test_views_round_trip(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        snaps = [make_tw(t) for t in (1000, 2000, 3000)]
+        for s in snaps:
+            store.add_tw(s)
+        qm = make_qm(1500)
+        store.add_qm(qm)
+        assert isinstance(store.tw_view(), SnapshotView)
+        assert list(store.tw_view()) == snaps
+        assert store.tw_view() == snaps  # view/list equality
+        assert store.tw_view()[1] == snaps[1]
+        assert store.tw_view()[-2:] == snaps[-2:]
+        assert len(store.qm_view()) == 1 and store.qm_view()[0] == qm
+
+    def test_out_of_order_add_keeps_ascending(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        for t in (3000, 1000, 2000):
+            store.add_tw(make_tw(t))
+        times = [s.read_time_ns for s in store.tw_view()]
+        assert times == [1000, 2000, 3000]
+
+    def test_version_semantics(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        assert store.version == 0
+        store.add_tw(make_tw(1000))
+        assert store.version == 1
+        store.add_qm(make_qm(1100))  # qm snapshots never invalidate plans
+        assert store.version == 1
+        store.bump_version()
+        assert store.version == 2
+
+    def test_eviction_follows_policy_single_bump(self, backend, tmp_path):
+        store = make_store(
+            backend, tmp_path, retention=RetentionPolicy(max_snapshots=2)
+        )
+        for t in (1000, 2000, 3000):
+            store.add_tw(make_tw(t))
+        assert [s.read_time_ns for s in store.tw_view()] == [2000, 3000]
+        stats = store.deterministic_stats()
+        assert stats["tw_evictions"] == 1
+        assert stats["tw_added"] == 3
+        # One bump per add; the eviction rides the add's bump.
+        assert store.version == 3
+
+    def test_qm_retention_bounded_vs_hardware(self, backend, tmp_path):
+        store = make_store(
+            backend,
+            tmp_path,
+            retention=RetentionPolicy(max_snapshots=8, qm_max_snapshots=2),
+        )
+        for t in (100, 200, 300):
+            store.add_qm(make_qm(t))
+        assert [s.time_ns for s in store.qm_view()] == [200, 300]
+        # The on-demand (hardware) capture is outside the poll cadence.
+        store.add_qm(make_qm(400), bounded=False)
+        assert [s.time_ns for s in store.qm_view()] == [200, 300, 400]
+        assert store.deterministic_stats()["qm_evictions"] == 1
+
+    def test_thinning_beyond_horizon(self, backend, tmp_path):
+        store = make_store(
+            backend,
+            tmp_path,
+            retention=RetentionPolicy(
+                max_snapshots=8, full_window_horizon=1, thin_below_window=1
+            ),
+        )
+        store.add_tw(make_tw(1000))
+        store.add_tw(make_tw(2000))
+        old, new = list(store.tw_view())
+        assert [w.window_index for w in new.windows] == [0, 1]
+        # The older snapshot kept only its deep (coarse) windows.
+        assert [w.window_index for w in old.windows] == [1]
+        assert store.deterministic_stats()["tw_thinned"] == 1
+
+    def test_quarantine_replacement_bumps_version(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        snapshot = make_tw(1000)
+        store.add_tw(snapshot)
+        stored = store.tw_view()[0]
+        version = store.version
+        replacement = [stored.windows[1]]
+        store.replace_windows(stored, replacement)
+        assert store.version == version + 1
+        assert store.tw_view()[0].windows == replacement
+        assert store.deterministic_stats()["quarantine_replacements"] == 1
+
+    def test_views_are_read_only(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.add_tw(make_tw(1000))
+        view = store.tw_view()
+        assert not hasattr(view, "append")
+        with pytest.raises(TypeError):
+            view[0] = None
+
+    def test_stats_shape(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.add_tw(make_tw(1000))
+        store.add_qm(make_qm(1100))
+        stats = store.stats()
+        assert stats["backend"] == backend
+        assert stats["bytes_total"] == stats["tw_bytes"] + stats["qm_bytes"]
+        assert stats["tw_bytes"] > 0 and stats["qm_bytes"] > 0
+        det = store.deterministic_stats()
+        assert "backend" not in det and "tw_bytes" not in det
+
+
+# ---------------------------------------------------------------------------
+# retention policy
+# ---------------------------------------------------------------------------
+
+
+class TestRetentionPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetentionPolicy(max_snapshots=0)
+        with pytest.raises(ConfigError):
+            RetentionPolicy(qm_max_snapshots=-1)
+        with pytest.raises(ConfigError):
+            RetentionPolicy(full_window_horizon=-2)
+        with pytest.raises(ConfigError):
+            RetentionPolicy(thin_below_window=-1)
+
+    def test_effective_qm_max_defaults_to_tw_cap(self):
+        assert RetentionPolicy(max_snapshots=7).effective_qm_max == 7
+        assert (
+            RetentionPolicy(max_snapshots=7, qm_max_snapshots=3).effective_qm_max
+            == 3
+        )
+
+    def test_store_and_retention_are_mutually_exclusive(self):
+        with pytest.raises(ConfigError):
+            AnalysisProgram(
+                CONFIG,
+                store=MemoryStore(),
+                retention=RetentionPolicy(max_snapshots=4),
+            )
+
+    def test_retention_reaches_analysis_default_store(self):
+        analysis = AnalysisProgram(
+            CONFIG, retention=RetentionPolicy(max_snapshots=5)
+        )
+        assert analysis.max_snapshots == 5
+        assert analysis.store.retention.max_snapshots == 5
+
+
+# ---------------------------------------------------------------------------
+# binary format
+# ---------------------------------------------------------------------------
+
+
+class TestFormat:
+    def test_tw_round_trip(self):
+        snapshot = make_tw(123_456, source="data-plane")
+        decoded = fmt.decode_tw(fmt.encode_tw(snapshot), 0)
+        assert decoded == snapshot
+        # Columnar arrays are rebuilt as zero-copy views over the blob.
+        assert decoded.windows[0].tts_array is not None
+        assert list(decoded.windows[0].tts_array) == [
+            tts for tts, _ in snapshot.windows[0].cells
+        ]
+
+    def test_qm_round_trip(self):
+        snapshot = make_qm(987)
+        for bounded in (True, False):
+            payload = fmt.encode_qm(snapshot, bounded)
+            decoded, got_bounded = fmt.decode_qm(payload, 0)
+            assert decoded == snapshot and got_bounded is bounded
+
+    def test_header_round_trip(self):
+        meta = {"kind": "printqueue-run", "d_ns": 12.5, "nested": {"a": 1}}
+        blob = fmt.encode_header(meta)
+        got, offset = fmt.read_header(blob)
+        assert got == meta and offset == len(blob)
+
+    def test_corrupt_header_raises(self):
+        with pytest.raises(fmt.DecodeError):
+            fmt.read_header(b"NOTSTORE" + b"\x00" * 16)
+
+    def test_replace_round_trip(self):
+        snapshot = make_tw(55_000)
+        payload = fmt.encode_replace(7, snapshot)
+        target, decoded = fmt.decode_replace(payload, 0)
+        assert target == 7 and decoded == snapshot
+
+
+# ---------------------------------------------------------------------------
+# record / replay
+# ---------------------------------------------------------------------------
+
+
+def recorded_run(path, **kwargs):
+    """One faulted workload run with its poll stream recorded to path."""
+    store = MemoryStore()
+    recorder = Recorder(path)
+    store.attach_recorder(recorder)
+    run = simulate_workload(
+        "ws",
+        duration_ns=1_200_000,
+        load=1.3,
+        config=CONFIG,
+        seed=11,
+        faults="flaky-rpc",
+        store=store,
+        **kwargs,
+    )
+    recorder.close()
+    return run, store
+
+
+class TestRecordReplay:
+    def test_recording_is_deterministic(self, tmp_path):
+        a = tmp_path / "a.pqstore"
+        b = tmp_path / "b.pqstore"
+        recorded_run(a)
+        recorded_run(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_inspect_counts(self, tmp_path):
+        path = tmp_path / "run.pqstore"
+        _, store = recorded_run(path)
+        info = read_recording(path)
+        assert info["tw_records"] == store.tw_added
+        assert info["qm_records"] == store.qm_added
+        assert info["records"] >= 2
+        assert info["meta"]["config"]["k"] == CONFIG.k
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_replay_matches_live_store(self, backend, tmp_path):
+        path = tmp_path / "run.pqstore"
+        run, live = recorded_run(path)
+        replayed = replay_store(path, backend=backend)
+        assert replayed.deterministic_stats() == live.deterministic_stats()
+        assert list(replayed.tw_view()) == list(live.tw_view())
+        assert list(replayed.qm_view()) == list(live.qm_view())
+        assert replayed.replay_position == read_recording(path)["records"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_replayed_queries_match_live(self, backend, tmp_path):
+        path = tmp_path / "run.pqstore"
+        run, _ = recorded_run(path)
+        live = run.pq.analysis
+        replayed = replay_analysis(path, backend=backend)
+        intervals = default_probe_intervals(live, 4)
+        assert intervals == default_probe_intervals(replayed, 4)
+        live_batch = live.query_time_windows_batch(intervals, source="periodic")
+        replay_batch = replayed.query_time_windows_batch(
+            intervals, source="periodic"
+        )
+        for a, b in zip(live_batch, replay_batch):
+            assert a._counts == b._counts
+        for interval in intervals:  # scalar engine agrees too
+            a = live.query_time_windows(interval)
+            b = replayed.query_time_windows(interval)
+            assert a._counts == b._counts
+
+    def test_replay_reproduces_plan_cache_pattern(self, tmp_path):
+        path = tmp_path / "run.pqstore"
+        run, _ = recorded_run(path)
+        live = run.pq.analysis
+        replayed = replay_analysis(path, backend="mmap")
+        intervals = default_probe_intervals(live, 3)
+        for analysis in (live, replayed):
+            analysis.query_time_windows_batch(intervals, source="periodic")
+            analysis.query_time_windows_batch(intervals, source="periodic")
+        assert replayed.plan_cache_misses == live.plan_cache_misses
+        assert replayed.plan_cache_hits == live.plan_cache_hits
+        assert replayed.snapshot_compile_misses == live.snapshot_compile_misses
+
+    def test_replace_records_replay(self, tmp_path):
+        path = tmp_path / "q.pqstore"
+        store = MemoryStore()
+        recorder = Recorder(path)
+        store.attach_recorder(recorder)
+        store.bind({"retention": {"max_snapshots": 8}})
+        store.add_tw(make_tw(1000))
+        store.add_tw(make_tw(2000))
+        victim = store.tw_view()[0]
+        store.replace_windows(victim, [victim.windows[1]])
+        recorder.close()
+        for backend in BACKENDS:
+            replayed = replay_store(path, backend=backend)
+            assert replayed.deterministic_stats() == store.deterministic_stats()
+            assert list(replayed.tw_view()) == list(store.tw_view())
+
+    def test_mmap_write_store_is_its_own_recording(self, tmp_path):
+        path = tmp_path / "w.pqstore"
+        store = MmapStore(path)
+        with pytest.raises(StoreError):
+            store.attach_recorder(Recorder(tmp_path / "other.pqstore"))
+        store.bind({"retention": {"max_snapshots": 8}})
+        store.add_tw(make_tw(1000))
+        store.add_qm(make_qm(1100))
+        store.flush()
+        replayed = replay_store(path, backend="memory")
+        assert replayed.deterministic_stats() == store.deterministic_stats()
+        assert list(replayed.tw_view()) == list(store.tw_view())
+
+    def test_replay_derives_retention_from_header(self, tmp_path):
+        path = tmp_path / "r.pqstore"
+        store = MemoryStore(retention=RetentionPolicy(max_snapshots=2))
+        recorder = Recorder(path)
+        store.attach_recorder(recorder)
+        store.bind(
+            {
+                "retention": {
+                    "max_snapshots": 2,
+                    "qm_max_snapshots": None,
+                    "full_window_horizon": None,
+                    "thin_below_window": 1,
+                }
+            }
+        )
+        for t in (1000, 2000, 3000):
+            store.add_tw(make_tw(t))
+        recorder.close()
+        for backend in BACKENDS:
+            replayed = replay_store(path, backend=backend)
+            assert replayed.retention.max_snapshots == 2
+            assert replayed.version == store.version == 3
+            assert list(replayed.tw_view()) == list(store.tw_view())
+
+    def test_deterministic_report_sections_survive_replay(self, tmp_path):
+        """The RunReport "store" section is backend-independent."""
+        path = tmp_path / "run.pqstore"
+        run, live = recorded_run(path)
+        report = RunReport.from_port(run.pq)
+        assert report.section("store") == live.deterministic_stats()
+        assert "store" in report.deterministic_view()
+        # Tier-specific gauges stay out of the deterministic view.
+        assert "store_backend" not in report.deterministic_view()
+        for backend in BACKENDS:
+            replayed = replay_store(path, backend=backend)
+            assert report.section("store") == replayed.deterministic_stats()
+
+
+# ---------------------------------------------------------------------------
+# CLI round trip
+# ---------------------------------------------------------------------------
+
+
+class TestStoreCli:
+    def test_record_then_replay_digest_is_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "cli.pqstore")
+        args = ["--duration-ms", "2", "--queries", "2", "--seed", "3"]
+        assert main(["store", "record", path] + args) == 0
+        record_out = capsys.readouterr().out
+        record_probes = [
+            line for line in record_out.splitlines() if line.startswith("probe")
+        ]
+        assert record_probes
+        for backend in BACKENDS:
+            assert (
+                main(
+                    ["store", "replay", path, "--backend", backend]
+                    + ["--queries", "2"]
+                )
+                == 0
+            )
+            replay_out = capsys.readouterr().out
+            replay_probes = [
+                line
+                for line in replay_out.splitlines()
+                if line.startswith("probe")
+            ]
+            assert replay_probes == record_probes
+
+    def test_inspect_json_feeds_store_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path = str(tmp_path / "cli.pqstore")
+        main(["store", "record", path, "--duration-ms", "2", "--queries", "0"])
+        capsys.readouterr()
+        assert main(["store", "inspect", path, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["stats"]["backend"] == "memory"
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+        try:
+            from lint_report import store_metrics
+        finally:
+            sys.path.pop(0)
+        entries = store_metrics(document)
+        assert entries["pq_store_tw_added_total"] == document["stats"]["tw_added"]

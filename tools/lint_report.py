@@ -25,6 +25,12 @@ rendering):
 * ``pq_lint_suppressed_total`` — findings silenced by directives;
 * ``pq_lint_files_checked_total`` — modules the engine parsed.
 
+``--store-json`` additionally folds a snapshot-store stats document
+(``repro store inspect --json``, or any ``SnapshotStore.stats()`` dump)
+into the same section as ``pq_store_*`` entries — bytes per tier,
+evictions, thinning, and replay position ride alongside the lint
+counters.
+
 Exit code 0 on success, 2 on bad invocation or malformed input.  The
 lint *verdict* does not affect the exit code — gating belongs to
 ``tools/pqlint.py``; this tool only records.
@@ -68,6 +74,44 @@ def lint_metrics(document: Dict[str, Any]) -> Dict[str, int]:
     return out
 
 
+def store_metrics(document: Dict[str, Any]) -> Dict[str, int]:
+    """The ``pq_store_*`` metric entries for one store stats document.
+
+    Accepts a ``SnapshotStore.stats()`` dump (what ``repro store
+    inspect --json`` emits under ``"stats"``, also accepted whole).
+    Every entry appears even when zero, mirroring ``lint_metrics``.
+    """
+    stats = document.get("stats", document)
+    if not isinstance(stats, dict) or "backend" not in stats:
+        raise ValueError("not a snapshot-store stats document")
+    tier = str(stats["backend"])
+    return {
+        "pq_store_tw_added_total": int(stats.get("tw_added", 0)),
+        "pq_store_qm_added_total": int(stats.get("qm_added", 0)),
+        'pq_store_evictions_total{kind="tw"}': int(
+            stats.get("tw_evictions", 0)
+        ),
+        'pq_store_evictions_total{kind="qm"}': int(
+            stats.get("qm_evictions", 0)
+        ),
+        "pq_store_thinned_total": int(stats.get("tw_thinned", 0)),
+        "pq_store_quarantine_replacements_total": int(
+            stats.get("quarantine_replacements", 0)
+        ),
+        "pq_store_version": int(stats.get("version", 0)),
+        "pq_store_tw_snapshots": int(stats.get("tw_snapshots", 0)),
+        "pq_store_qm_snapshots": int(stats.get("qm_snapshots", 0)),
+        f'pq_store_bytes{{tier="{tier}",kind="tw"}}': int(
+            stats.get("tw_bytes", 0)
+        ),
+        f'pq_store_bytes{{tier="{tier}",kind="qm"}}': int(
+            stats.get("qm_bytes", 0)
+        ),
+        "pq_store_recording": int(stats.get("recording", 0)),
+        "pq_store_replay_position": int(stats.get("replay_position", 0)),
+    }
+
+
 def append_to_report(report_path: Path, entries: Dict[str, int]) -> None:
     """Merge ``entries`` into the report's ``metrics`` section, in place."""
     from repro.obs.report import RunReport
@@ -93,6 +137,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="pqlint --format json output (default: read stdin)",
     )
     parser.add_argument(
+        "--store-json",
+        default=None,
+        metavar="PATH",
+        help="snapshot-store stats JSON (repro store inspect --json) "
+        "to fold in as pq_store_* metrics",
+    )
+    parser.add_argument(
         "--report",
         default=None,
         metavar="PATH",
@@ -102,13 +153,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        raw = (
-            Path(args.lint_json).read_text()
-            if args.lint_json is not None
-            else sys.stdin.read()
-        )
-        document = json.loads(raw)
-        entries = lint_metrics(document)
+        entries: Dict[str, int] = {}
+        raw = ""
+        if args.lint_json is not None:
+            raw = Path(args.lint_json).read_text()
+        elif args.store_json is None or not sys.stdin.isatty():
+            # stdin is the lint document by default, but a store-only
+            # invocation (``--store-json`` with no piped input) is legal.
+            raw = sys.stdin.read()
+        if raw.strip():
+            entries.update(lint_metrics(json.loads(raw)))
+        elif args.store_json is None:
+            raise ValueError("expected a pqlint JSON document on stdin")
+        if args.store_json is not None:
+            store_doc = json.loads(Path(args.store_json).read_text())
+            entries.update(store_metrics(store_doc))
     except (OSError, ValueError) as exc:
         print(f"lint_report: {exc}", file=sys.stderr)
         return 2
@@ -119,7 +178,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (OSError, ValueError) as exc:
             print(f"lint_report: {exc}", file=sys.stderr)
             return 2
-        print(f"lint_report: appended {len(entries)} pq_lint_* metrics")
+        print(f"lint_report: appended {len(entries)} metric entries")
     else:
         for name, value in entries.items():
             print(f"{name} {value}")
