@@ -1,25 +1,49 @@
-"""Micro-benchmark: batched ingest engine vs the scalar reference loop.
+"""Micro-benchmark: the three ingest tiers on the same ~1M-packet log.
 
-Replays the same ~1M-packet UW dequeue log through
-:func:`repro.experiments.runner.drive_printqueue` twice — once with the
-per-event scalar reference loop and once with the poll-boundary-aligned
-batched engine (:class:`repro.engine.IngestPipeline`) — and reports the
-wall-clock speedup.  Both paths are bit-identical (asserted here on the
-instrumentation counters, and cell-for-cell by ``tests/test_engine.py``),
-so the speedup is pure engine overhead reduction.
+Replays one UW dequeue log through
+:func:`repro.experiments.runner.drive_printqueue` three times:
+
+* ``scalar`` — the per-event reference loop,
+* ``batched`` — poll-boundary-aligned array batches
+  (:class:`repro.engine.IngestPipeline`),
+* ``fused`` — the record-array single-pass kernel
+  (:class:`repro.engine.FusedIngestPipeline`), which consumes the
+  structured :class:`~repro.switch.records.RecordBatch` the FIFO fast
+  path emits and never materialises per-packet Python objects.
+
+All three tiers are bit-identical (asserted here on the instrumentation
+counters and the full RunReport deterministic view, and cell-for-cell by
+``tests/test_engine.py`` / ``tests/test_fused_ingest.py``), so the
+speedups are pure engine overhead reduction.
+
+Each tier's absolute ingest rate is reported in Mpps (dequeued packets /
+best-of-N wall-clock seconds / 1e6) and persisted to
+``benchmarks/BENCH_ingest.json`` the same way the batch query engine
+tracks QPS in ``BENCH_query.json``.  Timing covers ingest only: the
+dequeue log (object list for scalar/batched, record array for fused) is
+built once outside the timed region, since both are what the switch
+layer hands the engine (:func:`run_trace_through_fifo` /
+:func:`run_trace_through_fifo_batch`).
 
 At full scale (``REPRO_SCALE=1``) the batched engine must ingest at
-least 3x faster than the scalar loop on the primary configuration;
-scaled-down smoke runs only sanity-check that batching is not slower.
+least 3x faster than the scalar loop on the primary configuration and
+the fused kernel at least 2x faster than the batched engine; scaled-down
+smoke runs only sanity-check the ordering (fused >= batched > scalar).
 """
 
+import json
+import os
 import time
 
 
 from common import SCALE, print_table
 from repro.core.config import PrintQueueConfig
 from repro.core.printqueue import PrintQueuePort
-from repro.experiments.runner import drive_printqueue, run_trace_through_fifo
+from repro.experiments.runner import (
+    drive_printqueue,
+    run_trace_through_fifo,
+    run_trace_through_fifo_batch,
+)
 from repro.obs.metrics import Metrics
 from repro.obs.report import RunReport
 from repro.traffic.distributions import distribution_by_name
@@ -36,20 +60,32 @@ CONFIGS = {
     "m0=6 k=12 (UW)": PrintQueueConfig(m0=6, k=12, alpha=2, T=4),
 }
 
-#: Full-scale speedup floors per configuration (acceptance: >= 3x on a
-#: 1M-packet trace); at reduced REPRO_SCALE only a no-regression floor.
+#: Full-scale batched-vs-scalar speedup floors per configuration
+#: (acceptance: >= 3x on a 1M-packet trace); at reduced REPRO_SCALE only
+#: a no-regression floor.
 FULL_SCALE_FLOOR = {"m0=12 k=12": 3.0, "m0=6 k=12 (UW)": 2.0}
 SMOKE_FLOOR = 1.1
 
+#: Fused-vs-batched floors: the record-array kernel must at least double
+#: the batched tier at full scale; smoke runs assert it is not slower.
+FUSED_FULL_SCALE_FLOOR = 2.0
+FUSED_SMOKE_FLOOR = 1.0
 
-def _records():
+BENCH_INGEST_PATH = os.path.join(os.path.dirname(__file__), "BENCH_ingest.json")
+
+
+def _inputs():
+    """One trace, two dequeue-log representations (objects + records)."""
     workload = PoissonWorkload(
         distribution_by_name("uw"),
         WorkloadConfig(load=1.2, duration_ns=int(FULL_DURATION_NS * SCALE)),
         seed=7,
     )
-    records, _ = run_trace_through_fifo(workload.generate())
-    return records
+    trace = workload.generate()
+    records, _ = run_trace_through_fifo(trace)
+    batch, _ = run_trace_through_fifo_batch(trace)
+    assert len(batch) == len(records)
+    return records, batch
 
 
 def _ingest_counters(pq: PrintQueuePort):
@@ -83,11 +119,14 @@ def _time_engine(records, config, engine, repeats):
 
 
 def test_micro_ingest_speedup():
-    records = _records()
-    full_scale = len(records) >= FULL_TRACE_PACKETS
+    records, batch = _inputs()
+    n = len(records)
+    full_scale = n >= FULL_TRACE_PACKETS
     repeats = 1 if full_scale else 3
     rows = []
     speedups = {}
+    fused_speedups = {}
+    bench_configs = {}
     for name, config in CONFIGS.items():
         scalar_s, scalar_counters, scalar_view = _time_engine(
             records, config, "scalar", repeats
@@ -95,29 +134,71 @@ def test_micro_ingest_speedup():
         batched_s, batched_counters, batched_view = _time_engine(
             records, config, "batched", repeats
         )
-        # Both engines must leave identical instrumentation behind — the
+        fused_s, fused_counters, fused_view = _time_engine(
+            batch, config, "fused", repeats
+        )
+        # All tiers must leave identical instrumentation behind — the
         # quick counter tuple and the full RunReport deterministic view.
         assert batched_counters == scalar_counters
         assert batched_view == scalar_view
+        assert fused_counters == scalar_counters
+        assert fused_view == scalar_view
         speedup = scalar_s / batched_s
+        fused_speedup = batched_s / fused_s
         speedups[name] = speedup
+        fused_speedups[name] = fused_speedup
+        bench_configs[name] = {
+            "scalar_s": round(scalar_s, 6),
+            "batched_s": round(batched_s, 6),
+            "fused_s": round(fused_s, 6),
+            "scalar_mpps": round(n / scalar_s / 1e6, 4),
+            "batched_mpps": round(n / batched_s / 1e6, 4),
+            "fused_mpps": round(n / fused_s / 1e6, 4),
+            "batched_speedup": round(speedup, 2),
+            "fused_speedup": round(fused_speedup, 2),
+            "fused_total_speedup": round(scalar_s / fused_s, 2),
+        }
         rows.append(
             (
                 name,
-                len(records),
-                f"{scalar_s:.3f}s",
-                f"{batched_s:.3f}s",
+                n,
+                f"{n / scalar_s / 1e6:.3f}",
+                f"{n / batched_s / 1e6:.3f}",
+                f"{n / fused_s / 1e6:.3f}",
                 f"{speedup:.2f}x",
+                f"{fused_speedup:.2f}x",
             )
         )
+    record = {
+        "scale": SCALE,
+        "packets": n,
+        "configs": bench_configs,
+    }
+    with open(BENCH_INGEST_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     print_table(
-        "Micro: batched ingest engine vs scalar reference",
-        ["config", "packets", "scalar", "batched", "speedup"],
+        "Micro: ingest tiers (Mpps; speedups batched/scalar, fused/batched)",
+        [
+            "config",
+            "packets",
+            "scalar Mpps",
+            "batched Mpps",
+            "fused Mpps",
+            "batched",
+            "fused",
+        ],
         rows,
     )
     for name, speedup in speedups.items():
         floor = FULL_SCALE_FLOOR[name] if full_scale else SMOKE_FLOOR
         assert speedup >= floor, (
             f"{name}: ingest speedup {speedup:.2f}x below the "
+            f"{floor:.1f}x floor ({'full' if full_scale else 'smoke'} scale)"
+        )
+    for name, speedup in fused_speedups.items():
+        floor = FUSED_FULL_SCALE_FLOOR if full_scale else FUSED_SMOKE_FLOOR
+        assert speedup >= floor, (
+            f"{name}: fused-vs-batched speedup {speedup:.2f}x below the "
             f"{floor:.1f}x floor ({'full' if full_scale else 'smoke'} scale)"
         )

@@ -39,6 +39,7 @@ from repro.core import (
 )
 from repro.engine import (
     CompiledQueryPlan,
+    FusedIngestPipeline,
     IngestPipeline,
     ParallelSweep,
     SweepCell,
@@ -63,7 +64,7 @@ from repro.store import (
     SnapshotStore,
     replay_analysis,
 )
-from repro.switch import FlowKey, Packet, Switch
+from repro.switch import FlowKey, Packet, RecordBatch, Switch
 from repro.traffic import PoissonWorkload, Trace, WorkloadConfig
 
 __version__ = "1.0.0"
@@ -91,6 +92,7 @@ __all__ = [
     "fault_profile",
     "fault_profile_names",
     "CompiledQueryPlan",
+    "FusedIngestPipeline",
     "IngestPipeline",
     "Metrics",
     "ParallelSweep",
@@ -105,6 +107,7 @@ __all__ = [
     "replay_analysis",
     "FlowKey",
     "Packet",
+    "RecordBatch",
     "Switch",
     "Trace",
     "PoissonWorkload",

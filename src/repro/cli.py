@@ -471,9 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--victims", type=int, default=1)
     run.add_argument(
         "--engine",
-        choices=["batched", "scalar"],
+        choices=["batched", "fused", "scalar"],
         default="batched",
-        help="ingest engine: vectorised batches or the scalar reference",
+        help="ingest engine: vectorised batches, the fused record-array "
+        "kernel, or the scalar reference",
     )
     run.add_argument(
         "--metrics-out",
@@ -529,7 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=1)
     stats.add_argument(
         "--engine",
-        choices=["batched", "scalar"],
+        choices=["batched", "fused", "scalar"],
         default="batched",
         help="ingest engine (reports are counter-identical across engines)",
     )

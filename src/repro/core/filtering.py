@@ -15,7 +15,7 @@ The reference TTS of window ``i+1`` is derived from window ``i``'s as
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,39 +44,153 @@ class FilterStats:
         return self.cells_scanned - self.cells_retained
 
 
-@dataclass
 class FilteredWindow:
     """The live contents of one window after Algorithm 3.
 
-    Attributes
-    ----------
-    window_index:
-        Which of the T windows this is.
-    shift:
-        Right-shift from nanoseconds to this window's TTS domain
-        (``m0 + alpha * window_index``).
-    cells:
-        ``(tts, flow)`` for every retained cell.  A cell's absolute time
-        coverage is ``[tts << shift, (tts + 1) << shift)``.
-    reference_tts:
-        The TTS anchoring this window (latest cell for window 0, derived
-        for deeper windows).  None when the whole set was empty.
-    tts_array / cell_flows:
-        The same retained cells in columnar form — a sorted ``int64``
-        TTS array and the aligned flow sequence — consumed by the
-        compiled query plan (:mod:`repro.engine.queryplan`) without
-        re-walking the tuple list.  Windows constructed by hand may
-        leave them ``None``; the compiler then derives them from
-        ``cells``.
+    The retained cells exist in up to three interchangeable
+    representations, materialised lazily on first access so each
+    consumer pays only for the view it reads:
+
+    * ``cells`` — ``(tts, flow)`` tuples sorted by TTS (the scalar query
+      walk bisects these).  A cell's absolute time coverage is
+      ``[tts << shift, (tts + 1) << shift)``.
+    * ``tts_array`` / ``cell_flows`` — the same cells columnar: a sorted
+      ``int64`` TTS array and the aligned flow-object list (the compiled
+      query plan and the store encoder consume these).
+    * ``flow_idx`` / ``flow_table`` — fully index-based: an ``int``
+      column into a shared flow table.  This is what the fused ingest
+      tier (:mod:`repro.engine.fused`) and zero-copy PQSTORE1 decodes
+      produce; the compiled plan interns it vectorised without touching
+      per-cell objects.
+
+    Construction accepts any of the three (``cells`` alone, columnar
+    ``tts_array`` + ``cell_flows``, or ``tts_array`` + ``flow_idx`` +
+    ``flow_table``); every other view derives on demand.  Equality and
+    repr match the historical dataclass: ``(window_index, shift, cells,
+    reference_tts)``, regardless of which representation was supplied.
+
+    ``window_index`` is which of the T windows this is; ``shift`` the
+    right-shift from nanoseconds to its TTS domain
+    (``m0 + alpha * window_index``); ``reference_tts`` the TTS anchoring
+    it (latest cell for window 0, derived for deeper windows; None when
+    the whole set was empty).
     """
 
-    window_index: int
-    shift: int
-    #: retained cells sorted by TTS (so interval queries can bisect)
-    cells: List[Tuple[int, FlowKey]]
-    reference_tts: Optional[int]
-    tts_array: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
-    cell_flows: Optional[List[FlowKey]] = field(default=None, repr=False, compare=False)
+    __slots__ = (
+        "window_index",
+        "shift",
+        "reference_tts",
+        "_cells",
+        "_tts_array",
+        "_cell_flows",
+        "_flow_idx",
+        "_flow_table",
+    )
+
+    def __init__(
+        self,
+        window_index: int,
+        shift: int,
+        cells: Optional[List[Tuple[int, FlowKey]]] = None,
+        reference_tts: Optional[int] = None,
+        tts_array: Optional[np.ndarray] = None,
+        cell_flows: Optional[List[FlowKey]] = None,
+        *,
+        flow_idx: Optional[np.ndarray] = None,
+        flow_table: Optional[Sequence[FlowKey]] = None,
+    ) -> None:
+        if cells is None and tts_array is None:
+            raise ValueError("FilteredWindow needs cells or tts_array")
+        if cells is None and cell_flows is None and flow_idx is None:
+            raise ValueError(
+                "FilteredWindow needs cells, cell_flows, or flow_idx"
+            )
+        if flow_idx is not None and flow_table is None:
+            raise ValueError("flow_idx requires flow_table")
+        self.window_index = window_index
+        self.shift = shift
+        self.reference_tts = reference_tts
+        self._cells = cells
+        self._tts_array = tts_array
+        self._cell_flows = cell_flows
+        self._flow_idx = flow_idx
+        self._flow_table = flow_table
+
+    # -- lazy views --------------------------------------------------------
+
+    @property
+    def cells(self) -> List[Tuple[int, FlowKey]]:
+        """``(tts, flow)`` tuples, sorted by TTS (derived on demand)."""
+        if self._cells is None:
+            self._cells = list(zip(self.tts_array.tolist(), self.cell_flows))
+        return self._cells
+
+    @property
+    def tts_array(self) -> np.ndarray:
+        """Sorted int64 TTS column (derived from ``cells`` on demand)."""
+        if self._tts_array is None:
+            cells = self._cells
+            assert cells is not None
+            self._tts_array = np.fromiter(
+                (c[0] for c in cells), dtype=np.int64, count=len(cells)
+            )
+        return self._tts_array
+
+    @property
+    def cell_flows(self) -> List[FlowKey]:
+        """Aligned flow objects (resolved through the table on demand)."""
+        if self._cell_flows is None:
+            if self._flow_idx is not None:
+                table = self._flow_table
+                assert table is not None
+                self._cell_flows = [table[j] for j in self._flow_idx.tolist()]
+            else:
+                cells = self._cells
+                assert cells is not None
+                self._cell_flows = [c[1] for c in cells]
+        return self._cell_flows
+
+    @property
+    def flow_idx(self) -> Optional[np.ndarray]:
+        """Int flow-index column (None unless built index-based)."""
+        return self._flow_idx
+
+    @property
+    def flow_table(self) -> Optional[Sequence[FlowKey]]:
+        """The shared flow table ``flow_idx`` points into."""
+        return self._flow_table
+
+    @property
+    def cell_count(self) -> int:
+        """Number of retained cells, without materialising any view."""
+        if self._tts_array is not None:
+            return len(self._tts_array)
+        cells = self._cells
+        assert cells is not None
+        return len(cells)
+
+    # -- dataclass-compatible surface --------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"FilteredWindow(window_index={self.window_index!r}, "
+            f"shift={self.shift!r}, cells={self.cells!r}, "
+            f"reference_tts={self.reference_tts!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        assert isinstance(other, FilteredWindow)
+        return (
+            self.window_index == other.window_index
+            and self.shift == other.shift
+            and self.cells == other.cells
+            and self.reference_tts == other.reference_tts
+        )
+
+    #: mirror the eq-without-frozen dataclass this class replaced
+    __hash__ = None  # type: ignore[assignment]
 
     def coverage_ns(self, k: int) -> Optional[Tuple[int, int]]:
         """Absolute [start, end) time range this window can speak for."""
@@ -124,19 +238,17 @@ def filter_windows(
         ref_index = tts & mask
         ref_cycle = tts >> k
         cycle_ids = window.cycle_ids
-        flows = window.flows
-        # Collect the previous cycle's tail first so `cells` comes out
-        # sorted by TTS (older entries have strictly smaller TTS).  The
-        # per-cell scans are vectorised; only survivors touch Python.
-        cyc = np.array(cycle_ids, dtype=np.int64)
+        # Collect the previous cycle's tail first so the survivors come
+        # out sorted by TTS (older entries have strictly smaller TTS).
+        # The per-cell scans are vectorised; only survivors touch Python
+        # — and none at all for array-backed (fused) windows, whose flow
+        # identity travels onward as an index column.
+        cyc = np.asarray(cycle_ids, dtype=np.int64)
         if stats is not None:
             stats.cells_scanned += int(np.count_nonzero(cyc != EMPTY))
         prev_cycle = ref_cycle - 1
         prev_base = prev_cycle << k
         ref_base = ref_cycle << k
-        # Survivors come out columnar (sorted TTS array + aligned flow
-        # list) for the compiled query plan; the tuple list view is
-        # derived from the same arrays, so both stay consistent.
         if prev_cycle >= 0:
             tail = np.flatnonzero(cyc[ref_index + 1 :] == prev_cycle)
             tail += ref_index + 1
@@ -149,23 +261,36 @@ def filter_windows(
                 head.astype(np.int64) + np.int64(ref_base),
             )
         )
-        cell_flows: List[FlowKey] = [flows[j] for j in tail.tolist()]
-        cell_flows.extend(flows[j] for j in head.tolist())
-        cells: List[Tuple[int, FlowKey]] = list(
-            zip(tts_array.tolist(), cell_flows)
-        )
         if stats is not None:
-            stats.cells_retained += len(cells)
-        out.append(
-            FilteredWindow(
+            stats.cells_retained += len(tts_array)
+        window_fidx = getattr(window, "flow_idx", None)
+        if window_fidx is not None:
+            # Fused windows: gather the surviving flow indices in two
+            # fancy-indexed reads; objects are never touched here.  The
+            # tuple/object views derive lazily if something asks.
+            survivors = np.concatenate((tail, head))
+            fw = FilteredWindow(
                 i,
                 config.shift(i),
-                cells,
+                None,
+                tts,
+                tts_array=tts_array,
+                flow_idx=window_fidx[survivors].astype(np.int64),
+                flow_table=getattr(window, "table"),
+            )
+        else:
+            flows = window.flows
+            cell_flows: List[FlowKey] = [flows[j] for j in tail.tolist()]
+            cell_flows.extend(flows[j] for j in head.tolist())
+            fw = FilteredWindow(
+                i,
+                config.shift(i),
+                None,
                 tts,
                 tts_array=tts_array,
                 cell_flows=cell_flows,
             )
-        )
+        out.append(fw)
         # Reference for the next (older, more compressed) window: the most
         # recently passed cell is one full window period back.
         tts = (tts - (1 << k)) >> config.alpha

@@ -27,6 +27,24 @@ from repro.switch.packet import FlowKey
 _UNSET = -1
 
 
+def _materialise_flows(
+    flows: Sequence[FlowKey], pos: np.ndarray
+) -> List[FlowKey]:
+    """Resolve ``[flows[p] for p in pos]`` through the fastest path.
+
+    ``flows`` may be a plain sequence, an object ndarray, or a lazy view
+    (``_GatheredFlows`` / ``FlowColumn``) that narrows under array
+    indexing — only the surviving events' flows become objects.
+    """
+    try:
+        sel = flows[pos]  # type: ignore[index]
+    except (TypeError, IndexError):
+        return [flows[int(p)] for p in pos.tolist()]
+    if isinstance(sel, np.ndarray):
+        return sel.tolist()  # type: ignore[no-any-return]
+    return list(sel)
+
+
 @dataclass(frozen=True)
 class MonitorEntry:
     """One surviving (valid) increase entry, as returned by a query."""
@@ -177,24 +195,27 @@ class QueueMonitor:
         base_seq = self._seq
         self._seq += n
 
-        # One stable sort of (level, side) keys; the last event of each
-        # group is the write that survives, and its sequence number is
-        # just its event position offset from the pre-batch counter.
+        # Last event per (level, side) key via one O(n) scatter:
+        # duplicate-index assignment is performed in order, so the last
+        # write wins — exactly the survivor rule.  Only the surviving
+        # events' flows are ever materialised as objects.
         key = (level << 1) | ~is_enqueue
-        order = np.argsort(key, kind="stable")
-        s_key = key[order]
-        diff = np.flatnonzero(s_key[1:] != s_key[:-1])
-        ends = np.empty(len(diff) + 1, dtype=np.int64)
-        ends[:-1] = diff
-        ends[-1] = n - 1
-        for kk, pos in zip(s_key[ends].tolist(), order[ends].tolist()):
-            level_i = kk >> 1
+        last = np.full(2 * self.levels, -1, dtype=np.int64)
+        last[key] = np.arange(n, dtype=np.int64)
+        present = np.flatnonzero(last >= 0)
+        pos = last[present]
+        surviving = _materialise_flows(flows, pos)
+        inc_seq, inc_flow = self.inc_seq, self.inc_flow
+        dec_seq, dec_flow = self.dec_seq, self.dec_flow
+        for kk, seq, fl in zip(
+            present.tolist(), (base_seq + 1 + pos).tolist(), surviving
+        ):
             if kk & 1:
-                self.dec_seq[level_i] = base_seq + 1 + pos
-                self.dec_flow[level_i] = flows[pos]
+                dec_seq[kk >> 1] = seq
+                dec_flow[kk >> 1] = fl
             else:
-                self.inc_seq[level_i] = base_seq + 1 + pos
-                self.inc_flow[level_i] = flows[pos]
+                inc_seq[kk >> 1] = seq
+                inc_flow[kk >> 1] = fl
         self.top = int(level[-1])
 
     def snapshot(self, time_ns: int) -> QueueMonitorSnapshot:

@@ -8,6 +8,13 @@ fast path and PrintQueue's measurement structures:
   drives a :class:`~repro.core.printqueue.PrintQueuePort` through the
   array-at-a-time ``absorb_batch`` / ``apply_batch`` path — producing
   bit-identical snapshots and estimates to the scalar reference loop.
+* :class:`~repro.engine.fused.FusedIngestPipeline` is the top tier: it
+  consumes a structured record array
+  (:class:`~repro.switch.records.RecordBatch`) and swaps the port's
+  banks for :class:`~repro.engine.fused.FusedTimeWindowSet`, whose
+  single-pass fused absorb+pass kernel updates every time-window level
+  on integer flow indices — no per-packet Python objects anywhere in
+  the hot loop, still bit-identical to both slower tiers.
 * :class:`~repro.engine.queryplan.CompiledQueryPlan` is the same
   treatment for the query side: snapshots compile once into columnar
   (TTS array + interned flow index) form and batched multi-victim
@@ -19,6 +26,7 @@ fast path and PrintQueue's measurement structures:
   victim scoring inside each cell goes through the batch query API.
 """
 
+from repro.engine.fused import FusedIngestPipeline, FusedTimeWindowSet, FusedWindow
 from repro.engine.ingest import IngestPipeline
 from repro.engine.parallel import CellResult, ParallelSweep, ResultCache, SweepCell
 from repro.engine.queryplan import (
@@ -31,6 +39,9 @@ from repro.engine.queryplan import (
 
 __all__ = [
     "IngestPipeline",
+    "FusedIngestPipeline",
+    "FusedTimeWindowSet",
+    "FusedWindow",
     "ParallelSweep",
     "ResultCache",
     "SweepCell",

@@ -1,0 +1,405 @@
+"""The fused ingest tier: record arrays in, one vectorised sweep per batch.
+
+The batched tier (:class:`repro.engine.ingest.IngestPipeline`) already
+replays poll-aligned slices array-at-a-time, but it still pays Python
+three times per run: gathering timestamp/flow attributes out of
+``DequeueRecord`` objects up front, reading the pre-batch cell contents
+one cell at a time (``np.fromiter`` over a Python list), and writing each
+touched cell back through a Python loop that resolves flow *objects*.
+
+The fused tier removes all three:
+
+* the log arrives as a structured :class:`~repro.switch.records.RecordBatch`
+  (:data:`~repro.switch.records.PACKET_RECORD_DTYPE`), so the timestamp
+  columns are zero-copy views and flow identity is an ``int64`` index
+  into the batch's flow table — no per-packet objects exist anywhere;
+* :class:`FusedTimeWindowSet` keeps each window's registers as two
+  ``int64`` arrays (cycle IDs and flow indices), so one batch updates all
+  T window levels in a single fused absorb+pass sweep of pure array
+  reads/writes — fancy-indexed gathers against the pre-batch state and
+  fancy-indexed scatters for the surviving writes;
+* snapshots stay columnar: the Algorithm-3 filter consumes the cycle
+  array directly and hands the survivors onward as a flow-index column
+  (see :func:`repro.core.filtering.filter_windows`), which the store
+  encodes and the compiled query plan interns without per-cell work.
+
+Equivalence contract (DESIGN.md §14, asserted by
+``tests/test_fused_ingest.py`` and the ingest micro-benchmark): for any
+dequeue log, the fused tier produces bit-identical snapshots, query
+results, and structure counters to both the scalar walk and the batched
+tier.  :meth:`FusedTimeWindowSet.absorb_indexed` is a transliteration of
+:meth:`~repro.core.windowset.TimeWindowSet.absorb_batch` with integer
+flow identity — same grouping, same collision/pass rule, same counter
+accounting — and the snapshot conversion is a pure representation change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, cast
+
+import numpy as np
+
+from repro.baselines.interval import FixedIntervalEstimator
+from repro.core.config import PrintQueueConfig
+from repro.core.printqueue import PrintQueuePort
+from repro.core.registers import BankedStructure
+from repro.core.timewindow import EMPTY, CellRecord, TimeWindow
+from repro.core.windowset import TimeWindowSet
+from repro.engine.ingest import IngestPipeline
+from repro.errors import SimulationError
+from repro.switch.packet import FlowKey
+from repro.switch.records import FlowColumn, RecordBatch, as_record_batch
+from repro.switch.telemetry import DequeueRecord
+
+
+class _CellFlows:
+    """Lazy per-cell flow view: ``table[idx[i]]``, ``None`` for empties."""
+
+    __slots__ = ("table", "idx")
+
+    def __init__(self, table: Sequence[FlowKey], idx: np.ndarray) -> None:
+        self.table = table
+        self.idx = idx
+
+    def __len__(self) -> int:
+        return len(self.idx)
+
+    def __getitem__(self, i: int) -> Optional[FlowKey]:
+        j = int(self.idx[i])
+        return None if j < 0 else self.table[j]
+
+
+class FusedWindow(TimeWindow):
+    """A :class:`TimeWindow` whose registers are int64 arrays.
+
+    ``cycle_arr``/``flow_idx`` are the authoritative state; the inherited
+    ``cycle_ids``/``flows`` slots alias them (the array itself, and a
+    lazy flow view) so every columnar consumer — the Algorithm-3 filter,
+    the observability occupancy probe — works unchanged and faster.
+    """
+
+    __slots__ = ("cycle_arr", "flow_idx", "table")
+
+    def __init__(
+        self,
+        k: int,
+        table: Sequence[FlowKey],
+        cycle_arr: Optional[np.ndarray] = None,
+        flow_idx: Optional[np.ndarray] = None,
+    ) -> None:
+        if k < 1:
+            raise SimulationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.mask = (1 << k) - 1
+        n = 1 << k
+        self.cycle_arr = (
+            np.full(n, EMPTY, dtype=np.int64) if cycle_arr is None else cycle_arr
+        )
+        self.flow_idx = (
+            np.full(n, -1, dtype=np.int64) if flow_idx is None else flow_idx
+        )
+        self.table = table
+        # Alias the inherited representation onto the arrays: cycle_ids
+        # supports everything the filter does to a list (len, iteration,
+        # np.array()) and flows resolves objects only when indexed.
+        self.cycle_ids = cast(List[int], self.cycle_arr)
+        self.flows = cast(
+            List[Optional[FlowKey]], _CellFlows(table, self.flow_idx)
+        )
+
+    def reset(self) -> None:
+        self.cycle_arr.fill(EMPTY)
+        self.flow_idx.fill(-1)
+
+    def occupancy(self) -> int:
+        return int(np.count_nonzero(self.cycle_arr != EMPTY))
+
+    def latest_cell(self) -> Optional[CellRecord]:
+        """Vectorised ``LatestCell()``: max cycle, then max index.
+
+        Identical choice to the scalar scan in
+        :meth:`TimeWindow.latest_cell` (which keeps the *last* index
+        among cells sharing the maximum cycle ID).
+        """
+        if len(self.cycle_arr) == 0:
+            return None
+        best_cycle = int(self.cycle_arr.max())
+        if best_cycle == EMPTY:
+            return None
+        best_index = int(np.flatnonzero(self.cycle_arr == best_cycle)[-1])
+        flow = self.table[int(self.flow_idx[best_index])]
+        return CellRecord(best_index, best_cycle, flow)
+
+    def snapshot(self) -> "TimeWindow":
+        """A frozen array copy (what a register read returns)."""
+        return FusedWindow(
+            self.k, self.table, self.cycle_arr.copy(), self.flow_idx.copy()
+        )
+
+
+class FusedTimeWindowSet(TimeWindowSet):
+    """T fused windows sharing one flow table; Algorithm 1 on arrays.
+
+    Drop-in replacement for :class:`TimeWindowSet` inside a
+    :class:`~repro.core.registers.BankedStructure`: same counters, same
+    snapshot/occupancy surface, bit-identical behaviour.  Flow identity
+    is an index into ``flow_table`` (normally the record batch's table);
+    object-flow entry points intern through :meth:`_intern`.
+    """
+
+    __slots__ = ("flow_table", "_index_of")
+
+    def __init__(
+        self, config: PrintQueueConfig, flow_table: List[FlowKey]
+    ) -> None:
+        self.config = config
+        self.flow_table = flow_table
+        self._index_of: Optional[Dict[FlowKey, int]] = None
+        self.windows = cast(
+            List[TimeWindow],
+            [FusedWindow(config.k, flow_table) for _ in range(config.T)],
+        )
+        self.updates = 0
+        self.passes = 0
+        self.drops = 0
+        self.level_inserts = [0] * config.T
+        self.level_passes = [0] * config.T
+        self.level_drops = [0] * config.T
+
+    # -- flow interning ----------------------------------------------------
+
+    def _intern(self, flow: FlowKey) -> int:
+        """Index of ``flow`` in the table, appending it if unseen."""
+        if self._index_of is None:
+            self._index_of = {f: i for i, f in enumerate(self.flow_table)}
+        idx = self._index_of.get(flow)
+        if idx is None:
+            idx = len(self.flow_table)
+            self.flow_table.append(flow)
+            self._index_of[flow] = idx
+        return idx
+
+    # -- Algorithm 1 -------------------------------------------------------
+
+    def update(self, flow: FlowKey, deq_timestamp_ns: int) -> int:
+        """Scalar Algorithm 1 on the array registers (reference entry)."""
+        cfg = self.config
+        k = cfg.k
+        alpha = cfg.alpha
+        self.updates += 1
+        tts = deq_timestamp_ns >> cfg.m0
+        fid = self._intern(flow)
+        depth = 0
+        for i in range(cfg.T):
+            window = cast(FusedWindow, self.windows[i])
+            index = tts & window.mask
+            new_cycle = tts >> k
+            old_cycle = int(window.cycle_arr[index])
+            old_fid = int(window.flow_idx[index])
+            window.cycle_arr[index] = new_cycle
+            window.flow_idx[index] = fid
+            depth += 1
+            self.level_inserts[i] += 1
+            if old_cycle != EMPTY and new_cycle - old_cycle == 1:
+                fid = old_fid
+                tts = ((old_cycle << k) | index) >> alpha
+                self.passes += 1
+                self.level_passes[i] += 1
+            else:
+                if old_cycle != EMPTY:
+                    self.drops += 1
+                    self.level_drops[i] += 1
+                break
+        return depth
+
+    def absorb_batch(
+        self,
+        flows: Sequence[FlowKey],
+        deq_timestamps_ns: "np.ndarray",
+    ) -> int:
+        """Batched Algorithm 1; fast path for table-backed flow columns.
+
+        A :class:`~repro.switch.records.FlowColumn` over this set's own
+        flow table feeds :meth:`absorb_indexed` directly (no objects);
+        any other flow sequence is interned first.
+        """
+        if (
+            isinstance(flows, FlowColumn)
+            and flows.table is self.flow_table
+        ):
+            return self.absorb_indexed(flows.idx, deq_timestamps_ns)
+        n = len(flows)
+        fids = np.fromiter(
+            (self._intern(f) for f in flows), dtype=np.int64, count=n
+        )
+        return self.absorb_indexed(fids, deq_timestamps_ns)
+
+    def absorb_indexed(
+        self, flow_idx: "np.ndarray", deq_timestamps_ns: "np.ndarray"
+    ) -> int:
+        """The fused absorb+pass sweep over all T window levels.
+
+        A transliteration of
+        :meth:`~repro.core.windowset.TimeWindowSet.absorb_batch` with
+        integer flow identity: the same per-cell grouping (stable sort),
+        the same head/mid collision split, the same pass/drop rule and
+        counter accounting — but the pre-batch reads, the eviction
+        stream, and the final cell writes are all fancy-indexed array
+        operations.  No Python executes per cell or per packet.
+        """
+        cfg = self.config
+        k = cfg.k
+        alpha = cfg.alpha
+        tts = np.asarray(deq_timestamps_ns, dtype=np.int64) >> cfg.m0
+        n = len(tts)
+        if n == 0:
+            return 0
+        fids = np.asarray(flow_idx, dtype=np.int64)
+        if len(fids) != n:
+            raise SimulationError(
+                "flow_idx and deq_timestamps_ns must have equal length"
+            )
+        self.updates += n
+
+        passes = 0
+        drops = 0
+        for level in range(cfg.T):
+            if len(tts) == 0:
+                break
+            window = cast(FusedWindow, self.windows[level])
+            self.level_inserts[level] += len(tts)
+            index = tts & window.mask
+            cycle = tts >> k
+            # Group writes per cell; stable sort keeps batch order inside
+            # each group (exactly as the batched tier does).
+            perm = np.argsort(index, kind="stable")
+            s_index = index[perm]
+            s_cycle = cycle[perm]
+            m = len(perm)
+            diff = np.flatnonzero(s_index[1:] != s_index[:-1])
+            starts = np.empty(len(diff) + 1, dtype=np.int64)
+            starts[0] = 0
+            starts[1:] = diff + 1
+            ends = np.empty_like(starts)
+            ends[:-1] = diff
+            ends[-1] = m - 1
+
+            # Group heads collide with the pre-batch cell contents —
+            # gathered in one fancy-indexed read (the batched tier walks
+            # a Python list here).
+            head_index = s_index[starts]
+            cycle_arr = window.cycle_arr
+            fid_arr = window.flow_idx
+            old_cycles = cycle_arr[head_index]
+            old_fids = fid_arr[head_index]
+            occupied = old_cycles != EMPTY
+            head_pass = occupied & (s_cycle[starts] - old_cycles == 1)
+            head_drop = occupied & ~head_pass
+            # Adjacent writes to the same cell collide with each other.
+            same = s_index[1:] == s_index[:-1]
+            mid_pass = same & (s_cycle[1:] - s_cycle[:-1] == 1)
+            mid_drop = same & ~mid_pass
+            level_pass = int(np.count_nonzero(head_pass)) + int(
+                np.count_nonzero(mid_pass)
+            )
+            level_drop = int(np.count_nonzero(head_drop)) + int(
+                np.count_nonzero(mid_drop)
+            )
+            passes += level_pass
+            drops += level_drop
+            self.level_passes[level] += level_pass
+            self.level_drops[level] += level_drop
+
+            if level + 1 < cfg.T:
+                # Pass stream for the next window, ordered by the
+                # evicting write's batch position (= scalar insert
+                # order).  Evicted flow indices are read before this
+                # window's final state is scattered below.
+                hp = np.flatnonzero(head_pass)
+                head_ev_pos = perm[starts[hp]]
+                head_ev_tts = (old_cycles[hp] << k) | head_index[hp]
+                head_ev_fid = old_fids[hp]
+                mp = np.flatnonzero(mid_pass)
+                mid_ev_pos = perm[mp + 1]
+                mid_ev_tts = (s_cycle[mp] << k) | s_index[mp]
+                mid_ev_fid = fids[perm[mp]]
+                ev_pos = np.concatenate([head_ev_pos, mid_ev_pos])
+                ev_tts = np.concatenate([head_ev_tts, mid_ev_tts]) >> alpha
+                ev_fid = np.concatenate([head_ev_fid, mid_ev_fid])
+                order = np.argsort(ev_pos, kind="stable")
+            else:
+                order = None
+
+            # The last write of each group is this window's final state:
+            # one fancy-indexed scatter per register array.
+            cycle_arr[head_index] = s_cycle[ends]
+            fid_arr[head_index] = fids[perm[ends]]
+
+            if order is None:
+                break
+            tts = ev_tts[order]
+            fids = ev_fid[order]
+
+        self.passes += passes
+        self.drops += drops
+        return n
+
+
+class FusedIngestPipeline(IngestPipeline):
+    """Drive one port through the fused record-array ingest path.
+
+    Accepts a :class:`~repro.switch.records.RecordBatch` (an object-
+    record log is interned on entry) and swaps the port's time-window
+    banks for :class:`FusedTimeWindowSet` instances sharing the batch's
+    flow table.  Everything else — poll-boundary slicing, trigger
+    truncation, queue-monitor batching, baselines — is inherited from
+    the batched tier; only the per-event carriers change, so the
+    equivalence argument composes.
+    """
+
+    def __init__(
+        self,
+        pq: PrintQueuePort,
+        records: "Sequence[DequeueRecord]",
+        dp_trigger_indices: Optional[Set[int]] = None,
+        baselines: Optional[Iterable[FixedIntervalEstimator]] = None,
+    ) -> None:
+        batch = as_record_batch(records)
+        super().__init__(
+            pq,
+            batch,
+            dp_trigger_indices=dp_trigger_indices,
+            baselines=baselines,
+        )
+        self.batch: RecordBatch = batch
+        self._install_fused_banks()
+
+    def _install_fused_banks(self) -> None:
+        """Replace the port's banks with fused ones (pre-traffic only)."""
+        pq = self.pq
+        banks = pq.analysis.tw_banks
+        if pq.packets_seen or any(b.updates for b in banks.banks):
+            raise SimulationError(
+                "fused ingest requires a fresh port: the time-window banks "
+                "already hold traffic"
+            )
+        table = self.batch.flows
+        config = pq.config
+        fused: BankedStructure[TimeWindowSet] = BankedStructure(
+            lambda: FusedTimeWindowSet(config, table)
+        )
+        pq.analysis.tw_banks = fused
+
+    def _timestamp_arrays(self) -> "Tuple[np.ndarray, np.ndarray]":
+        # Contiguous copies of the structured columns: the merge sorts
+        # and searches them heavily, and a strided field view would pay
+        # the gather on every pass.
+        data = self.batch.data
+        return (
+            np.ascontiguousarray(data["enq_ts"]),
+            np.ascontiguousarray(data["deq_ts"]),
+        )
+
+    def _event_flows(self, rec_idx: np.ndarray) -> Sequence:
+        ev_fid = self.batch.data["flow"][rec_idx].astype(np.int64)
+        return FlowColumn(self.batch.flows, ev_fid)

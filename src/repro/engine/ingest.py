@@ -23,7 +23,7 @@ asserts this record for record).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -56,6 +56,9 @@ class _GatheredFlows:
         if isinstance(i, (np.ndarray, slice)):
             return _GatheredFlows(self.base, self.idx[i])
         return self.base[self.idx[i]]
+
+    def __iter__(self) -> "Iterator[object]":
+        return iter(self.base[self.idx].tolist())
 
 
 class IngestPipeline:
@@ -99,6 +102,31 @@ class IngestPipeline:
             self._obs_batch_events = None
             self._obs_batches = None
 
+    def _timestamp_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The (enq_ts, deq_ts) int64 columns of the log.
+
+        The object-record tier gathers them attribute by attribute; the
+        fused tier (:class:`repro.engine.fused.FusedIngestPipeline`)
+        overrides this with zero-copy views of the structured array.
+        """
+        records = self.records
+        enq_ts = np.array([r.enq_timestamp for r in records], dtype=np.int64)
+        deq_ts = np.array([r.deq_timestamp for r in records], dtype=np.int64)
+        return enq_ts, deq_ts
+
+    def _event_flows(self, rec_idx: np.ndarray) -> Sequence:
+        """A lazy per-event flow view for the batch kernels.
+
+        The fused tier overrides this with a table-backed
+        :class:`~repro.switch.records.FlowColumn` carrying int flow
+        indices instead of an object array.
+        """
+        records = self.records
+        n = len(records)
+        flows = np.empty(n, dtype=object)
+        flows[:] = [r.flow for r in records]
+        return _GatheredFlows(flows, rec_idx)
+
     def run(self) -> Dict[int, DataPlaneQueryResult]:
         """Replay the whole log; returns completed on-demand queries."""
         records = self.records
@@ -108,17 +136,14 @@ class IngestPipeline:
         if n == 0:
             return dp_results
 
-        enq_ts = np.array([r.enq_timestamp for r in records], dtype=np.int64)
-        deq_ts = np.array([r.deq_timestamp for r in records], dtype=np.int64)
-        flows = np.empty(n, dtype=object)
-        flows[:] = [r.flow for r in records]
+        enq_ts, deq_ts = self._timestamp_arrays()
 
         stream = merge_event_streams(enq_ts, deq_ts)
         times = stream.time_ns
         is_enq = stream.is_enqueue
         rec_idx = stream.record_index
         depth = stream.depth_after
-        ev_flows = _GatheredFlows(flows, rec_idx)
+        ev_flows = self._event_flows(rec_idx)
         num_events = len(times)
 
         # Merged positions at which a data-plane trigger fires (after the

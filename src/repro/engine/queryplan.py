@@ -191,15 +191,38 @@ def compile_snapshot(
         )
         if coefficient <= 0:
             continue
-        tts, cell_flows = _window_arrays(fw)
-        flow_idx = np.empty(len(cell_flows), dtype=np.intp)
-        for j, flow in enumerate(cell_flows):
-            i = index_of.get(flow)
-            if i is None:
-                i = len(flows)
-                index_of[flow] = i
-                flows.append(flow)
-            flow_idx[j] = i
+        window_fidx = getattr(fw, "flow_idx", None)
+        window_table = getattr(fw, "flow_table", None)
+        if window_fidx is not None and window_table is not None:
+            # Index-based window (fused ingest / zero-copy PQSTORE1
+            # decode): intern one dict lookup per *distinct* flow and
+            # remap the cell column vectorised — the mmap-backed view
+            # feeds the plan without any per-cell object decode.
+            tts = fw.tts_array
+            if len(window_fidx):
+                uniq = np.unique(np.asarray(window_fidx, dtype=np.int64))
+                lookup = np.empty(int(uniq[-1]) + 1, dtype=np.intp)
+                for t in uniq.tolist():
+                    flow = window_table[t]
+                    i = index_of.get(flow)
+                    if i is None:
+                        i = len(flows)
+                        index_of[flow] = i
+                        flows.append(flow)
+                    lookup[t] = i
+                flow_idx = lookup[window_fidx]
+            else:
+                flow_idx = np.empty(0, dtype=np.intp)
+        else:
+            tts, cell_flows = _window_arrays(fw)
+            flow_idx = np.empty(len(cell_flows), dtype=np.intp)
+            for j, flow in enumerate(cell_flows):
+                i = index_of.get(flow)
+                if i is None:
+                    i = len(flows)
+                    index_of[flow] = i
+                    flows.append(flow)
+                flow_idx[j] = i
         windows.append(
             CompiledWindow(
                 fw.window_index,

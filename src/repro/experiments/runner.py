@@ -28,7 +28,8 @@ from repro.core.taxonomy import CulpritTaxonomy
 from repro.obs.metrics import Metrics
 from repro.obs.report import RunReport
 from repro.store import SnapshotStore
-from repro.switch.fastpath import fifo_timestamps
+from repro.switch.fastpath import fifo_record_batch, fifo_timestamps
+from repro.switch.records import RecordBatch
 from repro.switch.telemetry import DequeueRecord
 from repro.traffic.distributions import distribution_by_name
 from repro.traffic.generator import PoissonWorkload, WorkloadConfig
@@ -41,7 +42,7 @@ class ExperimentRun:
     """Everything one experiment needs: records, oracle, and PrintQueue."""
 
     trace: Trace
-    records: List[DequeueRecord]
+    records: Sequence[DequeueRecord]
     pq: PrintQueuePort
     taxonomy: CulpritTaxonomy
     drops: int = 0
@@ -89,6 +90,20 @@ def run_trace_through_fifo(
     return records, result.drops
 
 
+def run_trace_through_fifo_batch(
+    trace: Trace,
+    rate_bps: int = DEFAULT_LINK_RATE_BPS,
+    capacity_pkts: Optional[int] = None,
+) -> Tuple[RecordBatch, int]:
+    """FIFO pass returning a :class:`~repro.switch.records.RecordBatch`.
+
+    Same simulation as :func:`run_trace_through_fifo`, but the dequeue
+    log stays columnar (one structured record array) instead of a list
+    of per-packet objects — the input the fused ingest tier consumes.
+    """
+    return fifo_record_batch(trace, rate_bps, capacity_pkts)
+
+
 def drive_printqueue(
     records: Sequence[DequeueRecord],
     pq: PrintQueuePort,
@@ -104,14 +119,23 @@ def drive_printqueue(
     if given, are fed every dequeue too.
 
     ``engine`` selects ``"batched"`` (the default: poll-boundary-aligned
-    array batches via :class:`repro.engine.IngestPipeline`) or
-    ``"scalar"`` (the per-event reference loop).  Both produce identical
-    snapshots and query results.
+    array batches via :class:`repro.engine.IngestPipeline`),
+    ``"fused"`` (the record-array single-pass kernel,
+    :class:`repro.engine.FusedIngestPipeline` — ``records`` may be a
+    :class:`~repro.switch.records.RecordBatch` to skip re-packing), or
+    ``"scalar"`` (the per-event reference loop).  All three produce
+    identical snapshots, query results, and structure counters.
     """
     if engine == "batched":
         from repro.engine.ingest import IngestPipeline
 
         return IngestPipeline(
+            pq, records, dp_trigger_indices=dp_trigger_indices, baselines=baselines
+        ).run()
+    if engine == "fused":
+        from repro.engine.fused import FusedIngestPipeline
+
+        return FusedIngestPipeline(
             pq, records, dp_trigger_indices=dp_trigger_indices, baselines=baselines
         ).run()
     if engine != "scalar":
@@ -218,7 +242,14 @@ def simulate_workload(
             load=load, link_rate_bps=rate_bps, duration_ns=duration_ns
         )
         trace = PoissonWorkload(distribution, wl_config, seed=seed).generate()
-    records, drops = run_trace_through_fifo(trace, rate_bps)
+    records: Sequence[DequeueRecord]
+    if engine == "fused":
+        # Stay columnar end-to-end: the batch is a Sequence of lazily
+        # materialised DequeueRecords, so the taxonomy oracle and report
+        # still read it like the object list.
+        records, drops = run_trace_through_fifo_batch(trace, rate_bps)
+    else:
+        records, drops = run_trace_through_fifo(trace, rate_bps)
 
     cfg = config or PrintQueueConfig()
     # Use the measured inter-departure time as d for the coefficients.

@@ -177,22 +177,67 @@ def iter_records(buf: bytes, offset: int) -> Iterator[Tuple[int, int, int]]:
 # -- time-window snapshots ------------------------------------------------
 
 
+def _intern_flow_indices(
+    parts: List[bytes], windows: List[FilteredWindow]
+) -> Tuple[List[int], int]:
+    """Index-based twin of :func:`_intern_flows` for fused windows.
+
+    Every window carries a ``flow_idx`` column into one shared flow
+    table, so the snapshot-local table is built with one Python dict
+    lookup per *distinct* flow (first-use order, byte-identical to the
+    object path) and the per-cell indices remap vectorised.
+    """
+    table = None
+    cols: List[np.ndarray] = []
+    for fw in windows:
+        fidx = fw.flow_idx
+        assert fidx is not None  # caller checked
+        cols.append(np.asarray(fidx, dtype=np.int64))
+        if table is None and fw.flow_table is not None:
+            table = fw.flow_table
+    cat = (
+        np.concatenate(cols) if cols else np.empty(0, dtype=np.int64)
+    )
+    if len(cat) == 0:
+        parts.append(b"")
+        return [], 0
+    assert table is not None
+    uniq, first = np.unique(cat, return_index=True)
+    order = np.argsort(first, kind="stable")
+    uniq = uniq[order]  # shared-table ids in first-use (cell) order
+    lookup = np.empty(int(cat.max()) + 1, dtype=np.int64)
+    lookup[uniq] = np.arange(len(uniq), dtype=np.int64)
+    entries = [
+        _FLOW_ENTRY.pack(f.src_ip, f.dst_ip, f.src_port, f.dst_port, f.proto)
+        for f in (table[j] for j in uniq.tolist())
+    ]
+    parts.append(b"".join(entries))
+    return lookup[cat].tolist(), len(uniq)
+
+
 def encode_tw(snapshot: Any) -> bytes:
     """Encode a :class:`~repro.core.analysis.TimeWindowSnapshot` payload."""
     windows: List[FilteredWindow] = snapshot.windows
-    flows: List[Optional[FlowKey]] = []
     counts: List[int] = []
-    for fw in windows:
-        cell_flows = (
-            fw.cell_flows
-            if fw.cell_flows is not None
-            else [flow for _, flow in fw.cells]
-        )
-        flows.extend(cell_flows)
-        counts.append(len(cell_flows))
     table_parts: List[bytes] = []
-    indices = _intern_flows(table_parts, flows)
-    num_flows = len({f for f in flows if f is not None})
+    if windows and all(
+        getattr(fw, "flow_idx", None) is not None for fw in windows
+    ):
+        for fw in windows:
+            counts.append(fw.cell_count)
+        indices, num_flows = _intern_flow_indices(table_parts, windows)
+    else:
+        flows: List[Optional[FlowKey]] = []
+        for fw in windows:
+            cell_flows = (
+                fw.cell_flows
+                if fw.cell_flows is not None
+                else [flow for _, flow in fw.cells]
+            )
+            flows.extend(cell_flows)
+            counts.append(len(cell_flows))
+        indices = _intern_flows(table_parts, flows)
+        num_flows = len({f for f in flows if f is not None})
     try:
         source = _SOURCE_CODES[snapshot.source]
     except KeyError:
@@ -253,16 +298,19 @@ def decode_tw(buf: bytes, offset: int) -> Any:
         idx = np.frombuffer(buf, dtype="<i4", count=num_cells, offset=pos)
         pos += num_cells * 4
         pos += -num_cells * 12 % 8
-        cell_flows = [flow_table[i] for i in idx.tolist()]
-        cells: List[Tuple[int, FlowKey]] = list(zip(tts.tolist(), cell_flows))
+        # Zero-copy bridge: the TTS and flow-index columns stay views
+        # into ``buf`` (the mmap, for MmapStore), and the compiled query
+        # plan interns straight off them.  Tuple/object views derive
+        # lazily only if a scalar consumer asks.
         windows.append(
             FilteredWindow(
                 window_index,
                 shift,
-                cells,
+                None,
                 None if ref == _REF_NONE else ref,
                 tts_array=tts,
-                cell_flows=cell_flows,
+                flow_idx=idx,
+                flow_table=flow_table,
             )
         )
     return TimeWindowSnapshot(

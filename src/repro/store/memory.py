@@ -23,7 +23,7 @@ if TYPE_CHECKING:
 def _tw_estimate(snapshot: "TimeWindowSnapshot") -> int:
     total = 32  # snapshot header equivalent
     for fw in snapshot.windows:
-        total += 24 + 12 * len(fw.cells)  # window head + i64 tts + i32 idx
+        total += 24 + 12 * fw.cell_count  # window head + i64 tts + i32 idx
     return total
 
 

@@ -11,6 +11,8 @@ Public entry points:
 * :class:`~repro.switch.switchsim.Switch` — the event-driven simulator
 * :class:`~repro.switch.telemetry.GroundTruthRecorder` — lossless dequeue log
 * :func:`~repro.switch.fastpath.fifo_timestamps` — vectorised FIFO fast path
+* :class:`~repro.switch.records.RecordBatch` — the columnar dequeue log
+  (one structured record array) consumed by the fused ingest tier
 """
 
 from repro.switch.packet import FlowKey, Packet, PROTO_TCP, PROTO_UDP
@@ -25,7 +27,13 @@ from repro.switch.buffer import BufferedQueue, SharedBuffer
 from repro.switch.port import EgressPort
 from repro.switch.switchsim import Switch, SwitchStats
 from repro.switch.telemetry import DequeueRecord, GroundTruthRecorder, TelemetryHeader
-from repro.switch.fastpath import fifo_timestamps
+from repro.switch.fastpath import fifo_record_batch, fifo_timestamps
+from repro.switch.records import (
+    PACKET_RECORD_DTYPE,
+    FlowColumn,
+    RecordBatch,
+    as_record_batch,
+)
 
 __all__ = [
     "FlowKey",
@@ -47,4 +55,9 @@ __all__ = [
     "DequeueRecord",
     "GroundTruthRecorder",
     "fifo_timestamps",
+    "fifo_record_batch",
+    "PACKET_RECORD_DTYPE",
+    "FlowColumn",
+    "RecordBatch",
+    "as_record_batch",
 ]

@@ -15,11 +15,15 @@ the test suite checks record-for-record.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.units import PS_PER_NS
+
+if TYPE_CHECKING:  # runtime imports would cycle through repro.switch
+    from repro.switch.records import RecordBatch
+    from repro.traffic.trace import Trace
 
 
 @dataclass
@@ -190,3 +194,32 @@ def fifo_timestamps(
         kept=kept,
         drops=drops,
     )
+
+
+def fifo_record_batch(
+    trace: "Trace",
+    rate_bps: int,
+    capacity_pkts: Optional[int] = None,
+) -> "Tuple[RecordBatch, int]":
+    """FIFO pass returning the structured record-array dequeue log.
+
+    The columnar twin of ``run_trace_through_fifo``: the same
+    :func:`fifo_timestamps` recurrence, but the kept packets come back as
+    a :class:`~repro.switch.records.RecordBatch` built directly from the
+    result arrays plus the trace's flow-index/size columns — no
+    per-packet ``DequeueRecord`` objects.  Returns ``(batch, drops)``.
+    """
+    # Local import: records depends on this module for FifoResult.
+    from repro.switch.records import RecordBatch
+
+    result = fifo_timestamps(
+        trace.arrival_ns, trace.size_bytes, rate_bps, capacity_pkts
+    )
+    kept = result.kept
+    batch = RecordBatch.from_fifo(
+        result,
+        trace.flow_index[kept],
+        trace.size_bytes[kept],
+        trace.flows,
+    )
+    return batch, result.drops

@@ -1,0 +1,232 @@
+"""Structured packet-record arrays (the fused ingest tier's carrier).
+
+A dequeue log can be carried two ways: as a list of
+:class:`~repro.switch.telemetry.DequeueRecord` objects (the scalar and
+batched tiers), or as one structured numpy array of
+:data:`PACKET_RECORD_DTYPE` plus a flow table (:class:`RecordBatch`, the
+fused tier).  The structured form never materialises a per-packet Python
+object: flow identity is an ``int`` index into the table, and every
+timestamp/size/depth column is a zero-copy view over the array.
+
+:class:`RecordBatch` is a ``Sequence[DequeueRecord]`` — indexing lazily
+materialises the equivalent record object — so every consumer of a
+dequeue log (the culprit taxonomy, victim sampling, baselines, data-plane
+triggers) works on either carrier unchanged.
+
+:class:`FlowColumn` is the lazy ``table[idx[i]]`` view the batch kernels
+see: array/slice indexing narrows the view without touching Python
+objects; integer indexing resolves the actual :class:`FlowKey`.  Kernels
+that understand flow *indices* (the fused time-window set, the
+Algorithm-3 filter) read ``.idx``/``.table`` directly and skip object
+resolution entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union, overload
+
+import numpy as np
+
+from repro.switch.fastpath import FifoResult
+from repro.switch.packet import FlowKey
+from repro.switch.telemetry import DequeueRecord
+
+#: One dequeued packet, as the fused ingest tier carries it.  ``flow`` is
+#: an index into the batch's flow table; timestamps are nanoseconds.
+#: ``align=True`` pads the itemsize to 8 so the int64 columns stay
+#: aligned for vectorised access.
+PACKET_RECORD_DTYPE = np.dtype(
+    [
+        ("enq_ts", "<i8"),
+        ("deq_ts", "<i8"),
+        ("enq_qdepth", "<i4"),
+        ("size", "<i4"),
+        ("flow", "<i4"),
+        ("priority", "<i4"),
+    ],
+    align=True,
+)
+
+
+class FlowColumn(Sequence[FlowKey]):
+    """Lazy ``table[idx[i]]`` view over a flow-index column.
+
+    Array/slice indexing narrows the view (no objects touched); integer
+    indexing resolves the :class:`FlowKey`.  Kernels that work on flow
+    *indices* natively (``repro.engine.fused``) read ``idx`` and
+    ``table`` directly.
+    """
+
+    __slots__ = ("table", "idx")
+
+    def __init__(self, table: Sequence[FlowKey], idx: np.ndarray) -> None:
+        self.table = table
+        self.idx = idx
+
+    def __len__(self) -> int:
+        return len(self.idx)
+
+    @overload
+    def __getitem__(self, i: int) -> FlowKey: ...
+
+    @overload
+    def __getitem__(self, i: "Union[slice, np.ndarray]") -> "FlowColumn": ...
+
+    def __getitem__(
+        self, i: "Union[int, slice, np.ndarray]"
+    ) -> "Union[FlowKey, FlowColumn]":
+        if isinstance(i, (np.ndarray, slice)):
+            return FlowColumn(self.table, self.idx[i])
+        return self.table[int(self.idx[i])]
+
+    def __iter__(self) -> Iterator[FlowKey]:
+        table = self.table
+        for j in self.idx.tolist():
+            yield table[j]
+
+
+class RecordBatch(Sequence[DequeueRecord]):
+    """A dequeue log as one structured array plus a flow table.
+
+    ``data`` has :data:`PACKET_RECORD_DTYPE` and is ordered by dequeue
+    time (the order :func:`repro.switch.fastpath.fifo_timestamps`
+    produces).  The batch is a ``Sequence[DequeueRecord]``: integer
+    indexing materialises the equivalent record object on demand, so the
+    object-based consumers (taxonomy, sampling, triggers) need no
+    changes; the fused ingest tier reads the columns directly and never
+    materialises one.
+    """
+
+    __slots__ = ("data", "flows")
+
+    def __init__(self, data: np.ndarray, flows: Sequence[FlowKey]) -> None:
+        if data.dtype != PACKET_RECORD_DTYPE:
+            raise ValueError(
+                f"expected PACKET_RECORD_DTYPE, got {data.dtype}"
+            )
+        self.data = data
+        self.flows = list(flows)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_fifo(
+        cls,
+        result: FifoResult,
+        flow_index: np.ndarray,
+        size_bytes: np.ndarray,
+        flows: Sequence[FlowKey],
+        priority: Optional[np.ndarray] = None,
+    ) -> "RecordBatch":
+        """Build a batch from the FIFO fast path's arrays, zero objects.
+
+        ``flow_index``/``size_bytes`` must already be narrowed to the
+        kept packets (``trace.flow_index[result.kept]``).  ``priority``
+        defaults to 0, matching the single-class FIFO path.
+        """
+        n = len(result.kept)
+        data = np.empty(n, dtype=PACKET_RECORD_DTYPE)
+        data["enq_ts"] = result.enq_timestamp
+        data["deq_ts"] = result.deq_timestamp
+        data["enq_qdepth"] = result.enq_qdepth
+        data["size"] = size_bytes
+        data["flow"] = flow_index
+        data["priority"] = 0 if priority is None else priority
+        return cls(data, flows)
+
+    @classmethod
+    def from_records(cls, records: Sequence[DequeueRecord]) -> "RecordBatch":
+        """Intern a record-object log into the structured form."""
+        n = len(records)
+        data = np.empty(n, dtype=PACKET_RECORD_DTYPE)
+        table: List[FlowKey] = []
+        index_of: dict = {}
+        for i, r in enumerate(records):
+            fid = index_of.get(r.flow)
+            if fid is None:
+                fid = len(table)
+                index_of[r.flow] = fid
+                table.append(r.flow)
+            row = data[i]
+            row["enq_ts"] = r.enq_timestamp
+            row["deq_ts"] = r.deq_timestamp
+            row["enq_qdepth"] = r.enq_qdepth
+            row["size"] = r.size_bytes
+            row["flow"] = fid
+            row["priority"] = r.priority
+        return cls(data, table)
+
+    # -- columnar views ----------------------------------------------------
+
+    @property
+    def enq_timestamp(self) -> np.ndarray:
+        """Enqueue timestamps (ns), int64, dequeue order."""
+        return self.data["enq_ts"]
+
+    @property
+    def deq_timestamp(self) -> np.ndarray:
+        """Dequeue timestamps (ns), int64, nondecreasing."""
+        return self.data["deq_ts"]
+
+    @property
+    def enq_qdepth(self) -> np.ndarray:
+        """Queue depth seen at enqueue, int32."""
+        return self.data["enq_qdepth"]
+
+    @property
+    def size_bytes(self) -> np.ndarray:
+        """On-wire packet sizes, int32."""
+        return self.data["size"]
+
+    @property
+    def flow_index(self) -> np.ndarray:
+        """Per-packet indices into :attr:`flows`, int32."""
+        return self.data["flow"]
+
+    def flow_column(self) -> FlowColumn:
+        """Lazy per-packet :class:`FlowKey` view (no objects touched)."""
+        return FlowColumn(self.flows, self.data["flow"])
+
+    # -- Sequence[DequeueRecord] -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def _materialise(self, i: int) -> DequeueRecord:
+        row = self.data[i]
+        return DequeueRecord(
+            flow=self.flows[int(row["flow"])],
+            size_bytes=int(row["size"]),
+            enq_timestamp=int(row["enq_ts"]),
+            deq_timestamp=int(row["deq_ts"]),
+            enq_qdepth=int(row["enq_qdepth"]),
+            priority=int(row["priority"]),
+        )
+
+    @overload
+    def __getitem__(self, i: int) -> DequeueRecord: ...
+
+    @overload
+    def __getitem__(self, i: slice) -> "RecordBatch": ...
+
+    def __getitem__(
+        self, i: "Union[int, slice]"
+    ) -> "Union[DequeueRecord, RecordBatch]":
+        if isinstance(i, slice):
+            return RecordBatch(self.data[i], self.flows)
+        return self._materialise(int(i))
+
+    def __iter__(self) -> Iterator[DequeueRecord]:
+        for i in range(len(self.data)):
+            yield self._materialise(i)
+
+    def to_records(self) -> List[DequeueRecord]:
+        """Materialise the whole log as record objects (tests, interop)."""
+        return list(self)
+
+
+def as_record_batch(records: Sequence[DequeueRecord]) -> RecordBatch:
+    """Coerce any dequeue log to a :class:`RecordBatch` (no-op if one)."""
+    if isinstance(records, RecordBatch):
+        return records
+    return RecordBatch.from_records(records)

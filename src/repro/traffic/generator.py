@@ -15,7 +15,7 @@ relies on for near-random entry into time-window cells (Section 4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.traffic.arrivals import ArrivalProcess, PoissonArrivals
 from repro.traffic.distributions import FlowSizeDistribution
 from repro.traffic.trace import Trace
 from repro.units import DEFAULT_LINK_RATE_BPS, NS_PER_SEC
+
+if TYPE_CHECKING:
+    from repro.switch.records import RecordBatch
 
 
 @dataclass
@@ -147,6 +150,27 @@ class PoissonWorkload:
             name=f"poisson-{getattr(self.distribution, 'name', 'flows')}",
         )
         return trace
+
+    def generate_records(
+        self,
+        rate_bps: Optional[int] = None,
+        capacity_pkts: Optional[int] = None,
+    ) -> "Tuple[Trace, RecordBatch, int]":
+        """Generate a trace and queue it, columnar end to end.
+
+        Convenience front door for the fused ingest tier: the generated
+        trace's arrival/size/flow-index columns flow straight through the
+        vectorised FIFO (:func:`repro.switch.fastpath.fifo_record_batch`)
+        into a structured :class:`~repro.switch.records.RecordBatch` —
+        no per-packet Python object is built anywhere on the way.
+        Returns ``(trace, batch, drops)``.
+        """
+        from repro.switch.fastpath import fifo_record_batch
+
+        trace = self.generate()
+        rate = self.config.link_rate_bps if rate_bps is None else rate_bps
+        batch, drops = fifo_record_batch(trace, rate, capacity_pkts)
+        return trace, batch, drops
 
     # -- helpers -------------------------------------------------------------
 

@@ -43,6 +43,7 @@ PUBLIC_MODULES = [
     "repro.switch.packet",
     "repro.switch.port",
     "repro.switch.queue",
+    "repro.switch.records",
     "repro.switch.scheduler",
     "repro.switch.switchsim",
     "repro.switch.telemetry",
@@ -68,6 +69,7 @@ PUBLIC_MODULES = [
     "repro.metrics.flowstats",
     "repro.metrics.overhead",
     "repro.engine",
+    "repro.engine.fused",
     "repro.engine.ingest",
     "repro.engine.parallel",
     "repro.engine.queryplan",

@@ -1,0 +1,399 @@
+"""The fused record-array ingest tier: bit-identical to both other tiers.
+
+DESIGN.md §14's contract, asserted end to end: for any dequeue log the
+fused tier (:class:`repro.engine.FusedIngestPipeline` over a
+:class:`~repro.switch.records.RecordBatch`) leaves every register bank,
+counter, snapshot, and query result in exactly the state the scalar walk
+and the batched tier produce — including the store encoding, which must
+stay byte-identical so PQSTORE1 recordings are engine-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrintQueueConfig
+from repro.core.printqueue import PrintQueuePort
+from repro.core.queries import QueryInterval
+from repro.core.windowset import TimeWindowSet
+from repro.engine import FusedIngestPipeline, FusedTimeWindowSet, FusedWindow
+from repro.errors import SimulationError
+from repro.experiments.runner import (
+    drive_printqueue,
+    run_trace_through_fifo,
+    run_trace_through_fifo_batch,
+    simulate_workload,
+)
+from repro.obs.metrics import Metrics
+from repro.obs.report import RunReport
+from repro.store import MmapStore
+from repro.switch.packet import FlowKey
+from repro.switch.records import (
+    PACKET_RECORD_DTYPE,
+    FlowColumn,
+    RecordBatch,
+    as_record_batch,
+)
+from repro.traffic.distributions import distribution_by_name
+from repro.traffic.generator import PoissonWorkload, WorkloadConfig
+
+# ---------------------------------------------------------------------------
+# state signatures (materialised, so array- and list-backed states compare)
+
+
+def _windowset_state(ws):
+    return (
+        [
+            (
+                tuple(int(c) for c in w.cycle_ids),
+                tuple(w.flows[i] for i in range(1 << w.k)),
+            )
+            for w in ws.windows
+        ],
+        (ws.updates, ws.passes, ws.drops),
+        tuple(ws.level_inserts),
+        tuple(ws.level_passes),
+        tuple(ws.level_drops),
+    )
+
+
+def _port_state(pq):
+    analysis = pq.analysis
+    banks = analysis.tw_banks
+    qm = analysis.queue_monitor
+    return (
+        pq.packets_seen,
+        banks.active_index,
+        banks.periodic_flips,
+        banks.dp_freezes,
+        banks.dp_rejections,
+        [_windowset_state(bank) for bank in banks.banks],
+        (qm.top, qm._seq, qm.overflows, qm.pushes, qm.drains, qm.high_water),
+        (tuple(qm.inc_seq), tuple(qm.inc_flow), tuple(qm.dec_seq)),
+        [
+            (s.read_time_ns, s.source, s.valid_from_ns, list(s.windows))
+            for s in analysis.tw_snapshots
+        ],
+        [
+            (s.time_ns, s.top, tuple(s.inc_seq), tuple(s.inc_flow))
+            for s in analysis.qm_snapshots
+        ],
+    )
+
+
+def _flow(i: int) -> FlowKey:
+    return FlowKey.from_strings(
+        f"10.0.{(i >> 8) & 255}.{i & 255}", "10.1.0.1", 5000 + i % 37, 80
+    )
+
+
+def _run(engine, config, seed, duration_ns=2_000_000, triggers=None, **kw):
+    return simulate_workload(
+        "ws",
+        duration_ns=duration_ns,
+        load=1.3,
+        config=config,
+        seed=seed,
+        dp_trigger_indices=triggers,
+        engine=engine,
+        **kw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end equivalence across all three tiers
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_fused_matches_scalar_and_batched_end_to_end(seed):
+    config = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+    triggers = {5, 60, 200}
+    scalar = _run("scalar", config, seed, triggers=triggers)
+    batched = _run("batched", config, seed, triggers=triggers)
+    fused = _run("fused", config, seed, triggers=triggers)
+    assert len(fused.records) == len(scalar.records) > 100
+    assert _port_state(fused.pq) == _port_state(scalar.pq)
+    assert _port_state(fused.pq) == _port_state(batched.pq)
+    assert fused.dp_results.keys() == scalar.dp_results.keys()
+    for idx, result in scalar.dp_results.items():
+        other = fused.dp_results[idx]
+        assert result.trigger_time_ns == other.trigger_time_ns
+        assert result.interval == other.interval
+        assert result.estimate._counts == other.estimate._counts
+
+
+def test_fused_matches_scalar_collision_heavy():
+    # 16-cell windows: nearly every insert collides, so the fused pass
+    # stream (head + mid evictions, recompressed TTS) is fully exercised.
+    config = PrintQueueConfig(m0=4, k=4, alpha=1, T=3, qm_levels=256)
+    scalar = _run("scalar", config, 3, duration_ns=400_000)
+    fused = _run("fused", config, 3, duration_ns=400_000)
+    assert _port_state(scalar.pq) == _port_state(fused.pq)
+    bank = fused.pq.analysis.tw_banks.active
+    assert bank.drops + bank.passes > 0
+
+
+def test_fused_queries_match_scalar_queries():
+    config = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+    scalar = _run("scalar", config, 7, duration_ns=1_500_000)
+    fused = _run("fused", config, 7, duration_ns=1_500_000)
+    victim = max(scalar.records, key=lambda r: r.queuing_delay)
+    interval = QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    assert (
+        scalar.pq.query(interval=interval).estimate._counts
+        == fused.pq.query(interval=interval).estimate._counts
+    )
+    assert (
+        scalar.pq.query(at_ns=victim.enq_timestamp).estimate._counts
+        == fused.pq.query(at_ns=victim.enq_timestamp).estimate._counts
+    )
+
+
+def test_fused_metrics_on_equals_metrics_off():
+    config = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+    plain = _run("fused", config, 13)
+    metered = _run("fused", config, 13, metrics=Metrics())
+    assert _port_state(plain.pq) == _port_state(metered.pq)
+
+
+def test_fused_report_counter_parity():
+    """RunReport deterministic views agree across all three engines."""
+    config = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+    views = [
+        RunReport.from_port(_run(engine, config, 17).pq).deterministic_view()
+        for engine in ("scalar", "batched", "fused")
+    ]
+    assert views[0] == views[1] == views[2]
+
+
+# ---------------------------------------------------------------------------
+# kernel-level randomized equivalence
+
+
+@pytest.mark.parametrize("k,alpha,T", [(4, 1, 3), (6, 2, 4), (8, 1, 2)])
+def test_fused_absorb_matches_scalar_randomized(k, alpha, T):
+    config = PrintQueueConfig(m0=4, k=k, alpha=alpha, T=T)
+    rng = np.random.default_rng(k * 100 + alpha * 10 + T)
+    gaps = rng.integers(1, 1 << (config.m0 + 2), size=600)
+    timestamps = np.cumsum(gaps).astype(np.int64)
+    flow_ids = rng.integers(0, 40, size=600)
+    table = [_flow(i) for i in range(40)]
+    flows = [table[int(i)] for i in flow_ids]
+
+    reference = TimeWindowSet(config)
+    for flow, ts in zip(flows, timestamps.tolist()):
+        reference.update(flow, ts)
+
+    # Indexed fast path: a FlowColumn over the set's own table.
+    fused = FusedTimeWindowSet(config, list(table))
+    fused.absorb_batch(
+        FlowColumn(fused.flow_table, flow_ids.astype(np.int64)), timestamps
+    )
+    assert _windowset_state(fused) == _windowset_state(reference)
+
+    # Object fallback: any other flow sequence is interned first.
+    interned = FusedTimeWindowSet(config, [])
+    interned.absorb_batch(flows, timestamps)
+    assert _windowset_state(interned) == _windowset_state(reference)
+
+    # Scalar entry point on the array registers.
+    scalar = FusedTimeWindowSet(config, [])
+    for flow, ts in zip(flows, timestamps.tolist()):
+        scalar.update(flow, ts)
+    assert _windowset_state(scalar) == _windowset_state(reference)
+
+
+def test_fused_window_latest_cell_matches_scalar():
+    config = PrintQueueConfig(m0=4, k=5, alpha=1, T=2)
+    rng = np.random.default_rng(5)
+    timestamps = np.cumsum(rng.integers(1, 64, size=300)).astype(np.int64)
+    flow_ids = rng.integers(0, 8, size=300)
+    table = [_flow(i) for i in range(8)]
+
+    reference = TimeWindowSet(config)
+    fused = FusedTimeWindowSet(config, list(table))
+    for fid, ts in zip(flow_ids.tolist(), timestamps.tolist()):
+        reference.update(table[fid], int(ts))
+        fused.update(table[fid], int(ts))
+    for ref_w, fused_w in zip(reference.windows, fused.windows):
+        a = ref_w.latest_cell()
+        b = fused_w.latest_cell()
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert (a.index, a.cycle_id, a.flow) == (b.index, b.cycle_id, b.flow)
+            assert isinstance(b.index, int) and isinstance(b.cycle_id, int)
+
+
+def test_fused_window_snapshot_is_frozen():
+    table = [_flow(0), _flow(1)]
+    w = FusedWindow(4, table)
+    ws = FusedTimeWindowSet(PrintQueueConfig(m0=2, k=4, alpha=1, T=1), table)
+    ws.update(table[0], 100)
+    frozen = ws.windows[0].snapshot()
+    before = frozen.occupancy()
+    ws.update(table[1], 999_999)
+    assert frozen.occupancy() == before
+    assert w.occupancy() == 0
+
+
+def test_absorb_indexed_length_mismatch_raises():
+    ws = FusedTimeWindowSet(PrintQueueConfig(m0=2, k=4, alpha=1, T=1), [])
+    with pytest.raises(SimulationError):
+        ws.absorb_indexed(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64))
+
+
+def test_fused_pipeline_requires_fresh_port():
+    config = PrintQueueConfig(m0=6, k=8, alpha=2, T=3)
+    run = _run("scalar", config, 3, duration_ns=300_000)
+    batch = as_record_batch(list(run.records))
+    pq = PrintQueuePort(config, d_ns=100.0, model_dp_read_cost=False)
+    pq.process_dequeue(_flow(1), 1000, 0)
+    with pytest.raises(SimulationError):
+        FusedIngestPipeline(pq, batch)
+
+
+# ---------------------------------------------------------------------------
+# RecordBatch / FlowColumn carriers
+
+
+def _small_batch():
+    workload = PoissonWorkload(
+        distribution_by_name("ws"),
+        WorkloadConfig(load=1.2, duration_ns=500_000),
+        seed=5,
+    )
+    trace = workload.generate()
+    records, drops = run_trace_through_fifo(trace)
+    batch, drops2 = run_trace_through_fifo_batch(trace)
+    assert drops == drops2
+    return records, batch
+
+
+def test_record_batch_matches_object_records():
+    records, batch = _small_batch()
+    assert len(batch) == len(records)
+    assert batch.data.dtype == PACKET_RECORD_DTYPE
+    assert batch.to_records() == records
+    assert batch[0] == records[0]
+    assert batch[-1] == records[-1]
+    sliced = batch[10:20]
+    assert isinstance(sliced, RecordBatch)
+    assert sliced.to_records() == records[10:20]
+
+
+def test_record_batch_round_trip_through_objects():
+    records, _ = _small_batch()
+    batch = RecordBatch.from_records(records)
+    assert batch.to_records() == records
+    assert as_record_batch(batch) is batch
+
+
+def test_record_batch_rejects_wrong_dtype():
+    with pytest.raises(ValueError):
+        RecordBatch(np.zeros(3, dtype=np.int64), [])
+
+
+def test_flow_column_narrowing_and_iteration():
+    table = [_flow(i) for i in range(4)]
+    idx = np.array([0, 3, 1, 3, 2], dtype=np.int64)
+    col = FlowColumn(table, idx)
+    assert len(col) == 5
+    assert col[1] is table[3]
+    assert list(col) == [table[0], table[3], table[1], table[3], table[2]]
+    narrowed = col[np.array([1, 3])]
+    assert isinstance(narrowed, FlowColumn)
+    assert narrowed.table is table
+    assert list(narrowed) == [table[3], table[3]]
+    assert list(col[1:3]) == [table[3], table[1]]
+
+
+def test_generate_records_matches_generate():
+    workload = PoissonWorkload(
+        distribution_by_name("ws"),
+        WorkloadConfig(load=1.2, duration_ns=400_000),
+        seed=9,
+    )
+    trace, batch, drops = workload.generate_records()
+    records, drops2 = run_trace_through_fifo(trace)
+    assert drops == drops2
+    assert batch.to_records() == records
+
+
+# ---------------------------------------------------------------------------
+# store bridge: byte identity + zero-copy replay
+
+
+def test_store_encoding_is_engine_independent(tmp_path):
+    config = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+    paths = {}
+    for engine in ("batched", "fused"):
+        path = tmp_path / f"{engine}.pqstore"
+        run = _run(engine, config, 11, store=MmapStore(path))
+        run.pq.analysis.store.close()
+        paths[engine] = path
+    assert paths["batched"].read_bytes() == paths["fused"].read_bytes()
+
+
+def test_mmap_replay_compiles_and_queries_zero_copy(tmp_path):
+    config = PrintQueueConfig(m0=6, k=8, alpha=2, T=3, qm_levels=1024)
+    path = tmp_path / "run.pqstore"
+    # Reference run against the in-memory store (identical poll stream).
+    live = _run("fused", config, 11)
+    live_snapshots = list(live.pq.analysis.tw_snapshots)
+    victim = max(live.records, key=lambda r: r.queuing_delay)
+    interval = QueryInterval.for_victim(victim.enq_timestamp, victim.deq_timestamp)
+    live_estimate = live.pq.query(interval=interval).estimate._counts
+    # Recording run: same workload, snapshots land in the PQSTORE1 file.
+    recording = _run("fused", config, 11, store=MmapStore(path))
+    recording.pq.analysis.store.close()
+
+    replay = MmapStore.open(path)
+    snapshots = list(replay.tw_view())
+    assert len(snapshots) == len(live_snapshots)
+    for stored, original in zip(snapshots, live_snapshots):
+        # Equality is on the materialised cells, independent of carrier.
+        assert list(stored.windows) == list(original.windows)
+    # The decoded windows are index-based views straight off the mmap:
+    # no per-cell objects were built to satisfy the equality above having
+    # been the only materialisation, and the arrays do not own memory.
+    fw = next(w for s in snapshots for w in s.windows if w.cell_count)
+    assert fw.flow_idx is not None
+    assert fw.flow_table is not None
+    assert not fw.tts_array.flags.owndata
+    assert not fw.flow_idx.flags.owndata
+
+    # An analysis program rebound to the replayed store answers queries
+    # identically to the live run.
+    from repro.core.analysis import AnalysisProgram
+
+    analysis = AnalysisProgram(
+        config,
+        d_ns=live.mean_packet_interval_ns,
+        model_dp_read_cost=False,
+        store=replay,
+    )
+    estimate = analysis.query_time_windows(interval)._counts
+    assert estimate == live_estimate
+
+
+def test_filtered_window_representations_agree():
+    """cells / columnar / indexed constructions are interchangeable."""
+    from repro.core.filtering import FilteredWindow
+
+    table = [_flow(i) for i in range(3)]
+    tts = np.array([10, 11, 13], dtype=np.int64)
+    idx = np.array([2, 0, 1], dtype=np.int64)
+    cells = [(10, table[2]), (11, table[0]), (13, table[1])]
+
+    by_cells = FilteredWindow(0, 4, list(cells), 13)
+    by_columns = FilteredWindow(
+        0, 4, None, 13, tts_array=tts.copy(), cell_flows=[c[1] for c in cells]
+    )
+    by_index = FilteredWindow(
+        0, 4, None, 13, tts_array=tts.copy(), flow_idx=idx, flow_table=table
+    )
+    assert by_cells == by_columns == by_index
+    assert by_index.cells == cells
+    assert by_index.cell_flows == [c[1] for c in cells]
+    assert by_index.cell_count == 3
+    assert np.array_equal(by_cells.tts_array, tts)
+    assert repr(by_index) == repr(by_cells)
