@@ -37,7 +37,40 @@ def render_bench_ingest(path: Path) -> str:
             f"| {cfg['fused_mpps']:.3f} | {cfg['batched_speedup']:.2f}x "
             f"| {cfg['fused_speedup']:.2f}x | {cfg['fused_total_speedup']:.2f}x |"
         )
+    sharded = record.get("sharded")
+    if sharded:
+        lines.extend(render_shard_scaling(sharded, record.get("cores")))
     return "\n".join(lines)
+
+
+def render_shard_scaling(sharded: dict, cores) -> list:
+    """Markdown for the sharded tier's shard-count scaling curve.
+
+    Aggregate Mpps per shard count plus parallel efficiency (rate over
+    the 1-shard rate scaled by shard count).  The effective core count
+    the sweep ran on is printed with the curve: scaling beyond the core
+    count measures pool overhead, not the engine.
+    """
+    fused_ref = sharded.get("fused_reference_mpps")
+    floor_state = "armed" if sharded.get("floor_armed") else "not armed"
+    lines = [
+        "",
+        f"### Shard-count scaling ({sharded['config']}, {cores} cores)",
+        "",
+        f"Fused single-process reference: {fused_ref:.3f} Mpps; "
+        f"sharded(4) floor {sharded['floor']:.1f}x fused ({floor_state}).",
+        "",
+        "| shards | aggregate Mpps | vs fused | efficiency |",
+        "|---|---|---|---|",
+    ]
+    for num in sorted(sharded["shards"], key=int):
+        point = sharded["shards"][num]
+        ratio = point["mpps"] / fused_ref if fused_ref else 0.0
+        lines.append(
+            f"| {num} | {point['mpps']:.3f} | {ratio:.2f}x "
+            f"| {point['efficiency_pct']:.1f}% |"
+        )
+    return lines
 
 
 def render_bench_query(path: Path) -> str:

@@ -471,10 +471,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--victims", type=int, default=1)
     run.add_argument(
         "--engine",
-        choices=["batched", "fused", "scalar"],
+        choices=["batched", "fused", "scalar", "sharded"],
         default="batched",
         help="ingest engine: vectorised batches, the fused record-array "
-        "kernel, or the scalar reference",
+        "kernel, the scalar reference, or the sharded multi-process "
+        "driver (falls back to in-process fused when pools are "
+        "unavailable)",
     )
     run.add_argument(
         "--metrics-out",
@@ -530,7 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=1)
     stats.add_argument(
         "--engine",
-        choices=["batched", "fused", "scalar"],
+        choices=["batched", "fused", "scalar", "sharded"],
         default="batched",
         help="ingest engine (reports are counter-identical across engines)",
     )

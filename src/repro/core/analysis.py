@@ -24,6 +24,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from functools import partial
+from time import perf_counter_ns
 from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.coefficient import coefficients
@@ -176,6 +177,21 @@ class AnalysisProgram:
         self.snapshot_compile_hits = 0
         self.snapshot_compile_misses = 0
         self.batch_queries = 0
+        #: stage-timing hooks (repro.obs): ``observe(ns)`` callables for
+        #: the Algorithm-3 filter and snapshot-encode stages, attached by
+        #: the owning port when a metrics registry is present.  ``None``
+        #: keeps the poll path branch-cheap and state-identical.
+        self._stage_filter_observe: Optional[Callable[[int], None]] = None
+        self._stage_encode_observe: Optional[Callable[[int], None]] = None
+
+    def attach_stage_observers(self, metrics: object) -> None:
+        """Wire the filter/encode ``pq_ingest_stage_*`` histograms."""
+        self._stage_filter_observe = metrics.histogram(  # type: ignore[attr-defined]
+            "pq_ingest_stage_filter_ns"
+        ).observe
+        self._stage_encode_observe = metrics.histogram(  # type: ignore[attr-defined]
+            "pq_ingest_stage_encode_ns"
+        ).observe
 
     # -- snapshot access (read-only store views) ---------------------------
 
@@ -219,12 +235,18 @@ class AnalysisProgram:
     def periodic_poll(self, now_ns: int) -> TimeWindowSnapshot:
         """Flip banks and read the frozen copy; also snapshot the monitor."""
         frozen = self.tw_banks.periodic_flip()
-        return self.store_periodic_snapshot(
-            now_ns,
-            filter_windows(
+        observe = self._stage_filter_observe
+        if observe is None:
+            windows = filter_windows(
                 frozen.snapshot(), self.config, stats=self.filter_stats
-            ),
-        )
+            )
+        else:
+            t0 = perf_counter_ns()
+            windows = filter_windows(
+                frozen.snapshot(), self.config, stats=self.filter_stats
+            )
+            observe(perf_counter_ns() - t0)
+        return self.store_periodic_snapshot(now_ns, windows)
 
     def store_periodic_snapshot(
         self, now_ns: int, windows: List[FilteredWindow]
@@ -243,8 +265,15 @@ class AnalysisProgram:
             valid_from_ns=self._active_since_ns,
         )
         self._active_since_ns = now_ns
-        self.store.add_tw(snapshot)
-        self.store.add_qm(self.queue_monitor.snapshot(now_ns))
+        observe = self._stage_encode_observe
+        if observe is None:
+            self.store.add_tw(snapshot)
+            self.store.add_qm(self.queue_monitor.snapshot(now_ns))
+        else:
+            t0 = perf_counter_ns()
+            self.store.add_tw(snapshot)
+            self.store.add_qm(self.queue_monitor.snapshot(now_ns))
+            observe(perf_counter_ns() - t0)
         return snapshot
 
     def quarantine_snapshot_windows(

@@ -279,9 +279,14 @@ def filter_windows(
                 flow_table=getattr(window, "table"),
             )
         else:
+            # Object-backed windows: gather the survivors' flow objects
+            # through one object-array fancy index (pointer copies) in
+            # place of a per-survivor Python lookup loop.
             flows = window.flows
-            cell_flows: List[FlowKey] = [flows[j] for j in tail.tolist()]
-            cell_flows.extend(flows[j] for j in head.tolist())
+            flows_arr = np.empty(len(flows), dtype=object)
+            flows_arr[:] = flows
+            survivors = np.concatenate((tail, head))
+            cell_flows: List[FlowKey] = flows_arr[survivors].tolist()
             fw = FilteredWindow(
                 i,
                 config.shift(i),

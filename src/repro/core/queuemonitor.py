@@ -32,10 +32,16 @@ def _materialise_flows(
 ) -> List[FlowKey]:
     """Resolve ``[flows[p] for p in pos]`` through the fastest path.
 
-    ``flows`` may be a plain sequence, an object ndarray, or a lazy view
-    (``_GatheredFlows`` / ``FlowColumn``) that narrows under array
-    indexing — only the surviving events' flows become objects.
+    A :class:`~repro.switch.records.FlowColumn` (the fused tier's lazy
+    view) resolves via one object-array gather over its flow table —
+    the surviving flows' :class:`FlowKey` objects already exist there,
+    so no per-survivor construction happens at all.  Other carriers
+    (plain sequences, object ndarrays, lazy views that narrow under
+    array indexing) fall back to narrowing + ``tolist``.
     """
+    gather = getattr(flows, "gather", None)
+    if gather is not None:
+        return gather(pos).tolist()  # type: ignore[no-any-return]
     try:
         sel = flows[pos]  # type: ignore[index]
     except (TypeError, IndexError):
@@ -122,6 +128,12 @@ class QueueMonitor:
         self.granularity = granularity
         self._seq = 0
         self.top = 0
+        # Registers stay plain Python lists: snapshot() is then a cheap
+        # pointer copy (the control plane snapshots every poll, and with
+        # 2^16 levels re-boxing int64 arrays per snapshot costs more
+        # than the whole batched write-back saves).  apply_batch only
+        # ever writes the surviving entries, so the lists are touched
+        # ~last-per-level, not per-event.
         self.inc_seq: List[int] = [_UNSET] * levels
         self.inc_flow: List[Optional[FlowKey]] = [None] * levels
         self.dec_seq: List[int] = [_UNSET] * levels
@@ -197,25 +209,33 @@ class QueueMonitor:
 
         # Last event per (level, side) key via one O(n) scatter:
         # duplicate-index assignment is performed in order, so the last
-        # write wins — exactly the survivor rule.  Only the surviving
-        # events' flows are ever materialised as objects.
+        # write wins — exactly the survivor rule.  The scratch array is
+        # bounded by the batch's peak level, not the full register
+        # length, and only the surviving events' flows are ever
+        # materialised as objects (one table gather for the fused
+        # tier's FlowColumn — see _materialise_flows).
         key = (level << 1) | ~is_enqueue
-        last = np.full(2 * self.levels, -1, dtype=np.int64)
+        last = np.full(2 * (peak + 1), -1, dtype=np.int64)
         last[key] = np.arange(n, dtype=np.int64)
         present = np.flatnonzero(last >= 0)
         pos = last[present]
         surviving = _materialise_flows(flows, pos)
+        seqs = (base_seq + 1 + pos).tolist()
+        is_dec = (present & 1).astype(bool)
+        lvls = present >> 1
+        inc_sel = np.flatnonzero(~is_dec).tolist()
+        dec_sel = np.flatnonzero(is_dec).tolist()
+        lvl_list = lvls.tolist()
         inc_seq, inc_flow = self.inc_seq, self.inc_flow
+        for i in inc_sel:
+            lvl = lvl_list[i]
+            inc_seq[lvl] = seqs[i]
+            inc_flow[lvl] = surviving[i]
         dec_seq, dec_flow = self.dec_seq, self.dec_flow
-        for kk, seq, fl in zip(
-            present.tolist(), (base_seq + 1 + pos).tolist(), surviving
-        ):
-            if kk & 1:
-                dec_seq[kk >> 1] = seq
-                dec_flow[kk >> 1] = fl
-            else:
-                inc_seq[kk >> 1] = seq
-                inc_flow[kk >> 1] = fl
+        for i in dec_sel:
+            lvl = lvl_list[i]
+            dec_seq[lvl] = seqs[i]
+            dec_flow[lvl] = surviving[i]
         self.top = int(level[-1])
 
     def snapshot(self, time_ns: int) -> QueueMonitorSnapshot:

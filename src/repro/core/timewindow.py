@@ -110,14 +110,12 @@ class TimeWindow:
         written later, the lexicographic maximum identifies the newest
         record.
         """
-        best_index = -1
-        best_cycle = EMPTY
-        for index, cycle_id in enumerate(self.cycle_ids):
-            if cycle_id > best_cycle or (cycle_id == best_cycle and cycle_id != EMPTY):
-                best_cycle = cycle_id
-                best_index = index
-        if best_index < 0:
+        cyc = np.asarray(self.cycle_ids, dtype=np.int64)
+        best_cycle = int(cyc.max(initial=EMPTY))
+        if best_cycle == EMPTY:
             return None
+        # Within the max cycle, the highest index was written last.
+        best_index = int(np.flatnonzero(cyc == best_cycle)[-1])
         return self.cell(best_index)
 
     def snapshot(self) -> "TimeWindow":

@@ -20,6 +20,11 @@ fast path and PrintQueue's measurement structures:
   (TTS array + interned flow index) form and batched multi-victim
   queries run as ``searchsorted`` slices with in-order per-flow
   accumulation — numerically identical to the scalar reference walk.
+* :class:`~repro.engine.sharded.ShardedIngestPipeline` drives the
+  fused tier per egress port across a process pool: record arrays ship
+  via shared memory, worker snapshot streams replay into the parent's
+  store, and counters merge back — bit-identical to per-port fused
+  runs, with a graceful in-process fallback.
 * :class:`~repro.engine.parallel.ParallelSweep` fans independent
   (workload, config, port) experiment cells across a process pool with
   per-cell result caching, so figure-style sweeps scale with cores;
@@ -28,7 +33,19 @@ fast path and PrintQueue's measurement structures:
 
 from repro.engine.fused import FusedIngestPipeline, FusedTimeWindowSet, FusedWindow
 from repro.engine.ingest import IngestPipeline
-from repro.engine.parallel import CellResult, ParallelSweep, ResultCache, SweepCell
+from repro.engine.parallel import (
+    CellResult,
+    ParallelSweep,
+    ResultCache,
+    SweepCell,
+    intern_config,
+)
+from repro.engine.sharded import (
+    Shard,
+    ShardedIngestPipeline,
+    ShardRunner,
+    partition_trace_by_port,
+)
 from repro.engine.queryplan import (
     CompiledQueryPlan,
     CompiledSnapshot,
@@ -40,12 +57,17 @@ from repro.engine.queryplan import (
 __all__ = [
     "IngestPipeline",
     "FusedIngestPipeline",
+    "Shard",
+    "ShardedIngestPipeline",
+    "ShardRunner",
+    "partition_trace_by_port",
     "FusedTimeWindowSet",
     "FusedWindow",
     "ParallelSweep",
     "ResultCache",
     "SweepCell",
     "CellResult",
+    "intern_config",
     "CompiledQueryPlan",
     "CompiledSnapshot",
     "CompiledWindow",

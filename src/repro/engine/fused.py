@@ -35,6 +35,7 @@ accounting — and the snapshot conversion is a pure representation change.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, cast
 
 import numpy as np
@@ -385,8 +386,12 @@ class FusedIngestPipeline(IngestPipeline):
             )
         table = self.batch.flows
         config = pq.config
+        # partial(), not a lambda: the factory rides inside the port, and
+        # the sharded driver pickles finished ports back from its worker
+        # processes (analysis.py keeps its bank factory picklable for the
+        # same reason).
         fused: BankedStructure[TimeWindowSet] = BankedStructure(
-            lambda: FusedTimeWindowSet(config, table)
+            partial(FusedTimeWindowSet, config, table)
         )
         pq.analysis.tw_banks = fused
 

@@ -20,12 +20,29 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 from pickle import PicklingError
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.config import PrintQueueConfig
+
+
+#: canonical instance per distinct config value (see :func:`intern_config`).
+_CONFIG_INTERN: Dict[PrintQueueConfig, PrintQueueConfig] = {}
+
+
+def intern_config(config: PrintQueueConfig) -> PrintQueueConfig:
+    """Return the canonical shared instance for this config value.
+
+    Figure benches build hundreds of :class:`SweepCell`\\ s whose configs
+    are equal but freshly constructed, so every cell used to carry (and
+    the cache key, hash, and pool pickling to touch) its own copy.
+    Interning collapses equal values to one shared instance: cache-key
+    equality short-circuits on identity and a sweep's cells reference a
+    single config object apiece.
+    """
+    return _CONFIG_INTERN.setdefault(config, config)
 
 
 @dataclass(frozen=True)
@@ -233,8 +250,18 @@ class ParallelSweep:
         #: in-process retries consumed by failing cells (lifetime counter).
         self.cell_retries_used = 0
 
+    @staticmethod
+    def _intern_cell(cell: Hashable) -> Hashable:
+        """Swap a SweepCell's config for the interned shared instance."""
+        if isinstance(cell, SweepCell):
+            canonical = intern_config(cell.config)
+            if canonical is not cell.config:
+                cell = replace(cell, config=canonical)
+        return cell
+
     def run(self, cells: Sequence[Hashable]) -> List[Any]:
         """Evaluate every cell (cache-first), preserving input order."""
+        cells = [self._intern_cell(c) for c in cells]
         missing = [c for c in dict.fromkeys(cells) if c not in self.cache]
         self.cache.hits += len(cells) - len(missing)
         self.cache.misses += len(missing)

@@ -17,6 +17,7 @@ available for non-FIFO schedulers and is validated against this one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 
@@ -122,8 +123,10 @@ def drive_printqueue(
     array batches via :class:`repro.engine.IngestPipeline`),
     ``"fused"`` (the record-array single-pass kernel,
     :class:`repro.engine.FusedIngestPipeline` — ``records`` may be a
-    :class:`~repro.switch.records.RecordBatch` to skip re-packing), or
-    ``"scalar"`` (the per-event reference loop).  All three produce
+    :class:`~repro.switch.records.RecordBatch` to skip re-packing),
+    ``"sharded"`` (the fused kernel behind the subprocess shard driver,
+    :class:`repro.engine.sharded.ShardedIngestPipeline`), or
+    ``"scalar"`` (the per-event reference loop).  All four produce
     identical snapshots, query results, and structure counters.
     """
     if engine == "batched":
@@ -136,6 +139,12 @@ def drive_printqueue(
         from repro.engine.fused import FusedIngestPipeline
 
         return FusedIngestPipeline(
+            pq, records, dp_trigger_indices=dp_trigger_indices, baselines=baselines
+        ).run()
+    if engine == "sharded":
+        from repro.engine.sharded import ShardedIngestPipeline
+
+        return ShardedIngestPipeline(
             pq, records, dp_trigger_indices=dp_trigger_indices, baselines=baselines
         ).run()
     if engine != "scalar":
@@ -241,15 +250,28 @@ def simulate_workload(
         wl_config = WorkloadConfig(
             load=load, link_rate_bps=rate_bps, duration_ns=duration_ns
         )
-        trace = PoissonWorkload(distribution, wl_config, seed=seed).generate()
+        generator = PoissonWorkload(distribution, wl_config, seed=seed)
+        if metrics is None:
+            trace = generator.generate()
+        else:
+            t0 = perf_counter_ns()
+            trace = generator.generate()
+            metrics.histogram("pq_ingest_stage_generate_ns").observe(
+                perf_counter_ns() - t0
+            )
     records: Sequence[DequeueRecord]
-    if engine == "fused":
+    t0 = perf_counter_ns() if metrics is not None else 0
+    if engine in ("fused", "sharded"):
         # Stay columnar end-to-end: the batch is a Sequence of lazily
         # materialised DequeueRecords, so the taxonomy oracle and report
         # still read it like the object list.
         records, drops = run_trace_through_fifo_batch(trace, rate_bps)
     else:
         records, drops = run_trace_through_fifo(trace, rate_bps)
+    if metrics is not None:
+        metrics.histogram("pq_ingest_stage_fifo_ns").observe(
+            perf_counter_ns() - t0
+        )
 
     cfg = config or PrintQueueConfig()
     # Use the measured inter-departure time as d for the coefficients.

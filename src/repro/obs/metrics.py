@@ -208,6 +208,30 @@ class Metrics:
         """The instrument registered under (name, labels), if any."""
         return self._instruments.get((name, _label_key(labels)))
 
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters add, histograms add bucket-for-bucket (the fixed log₂
+        buckets were chosen to make this exact), gauges take the other
+        registry's value (last writer wins), and timeline samples extend
+        in order.  The sharded ingest driver uses this to fold each
+        worker's registry back into the caller's after adoption.
+        """
+        for (name, pairs), instrument in other._instruments.items():
+            labels = dict(pairs)
+            if isinstance(instrument, Counter):
+                self._get(Counter, name, labels).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self._get(Gauge, name, labels).set(instrument.value)
+            else:
+                mine = self._get(Histogram, name, labels)
+                for bucket, count in enumerate(instrument.counts):
+                    if count:
+                        mine.counts[bucket] += count
+                mine.count += instrument.count
+                mine.sum += instrument.sum
+        self.samples.extend(other.samples)
+
     # -- exposition ------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

@@ -28,6 +28,7 @@ from repro.store.replay import (
     default_probe_intervals,
     read_recording,
     replay_analysis,
+    replay_into,
     replay_store,
 )
 from repro.store.retention import RetentionPolicy
@@ -46,5 +47,6 @@ __all__ = [
     "default_probe_intervals",
     "read_recording",
     "replay_analysis",
+    "replay_into",
     "replay_store",
 ]

@@ -100,25 +100,19 @@ def read_recording(path: Union[str, Path]) -> Dict[str, Any]:
     }
 
 
-def replay_store(
-    path: Union[str, Path],
-    backend: str = "memory",
-    retention: Optional[RetentionPolicy] = None,
-) -> SnapshotStore:
-    """Rebuild a store of ``backend`` from a recorded ingest stream."""
-    if backend == "mmap":
-        return MmapStore.open(path, retention)
-    if backend == "memory":
-        store_cls: type = MemoryStore
-    elif backend == "compressed":
-        store_cls = CompressedStore
-    else:
-        raise StoreError(f"unknown store backend: {backend!r}")
-    buf = Path(path).read_bytes()
+def replay_into(store: SnapshotStore, buf: bytes) -> int:
+    """Feed a recorded ingest stream into an existing store.
+
+    Binds the store to the recording's header metadata (a no-op when
+    already bound — first bind wins) and replays every add/replace in
+    order through the normal mutating API, so version, retention, and
+    eviction history evolve exactly as they did live.  Returns the
+    number of records consumed; ``replay_position`` is NOT touched —
+    callers rebuilding a store from scratch (:func:`replay_store`) set
+    it, while the sharded ingest driver replaying a worker's stream
+    into a live parent store leaves it 0, like any live run.
+    """
     meta, offset = fmt.read_header(buf)
-    if retention is None:
-        retention = RetentionPolicy(**meta.get("retention", {}))
-    store: SnapshotStore = store_cls(retention=retention)
     store.bind(meta)
     position = 0
     for kind, off, _length in fmt.iter_records(buf, offset):
@@ -139,8 +133,30 @@ def replay_store(
                 # evicted): the live run still bumped the version.
                 store.replace_windows(replacement, replacement.windows)
         else:
-            raise StoreError(f"unknown record kind in {path}: {kind}")
-    store.replay_position = position
+            raise StoreError(f"unknown record kind in stream: {kind}")
+    return position
+
+
+def replay_store(
+    path: Union[str, Path],
+    backend: str = "memory",
+    retention: Optional[RetentionPolicy] = None,
+) -> SnapshotStore:
+    """Rebuild a store of ``backend`` from a recorded ingest stream."""
+    if backend == "mmap":
+        return MmapStore.open(path, retention)
+    if backend == "memory":
+        store_cls: type = MemoryStore
+    elif backend == "compressed":
+        store_cls = CompressedStore
+    else:
+        raise StoreError(f"unknown store backend: {backend!r}")
+    buf = Path(path).read_bytes()
+    meta, _offset = fmt.read_header(buf)
+    if retention is None:
+        retention = RetentionPolicy(**meta.get("retention", {}))
+    store: SnapshotStore = store_cls(retention=retention)
+    store.replay_position = replay_into(store, buf)
     return store
 
 

@@ -73,6 +73,7 @@ PUBLIC_MODULES = [
     "repro.engine.ingest",
     "repro.engine.parallel",
     "repro.engine.queryplan",
+    "repro.engine.sharded",
     "repro.faults",
     "repro.faults.plan",
     "repro.faults.injector",
