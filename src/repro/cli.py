@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.config import PrintQueueConfig
 from repro.core.diagnosis import Diagnoser
@@ -52,6 +52,27 @@ from repro.traffic.scenarios import (
     microburst_scenario,
     udp_burst_case_study,
 )
+
+
+# Cleanup callbacks run when a command is interrupted (SIGINT/SIGTERM):
+# commands register flushes here so partial state (a half-written store
+# recording, collected metrics) survives the interrupt instead of dying
+# with a bare traceback.  main() drains the list on KeyboardInterrupt.
+_interrupt_hooks: List[Callable[[], None]] = []
+
+
+def on_interrupt(hook: Callable[[], None]) -> None:
+    """Register a flush/cleanup callback for SIGINT/SIGTERM."""
+    _interrupt_hooks.append(hook)
+
+
+def _run_interrupt_hooks() -> None:
+    while _interrupt_hooks:
+        hook = _interrupt_hooks.pop()
+        try:
+            hook()
+        except Exception as exc:  # cleanup must never mask the interrupt
+            print(f"interrupt cleanup failed: {exc!r}", file=sys.stderr)
 
 
 def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
@@ -140,6 +161,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Handle `repro run`: simulate a workload and diagnose victims."""
     config = _config_from(args)
     store = _resolve_store(args)
+    metrics = Metrics() if args.metrics_out else None
+    if store is not None:
+        # An interrupt mid-run still leaves a valid (partial) recording.
+        on_interrupt(store.flush)
+    if metrics is not None:
+        out = args.metrics_out
+
+        def _flush_metrics() -> None:
+            import json
+
+            with open(out, "w") as fh:
+                json.dump(
+                    {"interrupted": True, "metrics": metrics.snapshot()},
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+            print(f"metrics: wrote partial sample to {out}", file=sys.stderr)
+
+        on_interrupt(_flush_metrics)
     run = simulate_workload(
         args.workload,
         duration_ns=int(args.duration_ms * 1e6),
@@ -147,10 +188,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         config=config,
         seed=args.seed,
         engine=args.engine,
-        metrics=Metrics() if args.metrics_out else None,
+        metrics=metrics,
         faults=_resolve_faults(args),
         store=store,
     )
+    _interrupt_hooks.clear()  # run finished; nothing partial to flush
     _report(run, args.victims)
     _maybe_print_faults(run)
     _maybe_write_report(run, args)
@@ -431,6 +473,69 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Handle `repro serve`: run the always-on diagnosis service.
+
+    Live ingest of the configured workload runs concurrently with query
+    serving on a local socket until SIGINT/SIGTERM (or ``--duration-s``)
+    stops it; shutdown is graceful — in-flight queries drain against the
+    deadline, the store flushes, and the exit code is 0.
+    """
+    import asyncio
+    import json
+    import signal
+
+    from repro.service import DiagnosisService, ServiceConfig
+
+    config = ServiceConfig(
+        workload=args.workload,
+        duration_ns=int(args.duration_ms * 1e6),
+        load=args.load,
+        seed=args.seed,
+        engine=args.engine,
+        faults=_resolve_faults(args),
+        pq_config=_config_from(args),
+        port=args.port,
+        max_pending=args.max_pending,
+        rate_limit_qps=args.rate_limit_qps,
+    )
+    service = DiagnosisService(config=config)
+
+    async def _serve() -> None:
+        host, port = await service.start()
+        print(f"serving on {host}:{port}", flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w") as fh:
+                fh.write(f"{host} {port}\n")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        if args.duration_s is not None:
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=args.duration_s)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await stop.wait()
+        print("shutting down: draining in-flight queries", flush=True)
+        await service.shutdown()
+
+    asyncio.run(_serve())
+    status = service.status()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(
+                {"status": status, "metrics": service.metrics.snapshot()},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"metrics: wrote service report to {args.metrics_out}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Handle `repro lint`: run pqlint over the given paths."""
     from pathlib import Path
@@ -600,6 +705,63 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=1)
     trace.set_defaults(func=cmd_trace)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on diagnosis service (live ingest + query "
+        "serving over a local socket)",
+    )
+    serve.add_argument("--workload", choices=["ws", "dm", "uw"], default="ws")
+    serve.add_argument("--duration-ms", type=float, default=50.0,
+                       help="length of the live workload the ingest task replays")
+    serve.add_argument("--load", type=float, default=1.2)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--engine",
+        choices=["batched", "fused"],
+        default="fused",
+        help="ingest engine driven by the live ingest task",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port on 127.0.0.1 (default 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write `host port` to PATH once the socket is bound",
+    )
+    serve.add_argument(
+        "--duration-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="auto-stop after S seconds (default: run until SIGINT/SIGTERM)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="bounded request-queue depth (admission control)",
+    )
+    serve.add_argument(
+        "--rate-limit-qps",
+        type=float,
+        default=0.0,
+        help="token-bucket sustained rate; 0 disables rate limiting",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="save the final service status + metrics snapshot to PATH",
+    )
+    _add_faults_arg(serve)
+    _add_config_args(serve)
+    serve.set_defaults(func=cmd_serve)
+
     lint = sub.add_parser(
         "lint",
         help="run pqlint, the domain-invariant static analyser (PQ001-PQ005)",
@@ -690,10 +852,37 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    SIGTERM is mapped onto ``KeyboardInterrupt`` so both interrupt paths
+    behave the same: registered cleanup hooks flush partial state (store
+    recordings, metrics samples), a one-line notice goes to stderr, and
+    the exit code is 130 — never a bare traceback.  (``repro serve``
+    installs its own asyncio signal handlers for graceful drain and
+    exits 0 instead.)
+    """
+    import signal
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    def _sigterm(_signum: int, _frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use): keep existing handler
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        _run_interrupt_hooks()
+        print("interrupted: partial state flushed", file=sys.stderr)
+        return 130
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 if __name__ == "__main__":

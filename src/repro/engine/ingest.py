@@ -91,6 +91,8 @@ class IngestPipeline:
         self.triggers = set(dp_trigger_indices or ())
         self.baselines = list(baselines or [])
         self.batches_processed = 0
+        #: Completed on-demand queries; filled by :meth:`steps`/:meth:`run`.
+        self.dp_results: Dict[int, DataPlaneQueryResult] = {}
         # repro.obs: batch-size distribution and batch tally, published
         # into the port's registry when one is attached (apply/absorb
         # timings are recorded inside PrintQueuePort.process_batch).
@@ -129,12 +131,30 @@ class IngestPipeline:
 
     def run(self) -> Dict[int, DataPlaneQueryResult]:
         """Replay the whole log; returns completed on-demand queries."""
+        for _ in self.steps():
+            pass
+        return self.dp_results
+
+    def steps(self) -> "Iterator[int]":
+        """Replay the log one poll-aligned batch at a time.
+
+        Yields the number of merged events absorbed after each processed
+        batch — the chunked drive hook the live service's ingest task
+        uses to interleave ingest with its event loop.  Exhausting the
+        generator finishes the port (windows flushed, store synced);
+        completed on-demand queries accumulate in :attr:`dp_results`.
+        :meth:`run` simply drains this generator, so the two drivers are
+        bit-identical; a generator abandoned mid-stream leaves the port
+        unfinished (see the supervisor's fail-stop contract in
+        ``repro.service``).
+        """
         records = self.records
         pq = self.pq
         n = len(records)
         dp_results: Dict[int, DataPlaneQueryResult] = {}
+        self.dp_results = dp_results
         if n == 0:
-            return dp_results
+            return
 
         enq_ts, deq_ts = self._timestamp_arrays()
 
@@ -198,9 +218,9 @@ class IngestPipeline:
                     dp_results[d] = result
                 tp += 1
             cur = end
+            yield end - sl.start
 
         end_ns = records[-1].deq_timestamp + 1
         pq.finish(end_ns)
         for baseline in self.baselines:
             baseline.finish()
-        return dp_results

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from functools import partial
@@ -26,6 +27,31 @@ from pickle import PicklingError
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.config import PrintQueueConfig
+from repro.obs.metrics import Metrics
+
+#: Environment override for the default bounded pool wait (seconds).
+POOL_TIMEOUT_ENV = "REPRO_POOL_TIMEOUT_S"
+
+#: Default per-future wait before a pool worker is declared stuck.  Far
+#: above any real cell/shard runtime, so it only fires on genuine hangs;
+#: both pool drivers then abandon the pool and fall back in-process.
+DEFAULT_POOL_TIMEOUT_S = 600.0
+
+
+def default_pool_timeout_s() -> Optional[float]:
+    """The configured bounded pool wait: env override or the default.
+
+    ``REPRO_POOL_TIMEOUT_S=0`` (or negative) disables the bound and
+    restores the old wait-forever behaviour.
+    """
+    raw = os.environ.get(POOL_TIMEOUT_ENV)
+    if raw is None:
+        return DEFAULT_POOL_TIMEOUT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_POOL_TIMEOUT_S
+    return value if value > 0 else None
 
 
 #: canonical instance per distinct config value (see :func:`intern_config`).
@@ -228,6 +254,16 @@ class ParallelSweep:
     max_pool_restarts:
         Fresh pools started after a ``BrokenProcessPool`` before falling
         back to serial execution (default 1).
+    timeout_s:
+        Bounded wait per pooled cell result.  ``None`` (the default)
+        uses :func:`default_pool_timeout_s` (600 s, or the
+        ``REPRO_POOL_TIMEOUT_S`` env override; ``<= 0`` disables the
+        bound).  An expired wait abandons the pool (no blocking join on
+        the stuck worker), ticks ``pq_pool_timeouts_total``, and falls
+        back to the in-process path.
+    metrics:
+        Optional :class:`~repro.obs.metrics.Metrics` registry for the
+        ``pq_pool_timeouts_total`` counter.
     """
 
     def __init__(
@@ -237,18 +273,27 @@ class ParallelSweep:
         cache: Optional[ResultCache] = None,
         cell_retries: int = 1,
         max_pool_restarts: int = 1,
+        timeout_s: Optional[float] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.worker = worker
         self.max_workers = max_workers
         self.cache = cache if cache is not None else ResultCache()
         self.cell_retries = cell_retries
         self.max_pool_restarts = max_pool_restarts
+        if timeout_s is None:
+            self.timeout_s: Optional[float] = default_pool_timeout_s()
+        else:
+            self.timeout_s = timeout_s if timeout_s > 0 else None
+        self.metrics = metrics
         #: how the last run() executed: "pool", "serial", or "cached"
         self.last_execution = "cached"
         #: pools restarted after BrokenProcessPool (lifetime counter).
         self.pool_restarts = 0
         #: in-process retries consumed by failing cells (lifetime counter).
         self.cell_retries_used = 0
+        #: bounded waits that expired on a pooled future (lifetime counter).
+        self.pool_timeouts = 0
 
     @staticmethod
     def _intern_cell(cell: Hashable) -> Hashable:
@@ -281,20 +326,36 @@ class ParallelSweep:
                 self.cache.put(cell, self._run_cell(cell))
         self.last_execution = "serial"
 
+    def _note_pool_timeout(self) -> None:
+        """Account one expired bounded wait (counter + registry tick)."""
+        self.pool_timeouts += 1
+        if self.metrics is not None:
+            self.metrics.counter("pq_pool_timeouts_total").inc()
+
     def _evaluate_pool(self, cells: List[Hashable], workers: int) -> bool:
         """Pool execution; returns False to request the serial fallback."""
         remaining = list(cells)
         restarts_left = self.max_pool_restarts
+        guarded = partial(_guarded, self.worker)
         while True:
             failures: List[Tuple[Hashable, BaseException]] = []
+            # Managed by hand (not `with`): a `with` exit joins the pool,
+            # and after a bounded wait expired that join would block on
+            # the very worker we just declared stuck.
+            pool = ProcessPoolExecutor(max_workers=workers)
+            wait_on_shutdown = True
             try:
-                guarded = partial(_guarded, self.worker)
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for cell, result in zip(remaining, pool.map(guarded, remaining)):
-                        if isinstance(result, _WorkerFailure):
-                            failures.append((cell, result.exception))
-                        else:
-                            self.cache.put(cell, result)
+                futures = [(cell, pool.submit(guarded, cell)) for cell in remaining]
+                for cell, future in futures:
+                    # Bounded wait (the old pool.map iterator waited
+                    # forever); FuturesTimeout is caught below, before
+                    # the generic taxonomy — on 3.11+ it aliases the
+                    # builtin TimeoutError, an OSError subclass.
+                    result = future.result(timeout=self.timeout_s)
+                    if isinstance(result, _WorkerFailure):
+                        failures.append((cell, result.exception))
+                    else:
+                        self.cache.put(cell, result)
             except BrokenProcessPool:
                 # Pool infrastructure died under us (worker process
                 # crashed or was killed).  Results cached before the
@@ -305,11 +366,21 @@ class ParallelSweep:
                     self.pool_restarts += 1
                     continue
                 return False
+            except FuturesTimeout:
+                # A worker exceeded the bounded wait.  Abandon the pool
+                # (shutdown without joining the stuck process), tick the
+                # timeout counter, and serve the remaining cells via the
+                # existing in-process fallback path.
+                self._note_pool_timeout()
+                wait_on_shutdown = False
+                return False
             except (PicklingError, AttributeError, TypeError, OSError, RuntimeError):
                 # No subprocess support here (sandbox, restricted CI) or a
                 # non-picklable worker/result (closures and lambdas fail
                 # with AttributeError/TypeError): fall back to one core.
                 return False
+            finally:
+                pool.shutdown(wait=wait_on_shutdown, cancel_futures=not wait_on_shutdown)
             # Genuine worker exceptions: retry in-process, then re-raise.
             for cell, exc in failures:
                 self.cache.put(cell, self._retry_cell(cell, exc))

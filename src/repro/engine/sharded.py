@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from pickle import PicklingError
@@ -51,8 +52,9 @@ import numpy as np
 
 from repro.baselines.interval import FixedIntervalEstimator
 from repro.core.printqueue import DataPlaneQueryResult, PrintQueuePort
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PoolTimeoutError
 from repro.engine.fused import FusedIngestPipeline
+from repro.engine.parallel import default_pool_timeout_s
 from repro.obs.metrics import Metrics
 from repro.store import format as storefmt
 from repro.store.memory import MemoryStore
@@ -69,6 +71,7 @@ INPROCESS_ENV = "REPRO_SHARDED_INPROCESS"
 #: as "the pool cannot work here", nothing else (a real error inside the
 #: pipeline raises either way).
 _FALLBACK_ERRORS = (
+    PoolTimeoutError,
     PicklingError,
     AttributeError,
     TypeError,
@@ -263,15 +266,33 @@ class ShardRunner:
         self,
         shards: Sequence[Shard],
         max_workers: Optional[int] = None,
+        timeout_s: Optional[float] = None,
     ) -> None:
         self.shards = list(shards)
         cores = os.cpu_count() or 1
         self.max_workers = max_workers or min(len(self.shards), cores) or 1
+        # Bounded per-shard wait: None (default) reads REPRO_POOL_TIMEOUT_S
+        # via the sweep module's resolver; <= 0 disables the bound.
+        if timeout_s is None:
+            self.timeout_s: Optional[float] = default_pool_timeout_s()
+        else:
+            self.timeout_s = timeout_s if timeout_s > 0 else None
         #: ``"pool"`` or ``"in-process"`` after :meth:`run`.
         self.last_execution: Optional[str] = None
+        #: Number of expired bounded waits (each downgrades to in-process).
+        self.pool_timeouts = 0
         # Shards already adopted from a worker; the in-process fallback
         # must not re-drive them (their ports are no longer fresh).
         self._completed: Dict[int, Dict[int, DataPlaneQueryResult]] = {}
+
+    def _note_pool_timeout(self) -> None:
+        """Account one expired wait against the first shard's registry."""
+        self.pool_timeouts += 1
+        for shard in self.shards:
+            metrics = shard.pq.metrics
+            if metrics is not None:
+                metrics.counter("pq_pool_timeouts_total").inc()
+                break
 
     def _force_in_process(self) -> bool:
         if os.environ.get(INPROCESS_ENV):
@@ -286,6 +307,12 @@ class ShardRunner:
             return self._run_in_process()
         try:
             return self._run_pool()
+        except PoolTimeoutError:
+            # A worker exceeded its bounded wait; ports were already
+            # restored by the pool path's cleanup handler, so the parent
+            # registry is back in place for the counter tick.
+            self._note_pool_timeout()
+            return self._run_in_process()
         except _FALLBACK_ERRORS:
             return self._run_in_process()
 
@@ -320,42 +347,55 @@ class ShardRunner:
         results: List[Optional[Dict[int, DataPlaneQueryResult]]] = [None] * len(
             self.shards
         )
+        # Managed by hand (not `with`): a `with` exit joins the pool, and
+        # after a bounded wait expired that join would block on the very
+        # worker we just declared stuck.
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        wait_on_shutdown = True
         try:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = []
-                for i, (shard, batch) in enumerate(zip(self.shards, batches)):
-                    data = np.ascontiguousarray(batch.data)
-                    shm = shared_memory.SharedMemory(
-                        create=True, size=max(1, data.nbytes)
+            futures = []
+            for i, (shard, batch) in enumerate(zip(self.shards, batches)):
+                data = np.ascontiguousarray(batch.data)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, data.nbytes)
+                )
+                segments[i] = shm
+                dest = np.ndarray(
+                    len(data), dtype=PACKET_RECORD_DTYPE, buffer=shm.buf
+                )
+                dest[:] = data
+                prepared[i] = _prepare_for_worker(shard.pq)
+                futures.append(
+                    pool.submit(
+                        _shard_worker,
+                        shard.pq,
+                        shm.name,
+                        len(data),
+                        batch.flows,
+                        shard.dp_trigger_indices,
                     )
-                    segments[i] = shm
-                    dest = np.ndarray(
-                        len(data), dtype=PACKET_RECORD_DTYPE, buffer=shm.buf
-                    )
-                    dest[:] = data
-                    prepared[i] = _prepare_for_worker(shard.pq)
-                    futures.append(
-                        pool.submit(
-                            _shard_worker,
-                            shard.pq,
-                            shm.name,
-                            len(data),
-                            batch.flows,
-                            shard.dp_trigger_indices,
-                        )
-                    )
-                for i, future in enumerate(futures):
-                    # BrokenProcessPool is a RuntimeError subclass, so a
-                    # crashed worker propagates straight into run()'s
-                    # _FALLBACK_ERRORS net after the restore handler runs.
-                    worker_pq, dp_results = future.result()
-                    parent_metrics, parent_store = prepared[i]  # type: ignore[misc]
-                    _adopt_worker_port(
-                        self.shards[i].pq, worker_pq, parent_metrics, parent_store
-                    )
-                    prepared[i] = None
-                    results[i] = dp_results
-                    self._completed[i] = dp_results
+                )
+            for i, future in enumerate(futures):
+                # BrokenProcessPool is a RuntimeError subclass, so a
+                # crashed worker propagates straight into run()'s
+                # _FALLBACK_ERRORS net after the restore handler runs.
+                # FuturesTimeout must be converted before that net sees
+                # it: on 3.11+ it aliases the builtin TimeoutError (an
+                # OSError subclass) and would lose the timeout identity.
+                try:
+                    worker_pq, dp_results = future.result(timeout=self.timeout_s)
+                except FuturesTimeout:
+                    wait_on_shutdown = False
+                    raise PoolTimeoutError(
+                        f"shard {i} exceeded its {self.timeout_s}s pool wait"
+                    ) from None
+                parent_metrics, parent_store = prepared[i]  # type: ignore[misc]
+                _adopt_worker_port(
+                    self.shards[i].pq, worker_pq, parent_metrics, parent_store
+                )
+                prepared[i] = None
+                results[i] = dp_results
+                self._completed[i] = dp_results
         except BaseException:
             # Ports whose workers never (fully) ran get their original
             # store/registry back, so the in-process fallback (or the
@@ -366,6 +406,7 @@ class ShardRunner:
                     _restore_parent(self.shards[i].pq, *swap)
             raise
         finally:
+            pool.shutdown(wait=wait_on_shutdown, cancel_futures=not wait_on_shutdown)
             for shm in segments:
                 if shm is not None:
                     shm.close()

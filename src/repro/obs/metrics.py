@@ -24,10 +24,39 @@ get-or-creates on access, so instrumentation points simply ask for what
 they need.  :meth:`Metrics.to_prometheus` renders the whole registry in
 the text exposition format; :meth:`Metrics.snapshot` returns a plain
 JSON-ready dict.
+
+Concurrency and ownership
+-------------------------
+
+A registry has exactly one *owner* surface (a port, a switch, a
+diagnosis service) but may be written from several threads at once: the
+always-on service shares one registry between its ingest task and its
+query handlers, and load drivers observe latencies from client threads.
+The contract:
+
+* **Increment paths are thread-safe.**  ``Counter.inc``,
+  ``Histogram.observe``, ``Gauge.set_max`` and registry get-or-create
+  (``counter``/``gauge``/``histogram``) take a lock, so concurrent
+  increments never lose updates.  ``Gauge.set`` is a single attribute
+  store (atomic under the GIL) and stays lock-free.
+* **Read paths are point-in-time.**  ``snapshot``/``to_prometheus`` may
+  run concurrently with writers; each instrument's snapshot is
+  internally consistent (taken under its lock) but the registry-wide
+  view is not a global atomic cut — fine for exposition.
+* **Structural operations are owner-only.**  ``merge`` and ``sample``
+  must be called by the owner while the *other* registry is quiescent
+  (the sharded driver merges worker registries only after their
+  processes exited; the service merges nothing live).
+
+The locks are per-instrument and uncontended on the hot paths (the
+data-plane structure counters stay plain integer attributes on the
+structures themselves; instruments tick per batch/query, not per
+packet), so the overhead is unobservable in the ingest benchmarks.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Type, TypeVar
 
 __all__ = [
@@ -58,41 +87,66 @@ _InstrumentT = TypeVar("_InstrumentT", "Counter", "Gauge", "Histogram")
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     kind = "counter"
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        # `self.value += amount` is a read-modify-write; the lock keeps
+        # concurrent ingest-task / query-handler increments from losing
+        # updates (see the module docstring's ownership model).
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> int:
         return self.value
+
+    # Locks don't pickle; the sharded driver ships fresh registries to
+    # worker processes inside pickled ports, so every instrument drops
+    # its lock on the way out and recreates it on the way back in.
+    def __getstate__(self) -> int:
+        return self.value
+
+    def __setstate__(self, state: int) -> None:
+        self.value = state
+        self._lock = threading.Lock()
 
 
 class Gauge:
     """A point-in-time value; ``set`` overwrites, ``set_max`` keeps peaks."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
+        # Single attribute store: atomic under the GIL, lock-free.
         self.value = value
 
     def set_max(self, value: float) -> None:
-        if value > self.value:
-            self.value = value
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
     def snapshot(self) -> float:
         return self.value
+
+    def __getstate__(self) -> float:
+        return self.value
+
+    def __setstate__(self, state: float) -> None:
+        self.value = state
+        self._lock = threading.Lock()
 
 
 class Histogram:
@@ -105,7 +159,7 @@ class Histogram:
     distribution is quantised.
     """
 
-    __slots__ = ("counts", "count", "sum")
+    __slots__ = ("counts", "count", "sum", "_lock")
 
     kind = "histogram"
 
@@ -113,15 +167,39 @@ class Histogram:
         self.counts: List[int] = [0] * MAX_LOG2_BUCKETS
         self.count = 0
         self.sum = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: int) -> None:
         v = int(value)
         bucket = v.bit_length() if v > 0 else 0
         if bucket >= MAX_LOG2_BUCKETS:
             bucket = MAX_LOG2_BUCKETS - 1
-        self.counts[bucket] += 1
-        self.count += 1
-        self.sum += v
+        with self._lock:
+            self.counts[bucket] += 1
+            self.count += 1
+            self.sum += v
+
+    def quantile(self, q: float) -> int:
+        """Upper bound of the bucket holding the ``q`` quantile.
+
+        Conservative (never underestimates) because buckets quantise to
+        powers of two; exact enough for SLO tracking on log-scale
+        latency targets.  Returns 0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self.count
+            counts = list(self.counts)
+        if total == 0:
+            return 0
+        need = max(1, int(q * total + 0.999999))
+        cumulative = 0
+        for b, c in enumerate(counts):
+            cumulative += c
+            if cumulative >= need:
+                return (1 << b) - 1
+        return (1 << (MAX_LOG2_BUCKETS - 1)) - 1
 
     @property
     def mean(self) -> float:
@@ -134,12 +212,25 @@ class Histogram:
         ]
 
     def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+            total = self.sum
         return {
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "buckets": {str(ub): c for ub, c in self.nonzero_buckets()},
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "buckets": {
+                str((1 << b) - 1): c for b, c in enumerate(counts) if c
+            },
         }
+
+    def __getstate__(self) -> Tuple[List[int], int, int]:
+        return (self.counts, self.count, self.sum)
+
+    def __setstate__(self, state: Tuple[List[int], int, int]) -> None:
+        self.counts, self.count, self.sum = state
+        self._lock = threading.Lock()
 
 
 def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
@@ -167,6 +258,21 @@ class Metrics:
         self._instruments: Dict[_InstrumentKey, Any] = {}
         #: poll-boundary timeline: (time_ns, {counter name: value}).
         self.samples: List[Tuple[int, Dict[str, int]]] = []
+        # Guards get-or-create; instrument *updates* use per-instrument
+        # locks (module docstring: "Concurrency and ownership").
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = {
+            "_instruments": self._instruments,
+            "samples": self.samples,
+        }
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._instruments = state["_instruments"]
+        self.samples = state["samples"]
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -183,9 +289,12 @@ class Metrics:
         key = (name, _label_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = cls()
-            self._instruments[key] = instrument
-        elif not isinstance(instrument, cls):
+            # Lock only the create path: the dict lookup above is atomic
+            # under the GIL, and setdefault keeps a concurrent creator's
+            # instrument instead of clobbering it.
+            with self._lock:
+                instrument = self._instruments.setdefault(key, cls())
+        if not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} already registered as {instrument.kind}"
             )
@@ -225,11 +334,12 @@ class Metrics:
                 self._get(Gauge, name, labels).set(instrument.value)
             else:
                 mine = self._get(Histogram, name, labels)
-                for bucket, count in enumerate(instrument.counts):
-                    if count:
-                        mine.counts[bucket] += count
-                mine.count += instrument.count
-                mine.sum += instrument.sum
+                with mine._lock:
+                    for bucket, count in enumerate(instrument.counts):
+                        if count:
+                            mine.counts[bucket] += count
+                    mine.count += instrument.count
+                    mine.sum += instrument.sum
         self.samples.extend(other.samples)
 
     # -- exposition ------------------------------------------------------

@@ -1,0 +1,103 @@
+"""Admission control: bounded queue depth fronted by a token bucket.
+
+The front door never queues unboundedly.  A request is admitted only if
+(a) the pending-request queue has room and (b) the token bucket grants a
+token; otherwise a typed :class:`~repro.errors.ServiceOverloadError`
+comes back *immediately* with a Retry-After hint — the "rapid signalling
+under load" property the query path itself must keep (Briscoe, PAPERS.md).
+
+The clock is injectable so admission decisions are testable without
+wall-clock sleeps; the service passes the event loop's monotonic clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import ServiceOverloadError
+from repro.obs.metrics import Metrics
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_per_s`` sustained, ``burst`` capacity.
+
+    ``rate_per_s <= 0`` disables rate limiting (always admits).
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst if burst is not None else max(1.0, rate_per_s / 10)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+
+    def try_acquire(self) -> float:
+        """Take one token; returns 0.0 if granted, else seconds-to-retry."""
+        if self.rate_per_s <= 0:
+            return 0.0
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate_per_s
+
+
+class AdmissionController:
+    """Gate requests on queue depth and token-bucket rate."""
+
+    def __init__(
+        self,
+        max_pending: int,
+        rate_per_s: float = 0.0,
+        burst: Optional[float] = None,
+        metrics: Optional[Metrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.bucket = TokenBucket(rate_per_s, burst, clock)
+        self.metrics = metrics
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, pending: int) -> None:
+        """Admit one request or raise :class:`ServiceOverloadError`.
+
+        ``pending`` is the current depth of the bounded request queue.
+        Queue-full rejections hint half the queue's worth of service
+        time; rate rejections hint the bucket's exact refill time.
+        """
+        if pending >= self.max_pending:
+            self._reject("queue")
+            raise ServiceOverloadError(
+                f"request queue full ({pending}/{self.max_pending})",
+                retry_after_ms=50.0,
+            )
+        wait_s = self.bucket.try_acquire()
+        if wait_s > 0:
+            self._reject("rate")
+            raise ServiceOverloadError(
+                f"rate limit exceeded ({self.bucket.rate_per_s:g}/s)",
+                retry_after_ms=wait_s * 1000.0,
+            )
+        self.admitted += 1
+        if self.metrics is not None:
+            self.metrics.counter("pq_service_admitted_total").inc()
+
+    def _reject(self, reason: str) -> None:
+        self.rejected += 1
+        if self.metrics is not None:
+            self.metrics.counter("pq_service_overload_total", reason=reason).inc()

@@ -1,0 +1,89 @@
+"""A small synchronous client for the diagnosis service.
+
+Speaks the JSON-lines protocol over a TCP connection and re-raises the
+server's typed errors (:class:`~repro.errors.ServiceOverloadError` with
+its Retry-After hint, :class:`~repro.errors.ServiceShuttingDown`, ...)
+so callers handle overload the same way in-process code would::
+
+    with ServiceClient(host, port) as client:
+        try:
+            answer = client.query(start_ns, end_ns)
+        except ServiceOverloadError as exc:
+            time.sleep(exc.retry_after_ms / 1000)
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceError
+from repro.service import protocol
+
+
+class ServiceClient:
+    """One connection, blocking request/response, typed errors."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._next_id = 0
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            self._sock = sock
+            self._rfile = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request/response ---------------------------------------------------
+
+    def request(self, op: str, **args: Any) -> Any:
+        """Send one request; returns the result or raises the typed error."""
+        self.connect()
+        assert self._sock is not None and self._rfile is not None
+        self._next_id += 1
+        payload: Dict[str, Any] = {"id": self._next_id, "op": op}
+        if args:
+            payload["args"] = args
+        self._sock.sendall(protocol.encode(payload))
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("connection closed by the service")
+        response = protocol.decode(line)
+        if not response.get("ok"):
+            protocol.raise_error(response.get("error") or {})
+        return response.get("result")
+
+    # -- convenience ops ----------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def status(self) -> Dict[str, Any]:
+        return dict(self.request("status"))
+
+    def query(self, start_ns: int, end_ns: int) -> Dict[str, Any]:
+        """An async time-window query; the result carries ``stage``,
+        ``degraded``, the per-flow ``estimate``, and coverage when any
+        history was invisible to the answer."""
+        return dict(self.request("query", start_ns=start_ns, end_ns=end_ns))

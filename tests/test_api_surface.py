@@ -90,6 +90,14 @@ PUBLIC_MODULES = [
     "repro.store.recording",
     "repro.store.replay",
     "repro.store.retention",
+    "repro.service",
+    "repro.service.admission",
+    "repro.service.client",
+    "repro.service.degrade",
+    "repro.service.ingest",
+    "repro.service.protocol",
+    "repro.service.server",
+    "repro.service.slo",
     "repro.experiments",
     "repro.experiments.evaluation",
     "repro.experiments.figures",

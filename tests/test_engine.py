@@ -450,3 +450,50 @@ def test_sweep_survives_crashed_pool_workers():
     # every pool (original + one restart) broke; serial fallback finished
     assert sweep.pool_restarts == sweep.max_pool_restarts == 1
     assert sweep.last_execution == "serial"
+
+
+def _stalls_in_child_worker(cell):
+    """Sleeps only inside pool children; instant on the serial fallback."""
+    parent_pid, value = cell
+    if os.getpid() != parent_pid:
+        import time
+
+        time.sleep(3.0)
+    return value * 10
+
+
+@pytest.mark.skipif(not _pool_available(), reason="no subprocess support")
+def test_sweep_bounded_wait_falls_back_serial():
+    """An expired pool wait degrades to serial and ticks the counter."""
+    from repro.obs.metrics import Metrics
+
+    metrics = Metrics()
+    cells = [(os.getpid(), v) for v in range(2)]
+    sweep = ParallelSweep(
+        worker=_stalls_in_child_worker, max_workers=2, timeout_s=0.2, metrics=metrics
+    )
+    results = sweep.run(cells)
+    assert results == [0, 10]
+    assert sweep.last_execution == "serial"
+    assert sweep.pool_timeouts == 1
+    assert metrics.counter("pq_pool_timeouts_total").value == 1
+
+
+def test_sweep_timeout_resolution(monkeypatch):
+    from repro.engine.parallel import (
+        DEFAULT_POOL_TIMEOUT_S,
+        POOL_TIMEOUT_ENV,
+        default_pool_timeout_s,
+    )
+
+    monkeypatch.delenv(POOL_TIMEOUT_ENV, raising=False)
+    assert default_pool_timeout_s() == DEFAULT_POOL_TIMEOUT_S
+    assert ParallelSweep(max_workers=1).timeout_s == DEFAULT_POOL_TIMEOUT_S
+    monkeypatch.setenv(POOL_TIMEOUT_ENV, "2.5")
+    assert default_pool_timeout_s() == 2.5
+    monkeypatch.setenv(POOL_TIMEOUT_ENV, "0")
+    assert default_pool_timeout_s() is None  # <= 0 disables the bound
+    monkeypatch.setenv(POOL_TIMEOUT_ENV, "junk")
+    assert default_pool_timeout_s() == DEFAULT_POOL_TIMEOUT_S
+    assert ParallelSweep(max_workers=1, timeout_s=-1).timeout_s is None
+    assert ParallelSweep(max_workers=1, timeout_s=7.0).timeout_s == 7.0

@@ -246,3 +246,50 @@ class TestEngineAndMetricsEquivalence:
         assert sizes is not None and sizes.count == batches.value
         # Every merged event lands in exactly one batch: 2 per record.
         assert sizes.sum == 2 * len(run.records)
+
+
+class TestInstrumentConcurrency:
+    """The service shares one registry across the ingest task and query
+    handlers; increments from many threads must never lose updates."""
+
+    def test_concurrent_increments_are_exact(self):
+        import threading
+
+        metrics = Metrics()
+        threads_n, iters = 8, 2_000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(tid):
+            barrier.wait()
+            counter = metrics.counter("pq_service_requests_total")
+            gauge = metrics.gauge("pq_service_queue_depth")
+            hist = metrics.histogram("pq_service_latency_us")
+            for i in range(iters):
+                counter.inc()
+                gauge.set_max(tid * iters + i)
+                hist.observe(i + 1)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.counter("pq_service_requests_total").value == threads_n * iters
+        hist = metrics.histogram("pq_service_latency_us")
+        assert hist.count == threads_n * iters
+        assert hist.sum == threads_n * sum(range(1, iters + 1))
+        assert metrics.gauge("pq_service_queue_depth").value == threads_n * iters - 1
+
+    def test_instruments_survive_pickling(self):
+        import pickle
+
+        metrics = Metrics()
+        metrics.counter("c").inc(3)
+        metrics.histogram("h").observe(5)
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert clone.counter("c").value == 3
+        assert clone.histogram("h").count == 1
+        clone.counter("c").inc()  # lock recreated: still usable
+        assert clone.counter("c").value == 4

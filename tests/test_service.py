@@ -1,0 +1,503 @@
+"""Tests for the always-on diagnosis service (repro.service)."""
+
+import asyncio
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queries import QueryInterval
+from repro.errors import (
+    IngestFailed,
+    QueryError,
+    ServiceDegradedRejection,
+    ServiceOverloadError,
+    ServiceShuttingDown,
+)
+from repro.experiments.runner import simulate_workload
+from repro.obs.metrics import Metrics
+from repro.service import (
+    AdmissionController,
+    DegradationController,
+    DiagnosisService,
+    IngestSupervisor,
+    LiveIngest,
+    ServiceConfig,
+    ServiceHarness,
+    SLOTargets,
+    SLOTracker,
+    Stage,
+    TokenBucket,
+)
+from repro.service import protocol
+from repro.service.client import ServiceClient
+
+# ---------------------------------------------------------------------------
+# admission control
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestAdmission:
+    def test_token_bucket_rate_and_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0  # burst of 2
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.1)  # one token at 10/s
+        clock.now += 0.1
+        assert bucket.try_acquire() == 0.0  # refilled
+
+    def test_disabled_bucket_always_admits(self):
+        bucket = TokenBucket(rate_per_s=0.0)
+        assert all(bucket.try_acquire() == 0.0 for _ in range(100))
+
+    def test_queue_full_rejection_is_typed_with_hint(self):
+        admission = AdmissionController(max_pending=2, metrics=Metrics())
+        admission.admit(0)
+        admission.admit(1)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            admission.admit(2)
+        assert excinfo.value.retry_after_ms > 0
+        assert admission.admitted == 2 and admission.rejected == 1
+
+    def test_rate_rejection_hints_refill_time(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_pending=100, rate_per_s=10.0, burst=1.0, clock=clock
+        )
+        admission.admit(0)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            admission.admit(0)
+        assert excinfo.value.retry_after_ms == pytest.approx(100.0)
+
+
+# ---------------------------------------------------------------------------
+# degradation state machine
+
+
+class TestDegradation:
+    def test_escalates_one_stage_per_observation(self):
+        controller = DegradationController()
+        # Massive overload: still only one stage per observation.
+        assert controller.observe(1.0, 10_000.0) == Stage.BATCH_ONLY
+        assert controller.observe(1.0, 10_000.0) == Stage.REDUCED
+        assert controller.observe(1.0, 10_000.0) == Stage.REDUCED  # floor
+
+    def test_recovery_needs_calm_hold(self):
+        controller = DegradationController(calm_hold=3)
+        controller.observe(1.0, 10_000.0)
+        assert controller.stage == Stage.BATCH_ONLY
+        controller.observe(0.0, 0.0)
+        controller.observe(0.0, 0.0)
+        assert controller.stage == Stage.BATCH_ONLY  # still holding
+        controller.observe(0.0, 0.0)
+        assert controller.stage == Stage.NORMAL
+
+    def test_loud_sample_resets_the_hold(self):
+        controller = DegradationController(calm_hold=2, recover_frac=0.5)
+        controller.observe(1.0, 10_000.0)
+        controller.observe(0.0, 0.0)
+        # Above recover_frac * entry threshold: not calm, hold resets.
+        controller.observe(0.4, 0.0)
+        controller.observe(0.0, 0.0)
+        assert controller.stage == Stage.BATCH_ONLY
+        controller.observe(0.0, 0.0)
+        assert controller.stage == Stage.NORMAL
+
+    @given(
+        samples=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2.0),
+                st.floats(min_value=0.0, max_value=1000.0),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_never_skips_a_stage_and_always_recovers(self, samples):
+        """The satellite property: (a) the stage index moves by at most
+        one per observation in either direction; (b) sustained calm
+        always walks the controller back to NORMAL."""
+        controller = DegradationController(calm_hold=2)
+        previous = controller.stage
+        for queue_frac, p99_ms in samples:
+            current = controller.observe(queue_frac, p99_ms)
+            assert abs(int(current) - int(previous)) <= 1
+            previous = current
+        # (b) drop the load: recovery within calm_hold * stages samples.
+        for _ in range(2 * len(Stage) + 2):
+            previous = controller.observe(0.0, 0.0)
+        assert controller.stage == Stage.NORMAL
+
+    def test_transitions_are_recorded_in_order(self):
+        controller = DegradationController(calm_hold=1)
+        controller.observe(1.0, 0.0)
+        controller.observe(1.0, 1_000.0)
+        controller.observe(0.0, 0.0)
+        assert controller.transitions == [
+            (Stage.NORMAL, Stage.BATCH_ONLY),
+            (Stage.BATCH_ONLY, Stage.REDUCED),
+            (Stage.REDUCED, Stage.BATCH_ONLY),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# SLO tracking
+
+
+class TestSLO:
+    def test_percentiles_and_burn_rate(self):
+        tracker = SLOTracker(SLOTargets(p99_ms=10.0, error_budget=0.1))
+        for latency in range(1, 101):  # 1..100 ms; 90 within, 10 beyond
+            tracker.observe(float(latency))
+        assert tracker.percentile(0.5) == 50.0
+        assert tracker.percentile(0.99) == 99.0
+        assert tracker.violations == 90  # latencies 11..100 missed p99=10
+        assert tracker.burn_rate == pytest.approx(9.0)  # 90% misses / 10% budget
+
+    def test_errors_count_against_the_budget(self):
+        tracker = SLOTracker(SLOTargets(p99_ms=1_000.0, error_budget=0.5))
+        tracker.observe(1.0, ok=False)
+        tracker.observe(1.0, ok=True)
+        assert tracker.errors == 1 and tracker.violations == 1
+        assert tracker.burn_rate == pytest.approx(1.0)
+
+    def test_metrics_export(self):
+        metrics = Metrics()
+        tracker = SLOTracker(SLOTargets(), metrics=metrics)
+        tracker.observe(2.0)
+        assert metrics.counter("pq_service_requests_total").value == 1
+        assert metrics.histogram("pq_service_latency_us").count == 1
+
+
+# ---------------------------------------------------------------------------
+# live ingest + supervisor
+
+
+def _tiny_pipeline():
+    run = simulate_workload("uw", 4_000_000, load=1.2, seed=7, engine="fused")
+    from repro.engine.fused import FusedIngestPipeline
+    from repro.experiments.runner import run_trace_through_fifo_batch
+
+    records, _ = run_trace_through_fifo_batch(run.trace)
+    from repro.core.config import PrintQueueConfig
+    from repro.core.printqueue import PrintQueuePort
+
+    span = records[-1].deq_timestamp - records[0].deq_timestamp
+    pq = PrintQueuePort(
+        PrintQueueConfig(),
+        d_ns=span / (len(records) - 1),
+        model_dp_read_cost=False,
+    )
+    return FusedIngestPipeline(pq, records)
+
+
+class TestLiveIngest:
+    def test_chunked_drive_drains(self):
+        ingest = LiveIngest(_tiny_pipeline(), chunk_events=1000)
+        while ingest.step_chunk():
+            pass
+        assert ingest.status == "drained"
+        assert ingest.events_ingested > 0
+        assert ingest.chunks_ingested >= 1
+        assert ingest.step_chunk() is False  # idempotent after drain
+
+    def test_generator_crash_is_fail_stop(self):
+        class Boom:
+            def steps(self):
+                yield 10
+                raise RuntimeError("register bank on fire")
+
+        ingest = LiveIngest(Boom(), chunk_events=1000)
+        with pytest.raises(IngestFailed):
+            ingest.step_chunk()
+        assert ingest.status == "failed"
+        assert ingest.step_chunk() is False  # poisoned permanently
+
+    def test_supervisor_restarts_chaos_crashes(self):
+        crashes = {"left": 2}
+
+        def chaos():
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise OSError("injected task crash")
+
+        ingest = LiveIngest(_tiny_pipeline(), chunk_events=5_000)
+        supervisor = IngestSupervisor(
+            ingest,
+            max_restarts=3,
+            backoff_base_s=0.001,
+            metrics=Metrics(),
+            chaos_hook=chaos,
+        )
+        asyncio.run(supervisor.run())
+        assert supervisor.state == "drained"
+        assert supervisor.restarts == 2
+        assert ingest.status == "drained"
+
+    def test_supervisor_gives_up_past_restart_budget(self):
+        def chaos():
+            raise OSError("injected task crash")
+
+        ingest = LiveIngest(_tiny_pipeline(), chunk_events=5_000)
+        supervisor = IngestSupervisor(
+            ingest, max_restarts=2, backoff_base_s=0.001, chaos_hook=chaos
+        )
+        with pytest.raises(IngestFailed):
+            asyncio.run(supervisor.run())
+        assert supervisor.state == "failed"
+        assert supervisor.restarts == 2
+
+    def test_backoff_is_bounded_exponential(self):
+        ingest = LiveIngest(_tiny_pipeline())
+        supervisor = IngestSupervisor(
+            ingest, max_restarts=10, backoff_base_s=0.1, backoff_cap_s=0.5
+        )
+        delays = []
+        for restarts in range(5):
+            supervisor.restarts = restarts
+            delays.append(supervisor.next_backoff_s())
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+# ---------------------------------------------------------------------------
+# protocol round-trips
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        payload = {"id": 3, "op": "query", "args": {"start_ns": 1, "end_ns": 2}}
+        assert protocol.decode(protocol.encode(payload)) == payload
+
+    def test_malformed_line_is_typed(self):
+        with pytest.raises(QueryError):
+            protocol.decode(b"{nope\n")
+        with pytest.raises(QueryError):
+            protocol.decode(b"[1,2]\n")
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ServiceOverloadError("full", retry_after_ms=12.5),
+            ServiceDegradedRejection("shed", stage="REDUCED", retry_after_ms=3.0),
+            ServiceShuttingDown("draining"),
+            QueryError("bad interval"),
+            IngestFailed("dead"),
+        ],
+    )
+    def test_errors_round_trip_typed(self, exc):
+        with pytest.raises(type(exc)) as excinfo:
+            protocol.raise_error(protocol.error_payload(exc))
+        raised = excinfo.value
+        assert str(raised) == str(exc)
+        if isinstance(exc, ServiceOverloadError):
+            assert raised.retry_after_ms == exc.retry_after_ms
+        if isinstance(exc, ServiceDegradedRejection):
+            assert raised.stage == exc.stage
+
+
+# ---------------------------------------------------------------------------
+# the service end to end (in-process harness)
+
+SERVICE_DURATION_NS = 12_000_000
+
+
+def _service_config(**overrides):
+    defaults = dict(
+        workload="ws",
+        duration_ns=SERVICE_DURATION_NS,
+        load=1.2,
+        seed=3,
+        engine="fused",
+        max_pending=16,
+        calm_hold=2,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _wait_drained(client, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = client.status()
+        if status["ingest"]["status"] in ("drained", "failed"):
+            return status
+        time.sleep(0.02)
+    raise AssertionError("ingest did not drain in time")
+
+
+class TestServiceEndToEnd:
+    def test_live_serving_matches_offline_run(self):
+        """The tentpole equivalence: a query against the live service,
+        after ingest drains, is numerically identical to the same query
+        against an offline run of the same (workload, seed, config)."""
+        offline = simulate_workload(
+            "ws", SERVICE_DURATION_NS, load=1.2, seed=3, engine="fused"
+        )
+        end = offline.records[-1].deq_timestamp
+        interval = QueryInterval(end - 2_000_000, end)
+        expected = offline.pq.query(interval=interval)
+        with ServiceHarness(config=_service_config()) as harness:
+            host, port = harness.service.address
+            with ServiceClient(host, port) as client:
+                assert client.ping()
+                _wait_drained(client)
+                answer = client.query(interval.start_ns, interval.end_ns)
+        assert answer["stage"] == "NORMAL"
+        assert answer["degraded"] is False
+        expected_map = {str(f): v for f, v in expected.estimate.items()}
+        assert answer["estimate"] == pytest.approx(expected_map)
+        assert len(answer["estimate"]) > 0
+        assert harness.service.state == "stopped"
+
+    def test_overload_gets_typed_rejection_with_retry_hint(self):
+        config = _service_config(rate_limit_qps=0.001, burst=1.0)
+        with ServiceHarness(config=config) as harness:
+            host, port = harness.service.address
+            with ServiceClient(host, port) as client:
+                _wait_drained(client)
+                end = SERVICE_DURATION_NS
+                client.query(end - 1_000_000, end)  # burst token
+                with pytest.raises(ServiceOverloadError) as excinfo:
+                    client.query(end - 1_000_000, end)
+                assert excinfo.value.retry_after_ms > 0
+        assert harness.service.admission.rejected >= 1
+
+    def test_degraded_stage_always_flags_answers(self):
+        """Satellite property, part 3: while the service sits in a
+        degraded stage, every answer it returns is flagged degraded."""
+        with ServiceHarness(config=_service_config()) as harness:
+            host, port = harness.service.address
+            with ServiceClient(host, port) as client:
+                _wait_drained(client)
+                harness.service.degrade.stage = Stage.REDUCED
+                # Freeze the stage: recovery hysteresis would otherwise
+                # step back down between queries (which is correct —
+                # this test pins behaviour *while* degraded).
+                harness.service.degrade.calm_hold = 10**9
+                end = SERVICE_DURATION_NS
+                for span in (500_000, 1_000_000, 4_000_000):
+                    answer = client.query(end - span, end)
+                    assert answer["stage"] == "REDUCED"
+                    assert answer["degraded"] is True
+                    assert "coverage" in answer
+
+    def test_reduced_stage_reports_truncated_coverage(self):
+        # Fast poll cadence (small m0/k) so the run holds many periodic
+        # snapshots, then keep only the newest one: the reduced plan's
+        # horizon is visibly shorter than the full history.
+        from repro.core.config import PrintQueueConfig
+
+        with ServiceHarness(
+            config=_service_config(
+                reduced_keep_snapshots=1,
+                pq_config=PrintQueueConfig(m0=8, k=10, alpha=1, T=3),
+            )
+        ) as harness:
+            host, port = harness.service.address
+            with ServiceClient(host, port) as client:
+                _wait_drained(client)
+                harness.service.degrade.stage = Stage.REDUCED
+                harness.service.degrade.calm_hold = 10**9
+                # An interval reaching back to t=1 must report the
+                # pre-cutoff history as lost.
+                answer = client.query(1, SERVICE_DURATION_NS)
+                assert answer["degraded"] is True
+                assert answer["lost_ns"], "expected truncated history"
+                (start, _end) = answer["lost_ns"][0]
+                assert start == 1
+
+    def test_batch_only_stage_matches_normal_numbers(self):
+        offline = simulate_workload(
+            "ws", SERVICE_DURATION_NS, load=1.2, seed=3, engine="fused"
+        )
+        end = offline.records[-1].deq_timestamp
+        interval = QueryInterval(end - 2_000_000, end)
+        expected = offline.pq.query(interval=interval)
+        with ServiceHarness(config=_service_config()) as harness:
+            host, port = harness.service.address
+            with ServiceClient(host, port) as client:
+                _wait_drained(client)
+                harness.service.degrade.stage = Stage.BATCH_ONLY
+                harness.service.degrade.calm_hold = 10**9
+                answer = client.query(interval.start_ns, interval.end_ns)
+        assert answer["stage"] == "BATCH_ONLY"
+        assert answer["degraded"] is False  # exact, just cheaper
+        expected_map = {str(f): v for f, v in expected.estimate.items()}
+        assert answer["estimate"] == pytest.approx(expected_map)
+
+    def test_service_under_faults_serves_with_zero_crashes(self):
+        config = _service_config(faults="chaos")
+        with ServiceHarness(config=config) as harness:
+            host, port = harness.service.address
+            with ServiceClient(host, port) as client:
+                status = _wait_drained(client)
+                assert status["ingest"]["status"] == "drained"
+                assert status["faults"] == "chaos"
+                end = SERVICE_DURATION_NS
+                answer = client.query(end - 2_000_000, end)
+                assert "estimate" in answer
+        assert harness.service.state == "stopped"
+
+    def test_chaos_hook_restarts_are_supervised(self):
+        crashes = {"left": 1}
+
+        def chaos():
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise OSError("injected ingest-task crash")
+
+        config = _service_config(backoff_base_s=0.001)
+        harness = ServiceHarness(config=config, chaos_hook=chaos)
+        try:
+            host, port = harness.start()
+            with ServiceClient(host, port) as client:
+                status = _wait_drained(client)
+                assert status["ingest"]["restarts"] == 1
+                assert status["ingest"]["status"] == "drained"
+        finally:
+            harness.stop()
+
+    def test_draining_service_rejects_new_requests(self):
+        service = DiagnosisService(config=_service_config())
+        service._draining = True
+
+        async def _probe():
+            return await service._handle_line(
+                protocol.encode({"id": 1, "op": "ping"})
+            )
+
+        response = asyncio.run(_probe())
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ServiceShuttingDown"
+
+    def test_unknown_op_is_typed_error(self):
+        with ServiceHarness(config=_service_config()) as harness:
+            host, port = harness.service.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(QueryError):
+                    client.request("explode")
+
+    def test_slo_section_populated_after_queries(self):
+        with ServiceHarness(config=_service_config()) as harness:
+            host, port = harness.service.address
+            with ServiceClient(host, port) as client:
+                _wait_drained(client)
+                end = SERVICE_DURATION_NS
+                for _ in range(5):
+                    client.query(end - 1_000_000, end)
+                status = client.status()
+        slo = status["slo"]
+        assert slo["total"] >= 5
+        assert slo["p99_ms"] > 0
+        metrics = harness.service.metrics
+        assert metrics.counter("pq_service_requests_total").value >= 5

@@ -314,3 +314,41 @@ def test_parallel_sweep_interns_cell_configs():
     sweep = ParallelSweep(worker=worker, max_workers=1)
     results = sweep.run(cells)
     assert results[0] is results[1]
+
+
+# ---------------------------------------------------------------------------
+# bounded pool waits
+
+
+def test_pool_timeout_falls_back_in_process(monkeypatch):
+    """A PoolTimeoutError from the pool path downgrades to in-process,
+    ticks the counter on the parent registry, and still returns correct
+    per-shard results."""
+    from repro.errors import PoolTimeoutError
+
+    trace = _trace(duration_ns=2_000_000)
+    metrics = Metrics()
+    shards = _build_shards(trace, 2)
+    shards[0].pq.attach_metrics(metrics)
+
+    def _stalled_pool(self):
+        raise PoolTimeoutError("shard 0 exceeded its 0.1s pool wait")
+
+    monkeypatch.setattr(ShardRunner, "_run_pool", _stalled_pool)
+    runner = ShardRunner(shards, timeout_s=0.1)
+    assert runner.timeout_s == 0.1
+    results = runner.run()
+    assert len(results) == 2 and all(isinstance(r, dict) for r in results)
+    assert runner.last_execution == "in-process"
+    assert runner.pool_timeouts == 1
+    assert metrics.counter("pq_pool_timeouts_total").value == 1
+
+
+def test_shard_runner_timeout_resolution(monkeypatch):
+    from repro.engine.parallel import DEFAULT_POOL_TIMEOUT_S, POOL_TIMEOUT_ENV
+
+    monkeypatch.delenv(POOL_TIMEOUT_ENV, raising=False)
+    assert ShardRunner([]).timeout_s == DEFAULT_POOL_TIMEOUT_S
+    monkeypatch.setenv(POOL_TIMEOUT_ENV, "1.5")
+    assert ShardRunner([]).timeout_s == 1.5
+    assert ShardRunner([], timeout_s=-2).timeout_s is None
