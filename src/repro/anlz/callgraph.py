@@ -1,0 +1,742 @@
+"""Project-wide symbol table and call graph for the PQ1xx rule family.
+
+The file rules (PQ001–PQ005) reason about one module at a time; the
+concurrency rules (PQ101–PQ105) need to know *what calls what* across
+the whole tree: a blocking call three modules away from an ``async def``
+is exactly as wrong as one inside it.  :func:`build_project_index`
+parses every module's AST once into a :class:`ProjectIndex` — functions
+and classes by qualified name, import aliases, class fields with
+best-effort types, and a call graph — which the rules then traverse.
+
+Resolution is deliberately *static and conservative*: a call edge is
+added only when the target resolves to a project symbol through one of
+the shapes the codebase actually uses —
+
+* plain and aliased imports (``import x as y``, ``from a.b import c``);
+* module-level functions and class constructors by name;
+* methods through the class: ``self.method()``, ``obj.method()`` where
+  ``obj``'s class is known from a parameter annotation, a local
+  ``obj = ClassName(...)`` assignment, an annotated ``self.attr``, or a
+  project function's return annotation (single-inheritance MRO walk);
+* ``functools.partial(f, ...)`` — the edge goes to ``f`` (the sharded
+  engine submits partials of module-level workers);
+* function *references* passed as call arguments (``pool.submit(f, …)``).
+
+Anything the resolver cannot see (duck-typed ``object`` parameters,
+dynamic dispatch, ``getattr``) simply contributes no edge, so the
+analysis errs on the quiet side.  pqlint never imports the code it
+checks; everything here is a pure function of the ASTs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.anlz.model import SourceModule
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectIndex",
+    "SubmitSite",
+    "TypeRef",
+    "build_project_index",
+    "dotted_name",
+    "walk_shallow",
+]
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Containers whose subscripted annotation names an element type.
+_SEQUENCE_GENERICS = frozenset(
+    {"List", "Sequence", "Iterable", "Tuple", "Set", "FrozenSet", "Deque", "list", "tuple", "set", "frozenset"}
+)
+
+#: Builtins that preserve the element type of their argument.
+_SEQUENCE_BUILTINS = frozenset({"list", "tuple", "sorted", "set", "frozenset", "reversed"})
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes.
+
+    Nested ``def``/``async def``/``class`` bodies belong to their own
+    :class:`FunctionInfo`; statements inside them must not be attributed
+    to the enclosing function.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A best-effort static type: a class qualname and/or an element type."""
+
+    qualname: Optional[str] = None
+    elem: Optional["TypeRef"] = None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by qualified name."""
+
+    qualname: str
+    module: SourceModule
+    node: _FunctionNode
+    class_name: Optional[str] = None
+    is_async: bool = False
+    is_nested: bool = False
+    is_generator: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def short(self) -> str:
+        """``path.py::Class.method`` — the human-facing site name."""
+        suffix = self.name if self.class_name is None else f"{self.class_name}.{self.name}"
+        return f"{self.module.rel_path}::{suffix}"
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, resolved bases, and typed fields."""
+
+    qualname: str
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    base_names: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attribute name -> best-effort type (annotation beats inference).
+    field_types: Dict[str, TypeRef] = field(default_factory=dict)
+    #: attribute name -> canonical dotted call that produced the value
+    #: (``self.x = threading.Lock()`` records ``threading.Lock``).
+    field_value_calls: Dict[str, str] = field(default_factory=dict)
+    #: attribute name -> the AST node that declared it (finding anchor).
+    field_sites: Dict[str, ast.AST] = field(default_factory=dict)
+    slots: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call (or function reference) site."""
+
+    callee: str
+    node: ast.AST
+    #: "call" for invocations, "ref" for references passed as arguments.
+    kind: str = "call"
+
+
+@dataclass
+class SubmitSite:
+    """One ``<pool>.submit(fn, *args)`` site, for the pool-boundary rules."""
+
+    caller: FunctionInfo
+    node: ast.Call
+    module: SourceModule
+
+
+class _ModuleScope:
+    """Per-module name resolution: import aliases + top-level symbols."""
+
+    def __init__(self, module: SourceModule, names: List[str]) -> None:
+        self.module = module
+        #: dotted names this module is importable as (primary last).
+        self.names = names
+        self.aliases: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    @property
+    def primary(self) -> str:
+        return self.names[-1]
+
+    def canonical(self, dotted: str) -> str:
+        """Map a local dotted name through the import aliases."""
+        head, _, rest = dotted.partition(".")
+        canonical = self.aliases.get(head, head)
+        return f"{canonical}.{rest}" if rest else canonical
+
+
+def _module_names(module: SourceModule) -> List[str]:
+    """Dotted names a module is addressable by, primary (root-prefixed) last.
+
+    ``service/server.py`` under a root directory named ``repro`` yields
+    ``["service.server", "repro.service.server"]`` so both fixture-style
+    (``from service.server import …``) and installed-package imports
+    (``from repro.service.server import …``) resolve.
+    """
+    parts = list(module.segments)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][:-3]  # strip .py
+    root_dir = module.path
+    for _ in module.segments:
+        root_dir = root_dir.parent
+    names: List[str] = []
+    if parts:
+        names.append(".".join(parts))
+    root_name = root_dir.name
+    if root_name and root_name.isidentifier():
+        names.append(".".join([root_name, *parts]) if parts else root_name)
+    return names or [module.rel_path]
+
+
+class ProjectIndex:
+    """Everything the cross-file rules need, built once per engine run."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+        self._scopes: Dict[int, _ModuleScope] = {}
+        #: dotted module name (any alias) -> scope.
+        self._module_by_name: Dict[str, _ModuleScope] = {}
+        #: primary qualname -> info.
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: any alias qualname -> primary qualname, tagged by kind.
+        self._fn_alias: Dict[str, str] = {}
+        self._cls_alias: Dict[str, str] = {}
+        #: caller primary qualname -> resolved edges.
+        self.calls: Dict[str, List[CallEdge]] = {}
+        self.submit_sites: List[SubmitSite] = []
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        for module in self.modules:
+            scope = _ModuleScope(module, _module_names(module))
+            self._scopes[id(module)] = scope
+            for name in scope.names:
+                self._module_by_name[name] = scope
+            self._collect_symbols(scope)
+        for cls in self.classes.values():
+            self._resolve_bases(cls)
+        for cls in self.classes.values():
+            self._collect_fields(cls)
+        for info in list(self.functions.values()):
+            self._collect_edges(info)
+
+    def _collect_symbols(self, scope: _ModuleScope) -> None:
+        module = scope.module
+
+        def register_function(
+            node: _FunctionNode,
+            qualname: str,
+            class_name: Optional[str],
+            nested: bool,
+        ) -> FunctionInfo:
+            info = FunctionInfo(
+                qualname=qualname,
+                module=module,
+                node=node,
+                class_name=class_name,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+                is_nested=nested,
+                is_generator=any(
+                    isinstance(n, (ast.Yield, ast.YieldFrom))
+                    for n in walk_shallow(node)
+                ),
+            )
+            self.functions[qualname] = info
+            for nested_def in walk_shallow(node):
+                if isinstance(nested_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    register_function(
+                        nested_def,
+                        f"{qualname}.<locals>.{nested_def.name}",
+                        class_name,
+                        True,
+                    )
+            return info
+
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = register_function(
+                    node, f"{scope.primary}.{node.name}", None, False
+                )
+                scope.functions[node.name] = info
+                for alias_mod in scope.names:
+                    self._fn_alias[f"{alias_mod}.{node.name}"] = info.qualname
+            elif isinstance(node, ast.ClassDef):
+                cls_qual = f"{scope.primary}.{node.name}"
+                cls = ClassInfo(
+                    qualname=cls_qual, name=node.name, module=module, node=node
+                )
+                for base in node.bases:
+                    base_dotted = dotted_name(base)
+                    if base_dotted is not None:
+                        cls.base_names.append(scope.canonical(base_dotted))
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method = register_function(
+                            item, f"{cls_qual}.{item.name}", node.name, False
+                        )
+                        cls.methods[item.name] = method
+                    elif isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name
+                    ):
+                        cls.field_types[item.target.id] = self._annotation_type(
+                            scope, item.annotation
+                        )
+                        cls.field_sites.setdefault(item.target.id, item)
+                    elif isinstance(item, ast.Assign):
+                        for target in item.targets:
+                            if (
+                                isinstance(target, ast.Name)
+                                and target.id == "__slots__"
+                            ):
+                                cls.slots = [
+                                    c.value
+                                    for c in ast.walk(item.value)
+                                    if isinstance(c, ast.Constant)
+                                    and isinstance(c.value, str)
+                                ]
+                self.classes[cls_qual] = cls
+                scope.classes[node.name] = cls
+                for alias_mod in scope.names:
+                    self._cls_alias[f"{alias_mod}.{node.name}"] = cls_qual
+
+    def _resolve_bases(self, cls: ClassInfo) -> None:
+        resolved: List[str] = []
+        for base in cls.base_names:
+            target = self._cls_alias.get(base)
+            if target is not None:
+                resolved.append(target)
+        cls.base_names = resolved
+
+    def mro(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        """The class and its project base classes, nearest first."""
+        seen: Set[str] = set()
+        stack = [cls.qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            yield info
+            stack.extend(info.base_names)
+
+    def method(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        for klass in self.mro(cls):
+            if name in klass.methods:
+                return klass.methods[name]
+        return None
+
+    def field_type(self, cls: ClassInfo, name: str) -> Optional[TypeRef]:
+        for klass in self.mro(cls):
+            if name in klass.field_types:
+                return klass.field_types[name]
+        return None
+
+    # -- types -------------------------------------------------------------
+
+    def _annotation_type(self, scope: _ModuleScope, node: ast.AST) -> TypeRef:
+        """A :class:`TypeRef` for an annotation expression (best effort)."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return TypeRef()
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            for side in (node.left, node.right):
+                if not (isinstance(side, ast.Constant) and side.value is None):
+                    return self._annotation_type(scope, side)
+            return TypeRef()
+        if isinstance(node, ast.Subscript):
+            head = dotted_name(node.value)
+            if head is not None:
+                base = head.rsplit(".", 1)[-1]
+                inner: ast.AST = node.slice
+                if base in ("Optional",):
+                    return self._annotation_type(scope, inner)
+                if base in _SEQUENCE_GENERICS:
+                    if isinstance(inner, ast.Tuple) and inner.elts:
+                        inner = inner.elts[0]
+                    return TypeRef(elem=self._annotation_type(scope, inner))
+            return TypeRef()
+        dotted = dotted_name(node)
+        if dotted is None:
+            return TypeRef()
+        canonical = scope.canonical(dotted)
+        qual = self._cls_alias.get(canonical)
+        if qual is None and "." not in dotted:
+            qual = self._cls_alias.get(f"{scope.primary}.{dotted}")
+        return TypeRef(qualname=qual)
+
+    def class_of(self, ref: Optional[TypeRef]) -> Optional[ClassInfo]:
+        if ref is None or ref.qualname is None:
+            return None
+        return self.classes.get(ref.qualname)
+
+    # -- field inference ---------------------------------------------------
+
+    def _collect_fields(self, cls: ClassInfo) -> None:
+        scope = self._scopes[id(cls.module)]
+        for method in cls.methods.values():
+            env = self._param_env(scope, method)
+            for node in walk_shallow(method.node):
+                target: Optional[ast.AST] = None
+                value: Optional[ast.AST] = None
+                annotation: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value, annotation = node.target, node.value, node.annotation
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                cls.field_sites.setdefault(attr, node)
+                if annotation is not None:
+                    cls.field_types.setdefault(
+                        attr, self._annotation_type(scope, annotation)
+                    )
+                if value is None:
+                    continue
+                if isinstance(value, ast.Call):
+                    dotted = dotted_name(value.func)
+                    if dotted is not None:
+                        canonical = scope.canonical(dotted)
+                        # Prefer the resolved project-function qualname so
+                        # consumers can look the factory up directly.
+                        fn_qual = self._fn_alias.get(
+                            canonical
+                        ) or self._fn_alias.get(f"{scope.primary}.{dotted}")
+                        cls.field_value_calls.setdefault(
+                            attr, fn_qual or canonical
+                        )
+                inferred = self._infer(scope, env, value, depth=0)
+                if inferred is not None and attr not in cls.field_types:
+                    cls.field_types[attr] = inferred
+
+    def _param_env(
+        self, scope: _ModuleScope, info: FunctionInfo
+    ) -> Dict[str, TypeRef]:
+        env: Dict[str, TypeRef] = {}
+        args = info.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None:
+                env[arg.arg] = self._annotation_type(scope, arg.annotation)
+        if info.class_name is not None:
+            positional = args.posonlyargs + args.args
+            if positional and positional[0].arg == "self":
+                owner = self._cls_alias.get(f"{scope.primary}.{info.class_name}")
+                env["self"] = TypeRef(qualname=owner)
+        # local `name = EXPR` assignments and loop-target element types.
+        for node in walk_shallow(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id not in env:
+                    inferred = self._infer(scope, env, node.value, depth=0)
+                    if inferred is not None:
+                        env[target.id] = inferred
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._bind_loop_target(scope, env, node.target, node.iter)
+        return env
+
+    def _bind_loop_target(
+        self,
+        scope: _ModuleScope,
+        env: Dict[str, TypeRef],
+        target: ast.AST,
+        source: ast.AST,
+    ) -> None:
+        """Bind ``for target in source`` element types (zip/enumerate-aware)."""
+        if isinstance(source, ast.Call):
+            head = dotted_name(source.func)
+            if head == "enumerate" and source.args:
+                if isinstance(target, ast.Tuple) and len(target.elts) == 2:
+                    self._bind_loop_target(
+                        scope, env, target.elts[1], source.args[0]
+                    )
+                return
+            if head == "zip" and isinstance(target, ast.Tuple):
+                for sub_target, sub_source in zip(target.elts, source.args):
+                    self._bind_loop_target(scope, env, sub_target, sub_source)
+                return
+        if isinstance(target, ast.Name):
+            ref = self._infer(scope, env, source, depth=0)
+            if ref is not None and ref.elem is not None:
+                env.setdefault(target.id, ref.elem)
+
+    def _infer(
+        self,
+        scope: _ModuleScope,
+        env: Dict[str, TypeRef],
+        node: ast.AST,
+        depth: int,
+    ) -> Optional[TypeRef]:
+        """Best-effort expression type; None when nothing is known."""
+        if depth > 6:
+            return None
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._infer(scope, env, node.value, depth + 1)
+            cls = self.class_of(base)
+            if cls is not None:
+                return self.field_type(cls, node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is not None:
+                bare = dotted.rsplit(".", 1)[-1]
+                if bare in _SEQUENCE_BUILTINS and node.args:
+                    inner = self._infer(scope, env, node.args[0], depth + 1)
+                    if inner is not None:
+                        return TypeRef(elem=inner.elem)
+                canonical = scope.canonical(dotted)
+                cls_qual = self._cls_alias.get(canonical) or self._cls_alias.get(
+                    f"{scope.primary}.{dotted}"
+                )
+                if cls_qual is not None:
+                    return TypeRef(qualname=cls_qual)
+                fn_qual = self._fn_alias.get(canonical) or self._fn_alias.get(
+                    f"{scope.primary}.{dotted}"
+                )
+                if fn_qual is not None:
+                    fn = self.functions[fn_qual]
+                    returns = fn.node.returns
+                    if returns is not None:
+                        fn_scope = self._scopes[id(fn.module)]
+                        return self._annotation_type(fn_scope, returns)
+            return None
+        if isinstance(node, ast.Subscript):
+            base = self._infer(scope, env, node.value, depth + 1)
+            if base is not None:
+                return base.elem
+            return None
+        return None
+
+    # -- call edges --------------------------------------------------------
+
+    def _resolve_callable(
+        self,
+        scope: _ModuleScope,
+        env: Dict[str, TypeRef],
+        owner: Optional[FunctionInfo],
+        func: ast.AST,
+    ) -> Optional[FunctionInfo]:
+        """Resolve a call/reference expression to a project function."""
+        if isinstance(func, ast.Name):
+            local = scope.functions.get(func.id)
+            if local is not None:
+                return local
+            cls = scope.classes.get(func.id)
+            if cls is not None:
+                return self.method(cls, "__init__")
+            canonical = scope.canonical(func.id)
+            fn_qual = self._fn_alias.get(canonical)
+            if fn_qual is not None:
+                return self.functions[fn_qual]
+            cls_qual = self._cls_alias.get(canonical)
+            if cls_qual is not None:
+                return self.method(self.classes[cls_qual], "__init__")
+            if owner is not None:
+                nested = self.functions.get(
+                    f"{owner.qualname}.<locals>.{func.id}"
+                )
+                if nested is not None:
+                    return nested
+            return None
+        if isinstance(func, ast.Attribute):
+            dotted = dotted_name(func)
+            if dotted is not None:
+                canonical = scope.canonical(dotted)
+                fn_qual = self._fn_alias.get(canonical)
+                if fn_qual is not None:
+                    return self.functions[fn_qual]
+                cls_qual = self._cls_alias.get(canonical)
+                if cls_qual is not None:
+                    return self.method(self.classes[cls_qual], "__init__")
+            base = self._infer(scope, env, func.value, depth=0)
+            cls = self.class_of(base)
+            if cls is not None:
+                return self.method(cls, func.attr)
+        return None
+
+    def resolve_call_target(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """Public resolver: the project function a call site invokes."""
+        scope = self._scopes[id(caller.module)]
+        env = self._param_env(scope, caller)
+        return self._resolve_target_with_env(scope, env, caller, call)
+
+    def resolve_reference(
+        self, caller: FunctionInfo, expr: ast.AST
+    ) -> Optional[FunctionInfo]:
+        """Resolve a function *reference* expression inside ``caller``.
+
+        Handles the shapes work crosses boundaries in: a bare name or
+        attribute, a ``functools.partial(f, …)`` call, and a local name
+        previously bound to such a partial (``guarded = partial(f, …);
+        pool.submit(guarded, …)``).
+        """
+        scope = self._scopes[id(caller.module)]
+        env = self._param_env(scope, caller)
+        if isinstance(expr, ast.Call):
+            return self._resolve_target_with_env(scope, env, caller, expr)
+        target = self._resolve_callable(scope, env, caller, expr)
+        if target is None and isinstance(expr, ast.Name):
+            target = self._local_partial_target(scope, env, caller, expr.id)
+        return target
+
+    def _resolve_target_with_env(
+        self,
+        scope: _ModuleScope,
+        env: Dict[str, TypeRef],
+        owner: FunctionInfo,
+        call: ast.Call,
+    ) -> Optional[FunctionInfo]:
+        # functools.partial(f, ...) resolves to f (both the direct call
+        # form and a local name previously bound to a partial).
+        dotted = dotted_name(call.func)
+        if dotted is not None and scope.canonical(dotted) in (
+            "functools.partial",
+            "partial",
+        ):
+            if call.args:
+                return self._resolve_callable(scope, env, owner, call.args[0])
+            return None
+        if isinstance(call.func, ast.Name):
+            bound = self._local_partial_target(scope, env, owner, call.func.id)
+            if bound is not None:
+                return bound
+        return self._resolve_callable(scope, env, owner, call.func)
+
+    def _local_partial_target(
+        self,
+        scope: _ModuleScope,
+        env: Dict[str, TypeRef],
+        owner: FunctionInfo,
+        name: str,
+    ) -> Optional[FunctionInfo]:
+        """The partial target bound to ``name`` in ``owner``, if any."""
+        for node in walk_shallow(owner.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Name) and target.id == name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                dotted = dotted_name(value.func)
+                if dotted is not None and scope.canonical(dotted) in (
+                    "functools.partial",
+                    "partial",
+                ):
+                    if value.args:
+                        return self._resolve_callable(
+                            scope, env, owner, value.args[0]
+                        )
+        return None
+
+    def _collect_edges(self, info: FunctionInfo) -> None:
+        scope = self._scopes[id(info.module)]
+        env = self._param_env(scope, info)
+        edges: List[CallEdge] = []
+        for node in walk_shallow(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"
+            ):
+                self.submit_sites.append(
+                    SubmitSite(caller=info, node=node, module=info.module)
+                )
+            target = self._resolve_target_with_env(scope, env, info, node)
+            if target is not None:
+                edges.append(CallEdge(callee=target.qualname, node=node))
+            # Function references passed as arguments (pool.submit(f, x),
+            # partial(f, ...), map(f, xs)) become reachability edges too.
+            for arg in node.args:
+                if isinstance(arg, (ast.Name, ast.Attribute)):
+                    ref = self._resolve_callable(scope, env, info, arg)
+                    if ref is None and isinstance(arg, ast.Name):
+                        ref = self._local_partial_target(
+                            scope, env, info, arg.id
+                        )
+                    if ref is not None:
+                        edges.append(
+                            CallEdge(callee=ref.qualname, node=node, kind="ref")
+                        )
+        # Calling a function that defines nested defs may invoke them.
+        for qual, nested in self.functions.items():
+            if nested.is_nested and qual.startswith(
+                f"{info.qualname}.<locals>."
+            ) and qual.count(".<locals>.") == info.qualname.count(".<locals>.") + 1:
+                edges.append(CallEdge(callee=qual, node=nested.node, kind="ref"))
+        if edges:
+            self.calls[info.qualname] = edges
+
+    # -- convenience for the rules ----------------------------------------
+
+    def scope_for(self, module: SourceModule) -> "_ModuleScope":
+        return self._scopes[id(module)]
+
+    def canonical_call(
+        self, module: SourceModule, call: ast.Call
+    ) -> Optional[str]:
+        """The alias-resolved dotted name of a call's target, if dotted."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        return self._scopes[id(module)].canonical(dotted)
+
+    def infer_in(
+        self, caller: FunctionInfo, expr: ast.AST
+    ) -> Optional[TypeRef]:
+        """Best-effort type of an expression inside ``caller``."""
+        scope = self._scopes[id(caller.module)]
+        env = self._param_env(scope, caller)
+        return self._infer(scope, env, expr, depth=0)
+
+
+def build_project_index(modules: Sequence[SourceModule]) -> ProjectIndex:
+    """Build the cross-file index the PQ1xx rules traverse."""
+    return ProjectIndex(modules)

@@ -1,35 +1,63 @@
 """Reporters: serialise a :class:`~repro.anlz.engine.LintResult`.
 
-Two formats, mirroring the conventions elsewhere in the repo:
+Three formats, mirroring the conventions elsewhere in the repo:
 
 * **text** — one ``path:line:col: RULE message`` line per finding plus a
   one-line summary, the shape editors and CI logs expect;
 * **json** — a stable document (``version``, per-finding records,
-  ``counts_by_rule``, ``files_checked``) consumed by
-  ``tools/lint_report.py`` to fold ``pq_lint_*`` counts into a
-  :class:`~repro.obs.report.RunReport`.
+  ``counts_by_rule``, ``suppressed_by_rule``, ``files_checked``)
+  consumed by ``tools/lint_report.py`` to fold ``pq_lint_*`` counts into
+  a :class:`~repro.obs.report.RunReport`;
+* **sarif** — SARIF 2.1.0 for CI code-scanning annotations: every rule
+  in the registry is declared on the tool driver, surviving findings
+  become ``results``, and suppressed findings are carried with an
+  ``inSource`` suppression record so the audit trail survives upload.
+
+JSON document history: version 1 (PR 5) had a scalar ``suppressed``
+count; version 2 (this PR) adds ``suppressed_by_rule`` and, when the
+``--changed`` filter ran, ``files_selected``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from repro.anlz.engine import LintResult
+from repro.anlz.model import Finding
+from repro.anlz.rules import RULE_REGISTRY
 
-__all__ = ["render_text", "render_json", "to_document", "JSON_VERSION"]
+__all__ = [
+    "JSON_VERSION",
+    "SARIF_VERSION",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "to_document",
+    "to_sarif",
+]
 
-JSON_VERSION = 1
+JSON_VERSION = 2
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult) -> str:
     """One ``path:line:col: RULE message`` line per finding + a summary."""
     lines = [finding.render() for finding in result.findings]
+    scope = (
+        ""
+        if result.files_selected is None
+        else f", {result.files_selected} selected by --changed"
+    )
     summary = (
         f"pqlint: {len(result.findings)} finding"
         f"{'' if len(result.findings) == 1 else 's'} "
         f"({len(result.suppressed)} suppressed) "
-        f"in {result.files_checked} files"
+        f"in {result.files_checked} files{scope}"
     )
     lines.append(summary)
     return "\n".join(lines)
@@ -37,12 +65,13 @@ def render_text(result: LintResult) -> str:
 
 def to_document(result: LintResult) -> Dict[str, Any]:
     """The JSON-ready document (also what the tests assert against)."""
-    return {
+    document: Dict[str, Any] = {
         "version": JSON_VERSION,
         "ok": result.ok,
         "files_checked": result.files_checked,
         "counts_by_rule": result.counts_by_rule(),
         "suppressed": len(result.suppressed),
+        "suppressed_by_rule": result.suppressed_by_rule(),
         "findings": [
             {
                 "path": f.path,
@@ -54,8 +83,72 @@ def to_document(result: LintResult) -> Dict[str, Any]:
             for f in result.findings
         ],
     }
+    if result.files_selected is not None:
+        document["files_selected"] = result.files_selected
+    return document
 
 
 def render_json(result: LintResult, indent: int = 2) -> str:
     """:func:`to_document` serialised with stable key order."""
     return json.dumps(to_document(result), indent=indent, sort_keys=True)
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; Finding.col is 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        record["suppressions"] = [{"kind": "inSource"}]
+    return record
+
+
+def to_sarif(result: LintResult) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document (one run, the full rule catalogue)."""
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, rule in sorted(RULE_REGISTRY.items())
+    ]
+    results = [_sarif_result(f, suppressed=False) for f in result.findings]
+    results.extend(
+        _sarif_result(f, suppressed=True) for f in result.suppressed
+    )
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pqlint",
+                        "informationUri": "docs/API.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult, indent: int = 2) -> str:
+    """:func:`to_sarif` serialised with stable key order."""
+    return json.dumps(to_sarif(result), indent=indent, sort_keys=True)

@@ -19,12 +19,30 @@ PQ005     api-surface            public ``PrintQueuePort``/``AnalysisProgram``
                                  options are keyword-only; no new
                                  ``DeprecationWarning`` shims — retired names
                                  raise typed errors instead (DESIGN §7)
+PQ101     async-blocking         no blocking call transitively reachable from
+                                 an ``async def`` in ``repro.service``
+                                 (DESIGN §16/§17 event-loop liveness)
+PQ102     obs-lock-discipline    every mutation of an obs instrument's state
+                                 happens under that instrument's ``_lock``
+                                 (audited exempt list, DESIGN §17)
+PQ103     pool-picklability      objects crossing a process-pool ``submit``
+                                 boundary are statically picklable — no
+                                 lambdas, closures, or lock/socket/generator
+                                 fields (DESIGN §15/§17)
+PQ104     shm-lifecycle          ``multiprocessing.shared_memory`` blocks
+                                 close (and unlink, when created) on all
+                                 paths — try/finally or context manager
+PQ105     await-under-lock       no ``await`` while holding a
+                                 ``threading.Lock`` (lock-scope tracking)
 ========  =====================  ==================================================
 
 Two rule shapes exist.  A :class:`FileRule` sees one module at a time; a
 :class:`ProjectRule` runs after every module is parsed and may correlate
-across files (PQ003 compares ``core/`` against ``engine/``).  Rules are
-pure functions of the ASTs — pqlint never imports the code it checks.
+across files: PQ003 compares ``core/`` against ``engine/``, and the
+PQ1xx concurrency family traverses the shared
+:class:`~repro.anlz.callgraph.ProjectIndex` the engine builds once per
+run.  Rules are pure functions of the ASTs — pqlint never imports the
+code it checks.
 """
 
 from __future__ import annotations
@@ -32,6 +50,15 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
+from repro.anlz.callgraph import (
+    ClassInfo,
+    FunctionInfo,
+    ProjectIndex,
+    SubmitSite,
+    dotted_name as _cg_dotted_name,
+    walk_shallow,
+)
+from repro.anlz.contexts import async_roots, lock_scopes, propagate
 from repro.anlz.model import Finding, SourceModule
 
 __all__ = [
@@ -92,10 +119,15 @@ class FileRule:
 
 
 class ProjectRule(FileRule):
-    """Base class: the whole module set in, findings out."""
+    """Base class: the whole module set (plus the call graph) in, findings out.
+
+    The engine builds one :class:`~repro.anlz.callgraph.ProjectIndex`
+    per run and hands it to every project rule; rules that only need the
+    raw module list (PQ003) simply ignore it.
+    """
 
     def check_project(
-        self, modules: Sequence[SourceModule]
+        self, modules: Sequence[SourceModule], index: ProjectIndex
     ) -> Iterator[Finding]:
         raise NotImplementedError
 
@@ -431,7 +463,7 @@ class EngineParityRule(ProjectRule):
     summary = "scalar==batched counter vocabulary holds by construction"
 
     def check_project(
-        self, modules: Sequence[SourceModule]
+        self, modules: Sequence[SourceModule], index: ProjectIndex
     ) -> Iterator[Finding]:
         per_package: Dict[str, Dict[str, Tuple[SourceModule, ast.AST]]] = {
             "core": {},
@@ -594,6 +626,698 @@ class ApiSurfaceRule(FileRule):
 
 
 # ---------------------------------------------------------------------------
+# PQ1xx — cross-file concurrency rules (shared helpers)
+# ---------------------------------------------------------------------------
+
+
+def _ancestors(scope_node: ast.AST) -> Dict[int, ast.AST]:
+    """``id(child) -> parent`` within one scope (not crossing nested defs)."""
+    parents: Dict[int, ast.AST] = {}
+    stack: List[ast.AST] = [scope_node]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            stack.append(child)
+    return parents
+
+
+def _enclosing_with_item(
+    parents: Dict[int, ast.AST], node: ast.AST
+) -> Optional[ast.With]:
+    """The sync ``with`` whose *context expression* contains ``node``."""
+    current = node
+    while id(current) in parents:
+        parent = parents[id(current)]
+        if isinstance(parent, ast.withitem) and parent.context_expr is current:
+            grand = parents.get(id(parent))
+            if isinstance(grand, ast.With):
+                return grand
+        current = parent
+    return None
+
+
+def _functions_by_module(
+    index: ProjectIndex,
+) -> Dict[int, List[FunctionInfo]]:
+    grouped: Dict[int, List[FunctionInfo]] = {}
+    for info in index.functions.values():
+        grouped.setdefault(id(info.module), []).append(info)
+    return grouped
+
+
+# ---------------------------------------------------------------------------
+# PQ101 — no blocking calls reachable from the async service
+# ---------------------------------------------------------------------------
+
+#: Fully-resolved call targets that block the calling thread outright.
+_BLOCKING_EXACT = frozenset({"time.sleep", "open", "io.open", "os.open"})
+
+#: Sync pathlib I/O attribute calls (blocking regardless of receiver).
+_BLOCKING_PATH_IO = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: ``(qualname, blocking name) -> justification`` — audited exemptions.
+#: Empty today: the PR that introduced this rule fixed every violation
+#: instead of exempting it.  Add entries only with a one-line reason.
+ASYNC_BLOCKING_EXEMPT: Dict[Tuple[str, str], str] = {}
+
+
+class AsyncBlockingRule(ProjectRule):
+    """PQ101: nothing reachable from a service ``async def`` may block.
+
+    The diagnosis service (DESIGN §16) runs ingest supervision, the
+    query front door, and admission control on one event loop; a single
+    synchronous sleep, socket call, file read, unbounded ``Queue.get``
+    or bare ``future.result()`` anywhere down the call graph stalls
+    every connection at once.  The rule BFSes the project call graph
+    from every ``async def`` under ``repro.service`` and flags blocking
+    sites wherever they live, printing the call chain back to the event
+    loop.  Calls lexically inside an ``await``-ed expression are exempt
+    (awaiting ``asyncio.Queue.get()`` is the point of the API), as are
+    ``.result(timeout=...)``/``.get(timeout=...)`` bounded waits —
+    PR 9's bounded-wait convention, now enforced by construction.
+    """
+
+    code = "PQ101"
+    name = "async-blocking"
+    summary = "no blocking calls reachable from async defs in repro.service"
+
+    def check_project(
+        self, modules: Sequence[SourceModule], index: ProjectIndex
+    ) -> Iterator[Finding]:
+        reached = propagate(index, async_roots(index))
+        for qualname, reach in sorted(reached.items()):
+            info = index.functions.get(qualname)
+            if info is None:
+                continue
+            awaited = self._awaited_calls(info)
+            for node in walk_shallow(info.node):
+                if not isinstance(node, ast.Call) or id(node) in awaited:
+                    continue
+                label = self._blocking_label(index, info, node)
+                if label is None:
+                    continue
+                if (qualname, label) in ASYNC_BLOCKING_EXEMPT:
+                    continue
+                site = f"{info.module.rel_path}:{node.lineno}"
+                yield self.finding(
+                    info.module,
+                    node,
+                    f"blocking `{label}` on an event-loop path: "
+                    f"{reach.describe(site)}; move it off-loop "
+                    "(executor/thread) or use the async equivalent",
+                )
+
+    @staticmethod
+    def _awaited_calls(info: FunctionInfo) -> Set[int]:
+        """Call nodes inside an awaited expression (never loop-blocking)."""
+        awaited: Set[int] = set()
+        if not info.is_async:
+            return awaited
+        for node in walk_shallow(info.node):
+            if isinstance(node, ast.Await):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Call):
+                        awaited.add(id(sub))
+        return awaited
+
+    def _blocking_label(
+        self, index: ProjectIndex, info: FunctionInfo, call: ast.Call
+    ) -> Optional[str]:
+        canonical = index.canonical_call(info.module, call)
+        if canonical is not None:
+            if canonical in _BLOCKING_EXACT:
+                return canonical
+            head = canonical.split(".", 1)[0]
+            if head == "socket":
+                return canonical
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        attr = call.func.attr
+        keywords = {kw.arg for kw in call.keywords}
+        if attr == "result" and not call.args and "timeout" not in keywords:
+            return ".result() without timeout"
+        if attr in _BLOCKING_PATH_IO:
+            return f".{attr}() sync file I/O"
+        if (
+            attr == "get"
+            and not call.args
+            and not keywords & {"timeout", "block"}
+        ):
+            base = _cg_dotted_name(call.func.value)
+            if base is not None and "queue" in base.lower():
+                return f"{base}.get() without timeout"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# PQ102 — obs instrument mutations happen under the instrument's _lock
+# ---------------------------------------------------------------------------
+
+#: Method calls that mutate a container in place.
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "clear",
+        "update",
+        "setdefault",
+    }
+)
+
+#: ``(class name, method name) -> justification`` — audited exemptions.
+#: Every entry names a method whose unlocked mutation is part of the
+#: documented threading contract in ``repro/obs/metrics.py``.
+OBS_LOCK_EXEMPT: Dict[Tuple[str, str], str] = {
+    ("Gauge", "set"): (
+        "single attribute store, atomic under the GIL (documented lock-free)"
+    ),
+}
+
+
+class ObsLockDisciplineRule(ProjectRule):
+    """PQ102: obs instrument state mutates only under the owning ``_lock``.
+
+    PR 9 made ``repro.obs`` instruments thread-safe: the ingest thread,
+    asyncio workers and the poller all tick the same ``Counter``/
+    ``Histogram`` objects.  That safety is one unlocked ``+=`` away from
+    silent lost updates, which no test reliably catches.  The rule finds
+    every instrument class (a class in ``obs/`` that owns a ``_lock``),
+    collects the attribute names those classes store state in, and flags
+    any write to such an attribute — assignment, augmented assignment,
+    subscript store, or in-place container mutator — that is not
+    lexically inside ``with <same base>._lock:``.  Methods that *create*
+    the lock (``__init__``, ``__setstate__``) are structurally exempt;
+    everything else must either lock or carry an entry in
+    :data:`OBS_LOCK_EXEMPT` with its one-line justification.
+    """
+
+    code = "PQ102"
+    name = "obs-lock-discipline"
+    summary = "obs instrument state mutates only under the owning _lock"
+
+    def check_project(
+        self, modules: Sequence[SourceModule], index: ProjectIndex
+    ) -> Iterator[Finding]:
+        instrument_classes = [
+            cls
+            for cls in index.classes.values()
+            if "obs" in cls.module.segments[:-1] and self._owns_lock(cls)
+        ]
+        if not instrument_classes:
+            return
+        instrument_quals = {cls.qualname for cls in instrument_classes}
+        tracked: Set[str] = set()
+        for cls in instrument_classes:
+            tracked.update(cls.slots)
+            tracked.update(cls.field_sites)
+        tracked = {name for name in tracked if "lock" not in name.lower()}
+
+        by_module = _functions_by_module(index)
+        for cls in sorted(instrument_classes, key=lambda c: c.qualname):
+            for method in cls.methods.values():
+                yield from self._check_function(
+                    index, method, cls, instrument_quals, tracked
+                )
+        # Functions outside instrument classes (other obs code, or any
+        # module) may still hold a typed reference to an instrument.
+        for module_functions in by_module.values():
+            for info in module_functions:
+                if (
+                    info.class_name is not None
+                    and any(
+                        info.qualname.startswith(f"{q}.")
+                        for q in instrument_quals
+                    )
+                ):
+                    continue  # already checked as a method above
+                yield from self._check_function(
+                    index, info, None, instrument_quals, tracked
+                )
+
+    @staticmethod
+    def _owns_lock(cls: ClassInfo) -> bool:
+        return "_lock" in cls.slots or "_lock" in cls.field_sites
+
+    def _check_function(
+        self,
+        index: ProjectIndex,
+        info: FunctionInfo,
+        owner: Optional[ClassInfo],
+        instrument_quals: Set[str],
+        tracked: Set[str],
+    ) -> Iterator[Finding]:
+        if owner is not None:
+            exemption = OBS_LOCK_EXEMPT.get((owner.name, info.name))
+            if exemption is not None:
+                return
+        parents = _ancestors(info.node)
+        constructed = self._lock_assigning_bases(info)
+        for node in walk_shallow(info.node):
+            for base, attr, site in self._mutations(node):
+                if attr not in tracked:
+                    continue
+                base_dump = ast.dump(base)
+                if base_dump in constructed:
+                    continue
+                if not self._is_instrument_base(
+                    index, info, owner, base, instrument_quals
+                ):
+                    continue
+                if self._under_lock(parents, site, base_dump):
+                    continue
+                yield self.finding(
+                    info.module,
+                    site,
+                    f"instrument state `{_cg_dotted_name(base) or '<expr>'}"
+                    f".{attr}` mutated outside `with ..._lock:`; wrap the "
+                    "write or add an audited OBS_LOCK_EXEMPT entry",
+                )
+
+    @staticmethod
+    def _lock_assigning_bases(info: FunctionInfo) -> Set[str]:
+        """AST dumps of bases whose ``_lock`` this function assigns."""
+        bases: Set[str] = set()
+        for node in walk_shallow(info.node):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "_lock"
+                ):
+                    bases.add(ast.dump(target.value))
+        return bases
+
+    @staticmethod
+    def _mutations(
+        node: ast.AST,
+    ) -> Iterator[Tuple[ast.AST, str, ast.AST]]:
+        """Yield ``(base expr, attribute, site)`` for each mutation shape."""
+
+        def attr_of(target: ast.AST) -> Optional[ast.Attribute]:
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if isinstance(target, ast.Attribute):
+                return target
+            return None
+
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attribute = attr_of(target)
+                if attribute is not None:
+                    yield attribute.value, attribute.attr, node
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _CONTAINER_MUTATORS:
+                attribute = attr_of(node.func.value)
+                if attribute is not None:
+                    yield attribute.value, attribute.attr, node
+
+    @staticmethod
+    def _is_instrument_base(
+        index: ProjectIndex,
+        info: FunctionInfo,
+        owner: Optional[ClassInfo],
+        base: ast.AST,
+        instrument_quals: Set[str],
+    ) -> bool:
+        if (
+            owner is not None
+            and isinstance(base, ast.Name)
+            and base.id == "self"
+        ):
+            return True
+        ref = index.infer_in(info, base)
+        return ref is not None and ref.qualname in instrument_quals
+
+    @staticmethod
+    def _under_lock(
+        parents: Dict[int, ast.AST], site: ast.AST, base_dump: str
+    ) -> bool:
+        """Is ``site`` lexically inside ``with <base>._lock:``?"""
+        current = site
+        while id(current) in parents:
+            current = parents[id(current)]
+            if not isinstance(current, ast.With):
+                continue
+            for item in current.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and expr.attr == "_lock"
+                    and ast.dump(expr.value) == base_dump
+                ):
+                    return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# PQ103 — everything crossing a process-pool submit() must pickle
+# ---------------------------------------------------------------------------
+
+#: Constructor calls whose product cannot cross a pickle boundary.
+_UNPICKLABLE_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "socket.socket",
+        "socket.create_connection",
+    }
+)
+
+
+class PoolPicklabilityRule(ProjectRule):
+    """PQ103: submit-site arguments must be statically picklable.
+
+    ``ParallelSweep`` and ``ShardRunner`` ship work to a
+    ``ProcessPoolExecutor``; everything at a ``.submit(fn, *args)`` site
+    crosses a pickle boundary at runtime, where a lambda or a
+    lock-holding object dies with an opaque ``PicklingError`` inside the
+    pool (or worse, only under the spawn start method CI doesn't run).
+    The rule checks each submit site statically: the callable must be a
+    module-level function (directly, or through a ``functools.partial``
+    — the sharded engine's idiom), never a lambda or a local closure;
+    and each argument whose project class is known from the index is
+    scanned transitively for fields built from lock/socket factories or
+    project generator functions.  A class that defines ``__getstate__``
+    or ``__reduce__`` opts out of the scan — it declared its own wire
+    format (``Metrics`` drops its locks there, which is exactly the
+    pattern this rule wants to encourage).
+    """
+
+    code = "PQ103"
+    name = "pool-picklability"
+    summary = "process-pool submit() arguments are statically picklable"
+
+    def check_project(
+        self, modules: Sequence[SourceModule], index: ProjectIndex
+    ) -> Iterator[Finding]:
+        for site in index.submit_sites:
+            if not site.node.args:
+                continue
+            target_expr = site.node.args[0]
+            yield from self._check_callable(index, site, target_expr)
+            for arg in site.node.args[1:]:
+                yield from self._check_argument(index, site, arg)
+            for keyword in site.node.keywords:
+                yield from self._check_argument(index, site, keyword.value)
+
+    def _check_callable(
+        self, index: ProjectIndex, site: SubmitSite, expr: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(expr, ast.Lambda):
+            yield self.finding(
+                site.module,
+                expr,
+                "lambda submitted to a process pool; lambdas do not "
+                "pickle — use a module-level function",
+            )
+            return
+        # partial(f, captured...) — check f and the captured arguments.
+        if isinstance(expr, ast.Call):
+            target = index.resolve_reference(site.caller, expr)
+            if target is not None:
+                yield from self._check_resolved_callable(index, site, target)
+            for arg in expr.args[1:]:
+                yield from self._check_argument(index, site, arg)
+            return
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            target = index.resolve_reference(site.caller, expr)
+            if target is not None:
+                yield from self._check_resolved_callable(index, site, target)
+
+    def _check_resolved_callable(
+        self, index: ProjectIndex, site: SubmitSite, target: FunctionInfo
+    ) -> Iterator[Finding]:
+        if target.is_nested:
+            yield self.finding(
+                site.module,
+                site.node,
+                f"local closure `{target.name}` submitted to a process "
+                "pool; closures do not pickle — hoist it to module level",
+            )
+
+    def _check_argument(
+        self, index: ProjectIndex, site: SubmitSite, expr: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(expr, ast.Lambda):
+            yield self.finding(
+                site.module,
+                expr,
+                "lambda passed across a process-pool boundary; lambdas "
+                "do not pickle",
+            )
+            return
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            fn = index.resolve_reference(site.caller, expr)
+            if fn is not None and fn.is_nested:
+                yield self.finding(
+                    site.module,
+                    site.node,
+                    f"local closure `{fn.name}` passed across a "
+                    "process-pool boundary; closures do not pickle",
+                )
+                return
+        ref = index.infer_in(site.caller, expr)
+        cls = index.class_of(ref)
+        if cls is None:
+            return
+        reason = self._unpicklable_reason(index, cls, visited=set())
+        if reason is not None:
+            yield self.finding(
+                site.module,
+                site.node,
+                f"`{cls.name}` crosses the process-pool boundary but "
+                f"{reason}; drop the field in __getstate__ or ship a "
+                "plain payload instead",
+            )
+
+    def _unpicklable_reason(
+        self, index: ProjectIndex, cls: ClassInfo, visited: Set[str]
+    ) -> Optional[str]:
+        """Why ``cls`` cannot pickle, tracing through annotated fields."""
+        if cls.qualname in visited:
+            return None
+        visited.add(cls.qualname)
+        for klass in index.mro(cls):
+            if klass.methods.keys() & {
+                "__getstate__",
+                "__reduce__",
+                "__reduce_ex__",
+            }:
+                return None
+        for attr, factory in sorted(cls.field_value_calls.items()):
+            if factory in _UNPICKLABLE_FACTORIES:
+                return f"field `{cls.name}.{attr}` holds `{factory}`"
+            producer = index.functions.get(factory)
+            if producer is not None and producer.is_generator:
+                return (
+                    f"field `{cls.name}.{attr}` holds a generator from "
+                    f"`{factory}`"
+                )
+        for attr, ref in sorted(cls.field_types.items()):
+            inner = index.class_of(ref)
+            if inner is None and ref.elem is not None:
+                inner = index.class_of(ref.elem)
+            if inner is None:
+                continue
+            reason = self._unpicklable_reason(index, inner, visited)
+            if reason is not None:
+                return f"field `{cls.name}.{attr}`: {reason}"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# PQ104 — shared-memory segments close (and unlink) on all paths
+# ---------------------------------------------------------------------------
+
+
+class SharedMemoryLifecycleRule(ProjectRule):
+    """PQ104: every ``SharedMemory`` has ``close()`` (and ``unlink()``) on all paths.
+
+    A leaked ``/dev/shm`` segment outlives the process — the sharded
+    engine's record transport would bleed host memory run over run, and
+    a created-but-never-unlinked segment collides on name reuse.  The
+    rule finds each ``shared_memory.SharedMemory(...)`` call and
+    requires one of the shapes the tree uses: the call is a ``with``
+    context expression, or its result is bound to a name that a
+    ``try``/``finally`` in the same scope closes (``name.close()`` in
+    the ``finally``), plus ``name.unlink()`` when the call passes
+    ``create=True`` — the creator owns the segment's lifetime, an
+    attacher only its mapping.  An unbound call (``SharedMemory(...)``
+    as a bare expression or argument) can never be cleaned up and is
+    always flagged.
+    """
+
+    code = "PQ104"
+    name = "shm-lifecycle"
+    summary = "SharedMemory close()/unlink() on all paths (try/finally or with)"
+
+    def check_project(
+        self, modules: Sequence[SourceModule], index: ProjectIndex
+    ) -> Iterator[Finding]:
+        by_module = _functions_by_module(index)
+        for module in modules:
+            scopes: List[ast.AST] = [module.tree]
+            scopes.extend(
+                info.node for info in by_module.get(id(module), ())
+            )
+            for scope_node in scopes:
+                yield from self._check_scope(index, module, scope_node)
+
+    def _check_scope(
+        self, index: ProjectIndex, module: SourceModule, scope_node: ast.AST
+    ) -> Iterator[Finding]:
+        parents = _ancestors(scope_node)
+        for node in walk_shallow(scope_node):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = index.canonical_call(module, node)
+            if canonical != "multiprocessing.shared_memory.SharedMemory":
+                continue
+            created = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            if _enclosing_with_item(parents, node) is not None:
+                continue
+            bound = self._bound_name(parents, node)
+            if bound is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "SharedMemory(...) is never bound to a name; its "
+                    "close()/unlink() cannot run — use `with` or bind "
+                    "and try/finally",
+                )
+                continue
+            missing = self._missing_cleanup(scope_node, bound, created)
+            if missing:
+                wanted = " and ".join(missing)
+                yield self.finding(
+                    module,
+                    node,
+                    f"SharedMemory bound to `{bound}` has no {wanted} in "
+                    "a `finally:` on this path; a leaked segment "
+                    "outlives the process",
+                )
+
+    @staticmethod
+    def _bound_name(
+        parents: Dict[int, ast.AST], call: ast.Call
+    ) -> Optional[str]:
+        parent = parents.get(id(call))
+        if (
+            isinstance(parent, ast.Assign)
+            and parent.value is call
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            return parent.targets[0].id
+        if (
+            isinstance(parent, ast.AnnAssign)
+            and parent.value is call
+            and isinstance(parent.target, ast.Name)
+        ):
+            return parent.target.id
+        return None
+
+    @staticmethod
+    def _missing_cleanup(
+        scope_node: ast.AST, name: str, created: bool
+    ) -> List[str]:
+        """Which of close()/unlink() no ``finally:`` in this scope calls."""
+        wanted = {"close"} | ({"unlink"} if created else set())
+        found: Set[str] = set()
+        for node in walk_shallow(scope_node):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for final_stmt in node.finalbody:
+                for sub in ast.walk(final_stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in wanted
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == name
+                    ):
+                        found.add(sub.func.attr)
+        return sorted(f"{attr}()" for attr in wanted - found)
+
+
+# ---------------------------------------------------------------------------
+# PQ105 — no await while holding a threading.Lock
+# ---------------------------------------------------------------------------
+
+
+class AwaitUnderLockRule(ProjectRule):
+    """PQ105: an ``await`` must never sit inside ``with <threading lock>:``.
+
+    A coroutine that awaits while holding a ``threading.Lock`` parks the
+    lock across an arbitrary suspension: the ingest thread then blocks
+    on a lock whose owner is waiting for the event loop, which is
+    serving the connection that blocked — the classic loop/thread
+    deadlock.  The rule walks every ``async def`` in the project, finds
+    synchronous ``with`` blocks whose context expression looks like a
+    threading lock (``self._lock``, ``threading.Lock()``, or any
+    ``*_lock`` name — ``async with`` asyncio locks are exempt by
+    shape), and flags any ``await`` lexically inside.  Hold the lock
+    only around the synchronous critical section, or switch the shared
+    state to an ``asyncio.Lock``.
+    """
+
+    code = "PQ105"
+    name = "await-under-lock"
+    summary = "no await while holding a threading.Lock"
+
+    def check_project(
+        self, modules: Sequence[SourceModule], index: ProjectIndex
+    ) -> Iterator[Finding]:
+        for qualname in sorted(index.functions):
+            info = index.functions[qualname]
+            if not info.is_async:
+                continue
+            for with_node, lock_expr in lock_scopes(index, info):
+                for stmt in with_node.body:
+                    for sub in walk_shallow(stmt):
+                        if isinstance(sub, ast.Await):
+                            label = _cg_dotted_name(lock_expr) or "<lock>"
+                            yield self.finding(
+                                info.module,
+                                sub,
+                                f"await while holding threading lock "
+                                f"`{label}` in {info.short}; release the "
+                                "lock before suspending or use "
+                                "asyncio.Lock",
+                            )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -605,6 +1329,11 @@ RULE_REGISTRY: Dict[str, Type[FileRule]] = {
         EngineParityRule,
         ErrorTaxonomyRule,
         ApiSurfaceRule,
+        AsyncBlockingRule,
+        ObsLockDisciplineRule,
+        PoolPicklabilityRule,
+        SharedMemoryLifecycleRule,
+        AwaitUnderLockRule,
     )
 }
 

@@ -540,23 +540,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
     """Handle `repro lint`: run pqlint over the given paths."""
     from pathlib import Path
 
-    from repro.anlz import lint_paths, render_json, render_text, rule_codes
+    from repro.anlz import (
+        git_changed_files,
+        lint_paths,
+        render_json,
+        render_sarif,
+        render_text,
+        rule_codes,
+    )
     from repro.anlz.rules import RULE_REGISTRY
 
     if args.list_rules:
         for code in rule_codes():
             rule = RULE_REGISTRY[code]
-            print(f"{code}  {rule.name:<16} {rule.summary}")
+            print(f"{code}  {rule.name:<18} {rule.summary}")
         return 0
     only = None
     if args.rules is not None:
         only = [code.strip() for code in args.rules.split(",") if code.strip()]
+    changed = None
+    if args.changed is not None:
+        try:
+            changed = git_changed_files(args.changed)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
     try:
-        result = lint_paths([Path(p) for p in args.paths], only=only)
+        result = lint_paths(
+            [Path(p) for p in args.paths], only=only, changed=changed
+        )
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
-    print(render_json(result) if args.format == "json" else render_text(result))
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_text(result))
     return 0 if result.ok else 1
 
 
@@ -764,7 +785,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run pqlint, the domain-invariant static analyser (PQ001-PQ005)",
+        help="run pqlint, the domain-invariant static analyser "
+        "(PQ001-PQ005 file rules, PQ101-PQ105 concurrency rules)",
     )
     lint.add_argument(
         "paths",
@@ -774,7 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
     )
@@ -783,6 +805,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--changed",
+        default=None,
+        metavar="REF",
+        help="only report findings in *.py files changed vs this git ref "
+        "(call graph stays project-wide)",
     )
     lint.add_argument(
         "--list-rules",

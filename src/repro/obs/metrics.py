@@ -311,7 +311,10 @@ class Metrics:
 
     def sample(self, time_ns: int, values: Dict[str, int]) -> None:
         """Record one poll-boundary snapshot of key counters."""
-        self.samples.append((time_ns, values))
+        # Poll-boundary frequency, so the lock is cheap — and it keeps
+        # the timeline intact if a reader snapshots mid-append.
+        with self._lock:
+            self.samples.append((time_ns, values))
 
     def find(self, name: str, **labels: Any) -> Optional[Any]:
         """The instrument registered under (name, labels), if any."""
@@ -340,7 +343,8 @@ class Metrics:
                             mine.counts[bucket] += count
                     mine.count += instrument.count
                     mine.sum += instrument.sum
-        self.samples.extend(other.samples)
+        with self._lock:
+            self.samples.extend(other.samples)
 
     # -- exposition ------------------------------------------------------
 

@@ -1,0 +1,16 @@
+"""BAD: async handlers whose helpers block — two files away (PQ101)."""
+
+from service.helpers import load_snapshot
+from util.io import read_config
+
+
+async def handle_query(payload):
+    cfg = read_config("svc.toml")  # chain: handle_query -> read_config
+    snap = load_snapshot(cfg)
+    return snap
+
+
+async def drain(queue):
+    # Unbounded queue wait directly on the event loop.
+    item = queue.get()
+    return item

@@ -1,0 +1,8 @@
+"""BAD: a sync helper the async handler reaches — sleeps on the loop."""
+
+import time
+
+
+def load_snapshot(cfg):
+    time.sleep(0.01)  # stalls every connection on the event loop
+    return {"cfg": cfg}

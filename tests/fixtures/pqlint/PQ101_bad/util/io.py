@@ -1,0 +1,6 @@
+"""BAD: sync file I/O reached from the async service (cross-package)."""
+
+
+def read_config(path):
+    with open(path) as fh:
+        return fh.read()

@@ -1,0 +1,22 @@
+"""CLEAN: the async service uses awaited and bounded waits only.
+
+Also proves reachability scoping: ``blocking_client`` below uses the
+blocking socket API but is *not* reachable from any ``async def``, so
+PQ101 must stay quiet about it — the rule polices the event loop, not
+sync client code.
+"""
+
+import asyncio
+import socket
+
+
+async def handle_query(queue, future):
+    item = await queue.get()  # awaited: asyncio.Queue semantics
+    await asyncio.sleep(0)
+    return future.result(timeout=1.0)  # bounded wait is the convention
+
+
+def blocking_client(host, port):
+    # Sync client helper, never called from an async def.
+    with socket.create_connection((host, port), timeout=1.0) as conn:
+        return conn.recv(1)

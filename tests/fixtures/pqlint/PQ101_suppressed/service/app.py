@@ -1,0 +1,16 @@
+"""SUPPRESSED: same violations, silenced at each *finding site*.
+
+The async root lives here, but the directives live where the findings
+point — including ``util/io.py``, a different file from the root.
+"""
+
+from util.io import read_config
+
+
+async def handle_query(payload):
+    return read_config("svc.toml")
+
+
+async def drain(queue):
+    item = queue.get()  # pqlint: disable=PQ101
+    return item

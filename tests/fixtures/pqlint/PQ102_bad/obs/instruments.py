@@ -1,0 +1,27 @@
+"""BAD: instrument state mutated outside the owning ``_lock`` (PQ102)."""
+
+import threading
+
+
+class Counter:
+    __slots__ = ("value", "_lock")
+
+    def __init__(self):
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1):
+        self.value += amount  # read-modify-write without the lock
+
+
+class Registry:
+    def __init__(self):
+        self.samples = []
+        self._lock = threading.Lock()
+
+    def sample(self, time_ns, values):
+        self.samples.append((time_ns, values))  # unlocked container mutate
+
+
+def drain(counter: Counter):
+    counter.value = 0  # external reset without the instrument's lock

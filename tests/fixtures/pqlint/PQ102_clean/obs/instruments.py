@@ -1,0 +1,27 @@
+"""CLEAN: every mutation is under ``with self._lock:`` (or constructs it)."""
+
+import threading
+
+
+class Counter:
+    __slots__ = ("value", "_lock")
+
+    def __init__(self):
+        self.value = 0  # constructor owns the instance exclusively
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1):
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self):
+        return self.value  # reads are lock-free by contract
+
+    def __setstate__(self, state):
+        self.value = state  # fresh unpickled instance, not yet shared
+        self._lock = threading.Lock()
+
+
+def drain(counter: Counter):
+    with counter._lock:
+        counter.value = 0

@@ -1,0 +1,18 @@
+"""SUPPRESSED: the unlocked mutations carry line directives."""
+
+import threading
+
+
+class Counter:
+    __slots__ = ("value", "_lock")
+
+    def __init__(self):
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1):
+        self.value += amount  # pqlint: disable=PQ102
+
+
+def drain(counter: Counter):
+    counter.value = 0  # pqlint: disable=PQ102

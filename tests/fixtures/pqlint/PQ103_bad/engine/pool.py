@@ -1,0 +1,39 @@
+"""BAD: unpicklable payloads shipped across a process pool (PQ103)."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def packet_stream(n):
+    for i in range(n):
+        yield i
+
+
+class PortState:
+    def __init__(self):
+        self.depth = 0
+        self._lock = threading.Lock()  # locks do not pickle
+
+
+class StreamHolder:
+    def __init__(self, n):
+        self.stream = packet_stream(n)  # generators do not pickle
+
+
+def run(cells):
+    state = PortState()
+    holder = StreamHolder(8)
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda c: c + 1, cell) for cell in cells]
+
+        def local_eval(cell):
+            return cell + state.depth
+
+        futures.append(pool.submit(local_eval, 0))
+        futures.append(pool.submit(evaluate, state))
+        futures.append(pool.submit(evaluate, holder))
+        return [f.result(timeout=5.0) for f in futures]
+
+
+def evaluate(payload):
+    return payload

@@ -1,0 +1,38 @@
+"""CLEAN: module-level workers, partials, and __getstate__-aware payloads."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+class ShardMetrics:
+    """Holds a lock but defines its own wire format — picklable."""
+
+    def __init__(self):
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        return self.value
+
+    def __setstate__(self, state):
+        self.value = state
+        self._lock = threading.Lock()
+
+
+class Cell:
+    def __init__(self, index):
+        self.index = index
+        self.metrics = ShardMetrics()
+
+
+def evaluate(scale, cell):
+    return cell
+
+
+def run(cells):
+    scaled = partial(evaluate, 2)
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(scaled, Cell(i)) for i, _ in enumerate(cells)]
+        futures.append(pool.submit(evaluate, 1, Cell(0)))
+        return [f.result(timeout=5.0) for f in futures]

@@ -1,0 +1,22 @@
+"""SUPPRESSED: the pool-boundary violations carry line directives."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class PortState:
+    def __init__(self):
+        self.depth = 0
+        self._lock = threading.Lock()
+
+
+def evaluate(payload):
+    return payload
+
+
+def run(cells):
+    state = PortState()
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda c: c + 1, cell) for cell in cells]  # pqlint: disable=PQ103
+        futures.append(pool.submit(evaluate, state))  # pqlint: disable=PQ103
+        return [f.result(timeout=5.0) for f in futures]

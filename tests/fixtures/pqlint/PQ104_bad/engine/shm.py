@@ -1,0 +1,23 @@
+"""BAD: shared-memory segments that can leak (PQ104)."""
+
+from multiprocessing import shared_memory
+
+
+def transport_size(name):
+    # Never bound: nothing can ever close() this mapping.
+    return shared_memory.SharedMemory(name=name).size
+
+
+def attach_no_finally(name, data):
+    shm = shared_memory.SharedMemory(name=name)
+    shm.buf[: len(data)] = data  # an exception here leaks the mapping
+    shm.close()
+    return len(data)
+
+
+def create_no_unlink(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return shm.name
+    finally:
+        shm.close()  # creator must also unlink(): the segment persists

@@ -1,0 +1,26 @@
+"""CLEAN: every segment closes (and unlinks, when created) on all paths."""
+
+from multiprocessing import shared_memory
+
+
+def attach_and_copy(name, data):
+    # Attach pattern: the worker owns only its mapping, not the segment.
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        shm.buf[: len(data)] = data
+        return len(data)
+    finally:
+        shm.close()
+
+
+def create_transport(size):
+    # Create pattern: the parent owns the segment's whole lifetime.
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf[:size])
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,15 @@
+"""SUPPRESSED: the leaky shared-memory sites carry line directives."""
+
+from multiprocessing import shared_memory
+
+
+def transport_size(name):
+    return shared_memory.SharedMemory(name=name).size  # pqlint: disable=PQ104
+
+
+def create_no_unlink(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)  # pqlint: disable=PQ104
+    try:
+        return shm.name
+    finally:
+        shm.close()

@@ -1,0 +1,27 @@
+"""BAD: awaits while holding a ``threading.Lock`` (PQ105)."""
+
+import asyncio
+import threading
+
+_state_lock = threading.Lock()
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = {}
+
+    async def refresh(self, key, loader):
+        with self._lock:
+            value = await loader(key)  # lock parked across suspension
+            self.entries[key] = value
+
+    async def flush(self):
+        with self._lock:
+            await asyncio.sleep(0)  # even a zero sleep yields the loop
+
+
+async def update_global(value):
+    with _state_lock:
+        await asyncio.sleep(0.01)
+        return value

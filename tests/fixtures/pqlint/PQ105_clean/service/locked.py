@@ -1,0 +1,20 @@
+"""CLEAN: threading locks wrap sync sections; asyncio locks wrap awaits."""
+
+import asyncio
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aio_lock = asyncio.Lock()
+        self.entries = {}
+
+    async def refresh(self, key, loader):
+        value = await loader(key)  # suspend first, lock after
+        with self._lock:
+            self.entries[key] = value
+
+    async def serialised(self, key, loader):
+        async with self._aio_lock:  # asyncio lock: awaiting inside is fine
+            return await loader(key)

@@ -1,0 +1,12 @@
+"""SUPPRESSED: the await-under-lock sites carry line directives."""
+
+import asyncio
+import threading
+
+_state_lock = threading.Lock()
+
+
+async def update_global(value):
+    with _state_lock:
+        await asyncio.sleep(0.01)  # pqlint: disable=PQ105
+        return value

@@ -16,6 +16,8 @@ import repro
 PUBLIC_MODULES = [
     "repro",
     "repro.anlz",
+    "repro.anlz.callgraph",
+    "repro.anlz.contexts",
     "repro.anlz.engine",
     "repro.anlz.model",
     "repro.anlz.reporters",

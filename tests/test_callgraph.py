@@ -1,0 +1,161 @@
+"""Call-graph resolution: methods, import aliases, ``functools.partial``,
+context propagation — plus the meta-test that the live ``src/repro``
+tree satisfies every PQ1xx concurrency invariant, fast."""
+
+import time
+from pathlib import Path
+
+from repro.anlz import lint_paths
+from repro.anlz.callgraph import build_project_index
+from repro.anlz.contexts import async_roots, propagate, worker_roots
+from repro.anlz.model import parse_module
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+CONCURRENCY_RULES = ["PQ101", "PQ102", "PQ103", "PQ104", "PQ105"]
+
+
+def build_tree(tmp_path, files):
+    """Write ``rel_path -> source`` under a fixed ``proj/`` root and index
+    the tree (primary qualnames are root-dir-prefixed: ``proj.pkg.mod``)."""
+    root = tmp_path / "proj"
+    modules = []
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        modules.append(parse_module(path, root))
+    return build_project_index(modules)
+
+
+def edges_of(index, qualname):
+    return {edge.callee for edge in index.calls.get(qualname, ())}
+
+
+class TestResolution:
+    def test_cross_module_import_alias(self, tmp_path):
+        index = build_tree(
+            tmp_path,
+            {
+                "service/app.py": (
+                    "from util.io import read_config as rc\n\n\n"
+                    "async def handle():\n"
+                    "    return rc()\n"
+                ),
+                "util/io.py": "def read_config():\n    return {}\n",
+            },
+        )
+        assert "proj.util.io.read_config" in edges_of(index, "proj.service.app.handle")
+
+    def test_method_resolution_via_self(self, tmp_path):
+        index = build_tree(
+            tmp_path,
+            {
+                "engine/core.py": (
+                    "class Engine:\n"
+                    "    def run(self):\n"
+                    "        return self.step()\n"
+                    "\n"
+                    "    def step(self):\n"
+                    "        return 1\n"
+                ),
+            },
+        )
+        assert "proj.engine.core.Engine.step" in edges_of(
+            index, "proj.engine.core.Engine.run"
+        )
+
+    def test_method_resolution_via_annotation(self, tmp_path):
+        index = build_tree(
+            tmp_path,
+            {
+                "obs/gauge.py": (
+                    "class Gauge:\n"
+                    "    def set(self, v):\n"
+                    "        self.v = v\n"
+                ),
+                "obs/poll.py": (
+                    "from obs.gauge import Gauge\n\n\n"
+                    "def poll(g: Gauge):\n"
+                    "    g.set(1)\n"
+                ),
+            },
+        )
+        assert "proj.obs.gauge.Gauge.set" in edges_of(index, "proj.obs.poll.poll")
+
+    def test_partial_resolution_direct_and_bound(self, tmp_path):
+        index = build_tree(
+            tmp_path,
+            {
+                "engine/pool.py": (
+                    "from functools import partial\n\n\n"
+                    "def work(x, y):\n"
+                    "    return x + y\n\n\n"
+                    "def fan_out(pool, items):\n"
+                    "    bound = partial(work, 1)\n"
+                    "    for i in items:\n"
+                    "        pool.submit(partial(work, 0), i)\n"
+                    "        pool.submit(bound, i)\n"
+                ),
+            },
+        )
+        assert len(index.submit_sites) == 2
+        roots = worker_roots(index)
+        assert [r.qualname for r in roots] == ["proj.engine.pool.work"]
+
+    def test_propagate_shortest_chain(self, tmp_path):
+        index = build_tree(
+            tmp_path,
+            {
+                "service/app.py": (
+                    "from service.helpers import step_one\n\n\n"
+                    "async def handle():\n"
+                    "    return step_one()\n"
+                ),
+                "service/helpers.py": (
+                    "from util.io import leaf\n\n\n"
+                    "def step_one():\n"
+                    "    return leaf()\n"
+                ),
+                "util/io.py": "def leaf():\n    return 1\n",
+            },
+        )
+        roots = async_roots(index)
+        assert [r.qualname for r in roots] == ["proj.service.app.handle"]
+        reached = propagate(index, roots)
+        assert "proj.util.io.leaf" in reached
+        reach = reached.reach("proj.util.io.leaf")
+        assert reach.describe("open()") == (
+            "service/app.py::handle -> service/helpers.py::step_one"
+            " -> util/io.py::leaf -> open()"
+        )
+
+    def test_ref_edges_follow_submitted_callables(self, tmp_path):
+        """A function shipped as an argument is reached like a call."""
+        index = build_tree(
+            tmp_path,
+            {
+                "engine/fan.py": (
+                    "def worker(x):\n"
+                    "    return x\n\n\n"
+                    "def drive(pool):\n"
+                    "    pool.submit(worker, 1)\n"
+                ),
+            },
+        )
+        reached = propagate(
+            index, [index.functions["proj.engine.fan.drive"]]
+        )
+        assert "proj.engine.fan.worker" in reached
+
+
+class TestLiveTreeConcurrency:
+    def test_src_repro_concurrency_clean_and_fast(self):
+        """Acceptance: PQ101-PQ105 pass project-wide, well under 10s."""
+        start = time.monotonic()
+        result = lint_paths([SRC_TREE], only=CONCURRENCY_RULES)
+        elapsed = time.monotonic() - start
+        assert result.findings == []
+        assert result.files_checked > 50
+        assert elapsed < 10.0

@@ -12,21 +12,44 @@ from repro.anlz import (
     LintEngine,
     lint_paths,
     render_json,
+    render_sarif,
     render_text,
     rule_codes,
     to_document,
 )
-from repro.anlz.reporters import JSON_VERSION
+from repro.anlz.reporters import JSON_VERSION, SARIF_VERSION
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "pqlint"
 SRC_TREE = REPO_ROOT / "src" / "repro"
 
-RULES = ("PQ001", "PQ002", "PQ003", "PQ004", "PQ005")
+RULES = (
+    "PQ001",
+    "PQ002",
+    "PQ003",
+    "PQ004",
+    "PQ005",
+    "PQ101",
+    "PQ102",
+    "PQ103",
+    "PQ104",
+    "PQ105",
+)
 
 #: Minimum finding count each _bad tree must produce (the fixtures each
 #: contain at least two distinct violations except PQ003's two sites).
-MIN_BAD_FINDINGS = {"PQ001": 3, "PQ002": 3, "PQ003": 2, "PQ004": 2, "PQ005": 3}
+MIN_BAD_FINDINGS = {
+    "PQ001": 3,
+    "PQ002": 3,
+    "PQ003": 2,
+    "PQ004": 2,
+    "PQ005": 3,
+    "PQ101": 3,
+    "PQ102": 3,
+    "PQ103": 4,
+    "PQ104": 3,
+    "PQ105": 3,
+}
 
 
 class TestRuleCatalogue:
@@ -64,6 +87,14 @@ class TestRuleCatalogue:
         with pytest.raises(KeyError):
             lint_paths([FIXTURES / "PQ001_bad"], only=["PQ999"])
 
+    def test_cross_file_finding_site_suppression(self):
+        """PQ101 directives silence the *finding site* (util/io.py), two
+        call-graph hops from the async root that reaches it."""
+        result = lint_paths([FIXTURES / "PQ101_suppressed"])
+        assert result.ok
+        assert {f.rule for f in result.suppressed} == {"PQ101"}
+        assert any(f.path == "util/io.py" for f in result.suppressed)
+
 
 class TestEnginePlumbing:
     def test_findings_sorted_and_located(self):
@@ -95,8 +126,56 @@ class TestEnginePlumbing:
         assert doc["ok"] is False
         assert doc["counts_by_rule"] == {"PQ004": len(result.findings)}
         assert doc["files_checked"] == 1
+        assert doc["suppressed_by_rule"] == {}
+        assert "files_selected" not in doc
         for record in doc["findings"]:
             assert set(record) == {"path", "line", "col", "rule", "message"}
+
+    def test_json_suppressed_by_rule(self):
+        result = lint_paths([FIXTURES / "PQ102_suppressed"])
+        doc = to_document(result)
+        assert doc["suppressed_by_rule"] == {"PQ102": len(result.suppressed)}
+        assert doc["suppressed"] == len(result.suppressed) >= 1
+
+    def test_sarif_document_shape(self):
+        result = lint_paths([FIXTURES / "PQ104_bad"])
+        doc = json.loads(render_sarif(result))
+        assert doc["version"] == SARIF_VERSION
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "pqlint"
+        # The full catalogue rides on the driver, fired or not.
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == list(
+            rule_codes()
+        )
+        assert len(run["results"]) == len(result.findings)
+        assert {r["ruleId"] for r in run["results"]} == {"PQ104"}
+        region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startColumn"] == result.findings[0].col + 1
+
+    def test_sarif_carries_suppressions(self):
+        result = lint_paths([FIXTURES / "PQ101_suppressed"])
+        doc = json.loads(render_sarif(result))
+        results = doc["runs"][0]["results"]
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(suppressed) == len(result.suppressed) >= 1
+        assert suppressed[0]["suppressions"] == [{"kind": "inSource"}]
+
+    def test_changed_filter_scopes_findings(self):
+        """--changed narrows *reporting*; the call graph stays whole."""
+        tree = FIXTURES / "PQ101_bad"
+        full = lint_paths([tree])
+        changed = {(tree / "util" / "io.py").resolve()}
+        result = lint_paths([tree], changed=changed)
+        assert result.files_selected == 1
+        assert result.findings
+        assert {f.path for f in result.findings} == {"util/io.py"}
+        assert len(result.findings) < len(full.findings)
+        assert result.files_checked == full.files_checked
+        # An empty selection reports nothing but still parses the tree.
+        empty = lint_paths([tree], changed=set())
+        assert empty.ok
+        assert empty.files_selected == 0
+        assert empty.files_checked == full.files_checked
 
     def test_text_report_summary_line(self):
         result = lint_paths([FIXTURES / "PQ001_suppressed"])
@@ -148,6 +227,37 @@ class TestLiveTree:
         assert main(["lint", str(FIXTURES / "PQ001_bad")]) == 1
         assert main(["lint", "--list-rules"]) == 0
 
+    def test_changed_mode_cli(self):
+        smoke = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "pqlint.py"),
+                str(SRC_TREE),
+                "--changed",
+                "HEAD",
+                "--format",
+                "json",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert smoke.returncode == 0, smoke.stdout + smoke.stderr
+        doc = json.loads(smoke.stdout)
+        assert "files_selected" in doc
+        bad_ref = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "pqlint.py"),
+                str(SRC_TREE),
+                "--changed",
+                "no-such-ref-pqlint",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert bad_ref.returncode == 2
+        assert "no-such-ref-pqlint" in bad_ref.stderr
+
 
 class TestLintReport:
     """tools/lint_report.py: pqlint JSON -> pq_lint_* RunReport metrics."""
@@ -172,6 +282,17 @@ class TestLintReport:
         for code in rule_codes():
             assert f'pq_lint_findings_total{{rule="{code}"}}' in entries
         assert entries["pq_lint_files_checked_total"] == result.files_checked
+
+    def test_lint_metrics_suppressed_by_rule(self):
+        from repro.anlz.reporters import to_document
+
+        lint_metrics = self._lint_metrics()
+        result = lint_paths([FIXTURES / "PQ103_suppressed"])
+        entries = lint_metrics(to_document(result))
+        assert entries['pq_lint_suppressed_total{rule="PQ103"}'] >= 1
+        # Zero-filled like the finding counts, so diffs stay stable.
+        for code in rule_codes():
+            assert f'pq_lint_suppressed_total{{rule="{code}"}}' in entries
 
     def test_lint_metrics_rejects_unknown_version(self):
         lint_metrics = self._lint_metrics()

@@ -23,6 +23,8 @@ rendering):
 * ``pq_lint_findings_total{rule="PQxxx"}`` — per-rule hit counts (every
   registered rule appears, zero or not, so diffs are stable);
 * ``pq_lint_suppressed_total`` — findings silenced by directives;
+* ``pq_lint_suppressed_total{rule="PQxxx"}`` — per-rule suppression
+  counts, zero-filled like the finding counts (version-2 documents);
 * ``pq_lint_files_checked_total`` — modules the engine parsed.
 
 ``--store-json`` additionally folds a snapshot-store stats document
@@ -62,6 +64,7 @@ def lint_metrics(document: Dict[str, Any]) -> Dict[str, int]:
     if version != JSON_VERSION:
         raise ValueError(f"unsupported pqlint JSON version: {version!r}")
     counts = document.get("counts_by_rule", {})
+    suppressed = document.get("suppressed_by_rule", {})
     out: Dict[str, int] = {
         "pq_lint_findings_total": sum(counts.values()),
         "pq_lint_suppressed_total": int(document.get("suppressed", 0)),
@@ -70,6 +73,10 @@ def lint_metrics(document: Dict[str, Any]) -> Dict[str, int]:
     for code in sorted(set(rule_codes()) | set(counts)):
         out[f'pq_lint_findings_total{{rule="{code}"}}'] = int(
             counts.get(code, 0)
+        )
+    for code in sorted(set(rule_codes()) | set(suppressed)):
+        out[f'pq_lint_suppressed_total{{rule="{code}"}}'] = int(
+            suppressed.get(code, 0)
         )
     return out
 

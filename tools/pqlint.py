@@ -3,14 +3,18 @@
 
 Usage::
 
-    python tools/pqlint.py [PATHS...] [--format text|json]
-                           [--rules PQ001,PQ002] [--list-rules]
+    python tools/pqlint.py [PATHS...] [--format text|json|sarif]
+                           [--rules PQ001,PQ101] [--changed REF]
+                           [--list-rules]
 
 With no paths, lints ``src/repro``.  Exit code 0 means no findings; 1
-means at least one finding; 2 means bad invocation.  The same engine is
-reachable as ``repro lint`` once ``src`` is on ``PYTHONPATH`` — this
-script only bootstraps ``sys.path`` so CI can call it from the repo
-root without installing the package.
+means at least one finding; 2 means bad invocation.  ``--changed REF``
+restricts *reported* findings to ``*.py`` files touched vs the git ref
+(plus untracked files) while the call graph stays project-wide — the
+fast pre-commit mode.  The same engine is reachable as ``repro lint``
+once ``src`` is on ``PYTHONPATH`` — this script only bootstraps
+``sys.path`` so CI can call it from the repo root without installing
+the package.
 """
 
 from __future__ import annotations
@@ -23,7 +27,14 @@ from typing import List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.anlz import lint_paths, render_json, render_text, rule_codes  # noqa: E402
+from repro.anlz import (  # noqa: E402
+    git_changed_files,
+    lint_paths,
+    render_json,
+    render_sarif,
+    render_text,
+    rule_codes,
+)
 from repro.anlz.rules import RULE_REGISTRY  # noqa: E402
 
 
@@ -39,7 +50,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -48,6 +59,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--changed",
+        default=None,
+        metavar="REF",
+        help="only report findings in *.py files changed vs this git ref "
+        "(call graph stays project-wide)",
     )
     parser.add_argument(
         "--list-rules",
@@ -59,20 +77,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         for code in rule_codes():
             rule = RULE_REGISTRY[code]
-            print(f"{code}  {rule.name:<16} {rule.summary}")
+            print(f"{code}  {rule.name:<18} {rule.summary}")
         return 0
 
     only = None
     if args.rules is not None:
         only = [code.strip() for code in args.rules.split(",") if code.strip()]
+    changed = None
+    if args.changed is not None:
+        try:
+            changed = git_changed_files(args.changed, REPO_ROOT)
+        except ValueError as exc:
+            print(f"pqlint: {exc}", file=sys.stderr)
+            return 2
     try:
-        result = lint_paths([Path(p) for p in args.paths], only=only)
+        result = lint_paths(
+            [Path(p) for p in args.paths], only=only, changed=changed
+        )
     except KeyError as exc:
         print(f"pqlint: {exc.args[0]}", file=sys.stderr)
         return 2
 
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
     return 0 if result.ok else 1
